@@ -1,0 +1,73 @@
+"""EXP THM58-510 — the colorability dichotomies (Theorems 5.8, 5.10, 5.11).
+
+Over random Boolean graph CQs: the tableau is (k+1)-colorable iff the query
+has a nontrivial TW(k)-approximation (Corollary 5.11), and non-colorability
+forces loop subgoals into every approximation (Theorems 5.8/5.10).  The
+table cross-validates the colorability predicate against exhaustive search
+for k = 1, 2.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    TreewidthClass,
+    all_approximations,
+    has_nontrivial_tw_approximation,
+    is_trivial_approximation,
+    tw_approximations_all_have_loops,
+)
+from repro.graphs import has_loop
+from repro.workloads import random_graph_query
+from paperfmt import table, write_report
+
+
+def _measure(k: int, sample: int = 12) -> list[list[object]]:
+    cls = TreewidthClass(k)
+    rows: list[list[object]] = []
+    for seed in range(sample):
+        query = random_graph_query(5, 9, seed=300 + seed)
+        colorable = has_nontrivial_tw_approximation(query, k)
+        results = all_approximations(query, cls)
+        nontrivial = any(not is_trivial_approximation(r) for r in results)
+        loops_everywhere = all(
+            has_loop(r.tableau().structure) for r in results
+        )
+        agrees = colorable == nontrivial
+        assert tw_approximations_all_have_loops(query, k) == (not colorable)
+        rows.append(
+            [
+                f"rand#{seed}",
+                f"{k + 1}-colorable" if colorable else "not",
+                "yes" if nontrivial else "no",
+                "yes" if loops_everywhere else "no",
+                "ok" if agrees else "MISMATCH",
+            ]
+        )
+    assert all(row[4] == "ok" for row in rows)
+    return rows
+
+
+HEADERS = ["query", "tableau", "nontrivial approx", "all approx loop", "Cor 5.11"]
+
+
+def bench_colorability_predicate(benchmark):
+    query = random_graph_query(7, 12, seed=1)
+    benchmark(lambda: has_nontrivial_tw_approximation(query, 2))
+
+
+def bench_dichotomy_report(benchmark):
+    def report():
+        parts = []
+        for k in (1, 2):
+            parts.append(f"TW({k}) — dichotomy via {k + 1}-colorability:")
+            parts.append(table(HEADERS, _measure(k)))
+            parts.append("")
+        return "\n".join(parts)
+
+    body = benchmark.pedantic(report, rounds=1, iterations=1)
+    write_report("dichotomy_tw", "Theorems 5.8/5.10, Corollary 5.11", body)
+
+
+if __name__ == "__main__":
+    for k in (1, 2):
+        print(table(HEADERS, _measure(k)))

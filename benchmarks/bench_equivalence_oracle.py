@@ -1,0 +1,73 @@
+"""EXP P411-EQUIV — Proposition 4.11: the approximation oracle decides
+equivalence to TW(k).
+
+Q ≡ some TW(k) query iff Q ⊆ A(Q) for any TW(k)-approximation A(Q);
+testing the containment amounts to evaluating the bounded-treewidth query
+A(Q) on T_Q.  The table exercises the reduction on queries with known
+status; the approximation step dominates the cost (it is the NP-hard part).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import is_equivalent_to_treewidth_k
+from repro.cq import parse_query
+from paperfmt import table, write_report
+
+CASES = [
+    ("acyclic path", "Q() :- E(x, y), E(y, z)", 1, True),
+    ("bidirected C4", (
+        "Q() :- E(a, b), E(b, a), E(b, c), E(c, b), E(c, d), E(d, c), "
+        "E(d, a), E(a, d)"
+    ), 1, True),
+    ("triangle", "Q() :- E(x, y), E(y, z), E(z, x)", 1, False),
+    ("triangle @k=2", "Q() :- E(x, y), E(y, z), E(z, x)", 2, True),
+    ("directed C4", "Q() :- E(x, y), E(y, z), E(z, u), E(u, x)", 1, False),
+    ("directed C5", "Q() :- E(a, b), E(b, c), E(c, d), E(d, e), E(e, a)", 2, True),
+]
+
+
+def _measure() -> list[list[object]]:
+    rows: list[list[object]] = []
+    for name, text, k, expected in CASES:
+        query = parse_query(text)
+        start = time.perf_counter()
+        verdict = is_equivalent_to_treewidth_k(query, k)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                name,
+                k,
+                verdict,
+                expected,
+                "ok" if verdict == expected else "MISMATCH",
+                f"{elapsed * 1e3:.0f}ms",
+            ]
+        )
+    return rows
+
+
+HEADERS = ["query", "k", "oracle", "expected", "status", "time"]
+
+
+def bench_equivalence_triangle(benchmark):
+    query = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+    result = benchmark(lambda: is_equivalent_to_treewidth_k(query, 1))
+    assert result is False
+
+
+def bench_equivalence_oracle_report(benchmark):
+    def report():
+        rows = _measure()
+        assert all(row[4] == "ok" for row in rows)
+        return table(HEADERS, rows)
+
+    body = benchmark.pedantic(report, rounds=1, iterations=1)
+    write_report(
+        "equivalence_oracle", "Proposition 4.11: equivalence via approximation", body
+    )
+
+
+if __name__ == "__main__":
+    print(table(HEADERS, _measure()))

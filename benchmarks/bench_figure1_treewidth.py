@@ -1,0 +1,100 @@
+"""EXP F1-TW — Figure 1, rows 1–2: graph-based approximations.
+
+Regenerates the summary table's claims for TW(1) and TW(k) empirically over
+query families: approximations always exist, their size never exceeds |Q|
+(Theorem 4.1: joins never increase), and they are found in single-exponential
+time (the measured time column grows with Bell(|vars|), not with |D|).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import TreewidthClass, all_approximations
+from repro.cq import is_contained_in, minimize
+from repro.workloads import cycle_with_chords, random_graph_query
+from paperfmt import table, write_report
+
+
+def _families() -> list[tuple[str, object]]:
+    return [
+        ("C3", cycle_with_chords(3)),
+        ("C4", cycle_with_chords(4)),
+        ("C5+chord", cycle_with_chords(5, [(0, 2)])),
+        ("C6+chord", cycle_with_chords(6, [(0, 3)])),
+        ("rand(6,8)", random_graph_query(6, 8, seed=1)),
+        ("rand(7,9)", random_graph_query(7, 9, seed=2)),
+    ]
+
+
+def _measure(k: int) -> list[list[object]]:
+    rows: list[list[object]] = []
+    cls = TreewidthClass(k)
+    for name, query in _families():
+        start = time.perf_counter()
+        results = all_approximations(query, cls)
+        elapsed = time.perf_counter() - start
+        sizes = [minimize(r).num_joins for r in results]
+        sound = all(is_contained_in(r, query) for r in results)
+        member = all(cls.contains_query(r) for r in results)
+        rows.append(
+            [
+                name,
+                query.num_variables,
+                query.num_joins,
+                len(results),
+                max(sizes) if sizes else "-",
+                "yes" if results else "NO",
+                "yes" if sound and member else "NO",
+                f"{elapsed * 1e3:.0f}ms",
+            ]
+        )
+    return rows
+
+
+HEADERS = [
+    "query", "|vars|", "joins(Q)", "#approx", "max joins(Q')",
+    "exists", "sound+in-class", "time",
+]
+
+
+def bench_figure1_tw1_family(benchmark):
+    query = cycle_with_chords(5, [(0, 2)])
+    results = benchmark(lambda: all_approximations(query, TreewidthClass(1)))
+    assert results
+
+
+def bench_figure1_tw2_family(benchmark):
+    query = cycle_with_chords(5, [(0, 2)])
+    results = benchmark(lambda: all_approximations(query, TreewidthClass(2)))
+    assert results
+
+
+def bench_figure1_report(benchmark):
+    def report():
+        body = []
+        for k in (1, 2):
+            rows = _measure(k)
+            body.append(f"TW({k}) approximations (Theorem 4.1 / Corollary 4.3):")
+            body.append(table(HEADERS, rows))
+            body.append("")
+            assert all(row[5] == "yes" and row[6] == "yes" for row in rows)
+            # Size column of Figure 1: at most |Q| (joins never increase).
+            assert all(
+                row[4] == "-" or row[4] <= row[2] for row in rows
+            )
+        return "\n".join(body)
+
+    body = benchmark.pedantic(report, rounds=1, iterations=1)
+    write_report(
+        "figure1_treewidth",
+        "Figure 1, rows 1-2: treewidth-k approximations",
+        body,
+    )
+
+
+if __name__ == "__main__":
+    for k in (1, 2):
+        print(f"TW({k}):")
+        print(table(HEADERS, _measure(k)))
+        print()

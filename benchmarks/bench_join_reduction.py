@@ -1,0 +1,72 @@
+"""EXP COR53-JOINS — Corollary 5.3: acyclic approximations reduce joins.
+
+For every cyclic Boolean graph CQ, each minimized acyclic approximation has
+strictly fewer joins.  Regenerated over random cyclic queries; the contrast
+column shows Proposition 5.9's non-Boolean phenomenon (joins may be equal
+when free variables pin the tableau).
+"""
+
+from __future__ import annotations
+
+from repro.core import TW1, all_approximations
+from repro.cq import minimize
+from repro.hypergraphs import is_acyclic_query
+from repro.workloads import random_graph_query
+from repro.workloads.families import proposition_59_query
+from paperfmt import table, write_report
+
+
+def _measure(sample: int = 18) -> list[list[object]]:
+    rows: list[list[object]] = []
+    for seed in range(sample):
+        query = random_graph_query(6, 8, seed=100 + seed)
+        minimized = minimize(query)
+        # Corollary 5.3 concerns cyclic queries; replace Q by its minimized
+        # equivalent and skip those whose core is already acyclic (they are
+        # their own approximations).
+        if is_acyclic_query(minimized):
+            continue
+        results = all_approximations(minimized, TW1)
+        approx_joins = [minimize(r).num_joins for r in results]
+        rows.append(
+            [
+                f"rand#{seed}",
+                minimized.num_joins,
+                max(approx_joins),
+                len(results),
+                "yes" if all(j < minimized.num_joins for j in approx_joins) else "NO",
+            ]
+        )
+    return rows
+
+
+HEADERS = ["query", "joins(min Q)", "max joins(Q')", "#approx", "strictly fewer"]
+
+
+def bench_join_reduction(benchmark):
+    query = random_graph_query(6, 8, seed=104)
+    benchmark.pedantic(
+        lambda: all_approximations(query, TW1), rounds=1, iterations=1
+    )
+
+
+def bench_join_reduction_report(benchmark):
+    def report():
+        rows = _measure()
+        assert rows and all(row[4] == "yes" for row in rows)
+        q59 = proposition_59_query()
+        results = all_approximations(q59, TW1)
+        contrast = (
+            f"contrast (Prop 5.9, non-Boolean): {q59}\n"
+            f"  all {len(results)} minimized approximations keep "
+            f"{q59.num_joins} joins: "
+            + str(all(minimize(r).num_joins == q59.num_joins for r in results))
+        )
+        return table(HEADERS, rows) + "\n\n" + contrast
+
+    body = benchmark.pedantic(report, rounds=1, iterations=1)
+    write_report("join_reduction", "Corollary 5.3: join reduction", body)
+
+
+if __name__ == "__main__":
+    print(table(HEADERS, _measure()))

@@ -1,0 +1,80 @@
+"""EXP QUALITY — empirical disagreement (the Section 7 quantitative angle).
+
+The paper's approximations are qualitative; this bench measures, per
+trichotomy case, how often the best acyclic approximation actually
+disagrees with the query over random databases of varying density — the
+measurement the conclusions propose studying.  Soundness (no wrong
+answers) is asserted throughout.
+"""
+
+from __future__ import annotations
+
+from repro.core import TW1, approximate, disagreement, random_database_stream
+from repro.workloads import random_digraph_db
+from repro.workloads.families import theorem_51_examples
+from paperfmt import table, write_report
+
+DENSITIES = ((14, 20), (14, 40), (14, 80))
+SAMPLES = 10
+
+
+def _measure() -> list[list[object]]:
+    rows: list[list[object]] = []
+    for name, query in theorem_51_examples().items():
+        approx = approximate(query, TW1)
+        for nodes, edges in DENSITIES:
+            stream = random_database_stream(
+                lambda seed, n=nodes, e=edges: random_digraph_db(n, e, seed=seed),
+                SAMPLES,
+            )
+            report = disagreement(
+                query, approx, stream, exact_method="treewidth"
+            )
+            assert report.is_sound
+            rows.append(
+                [
+                    name,
+                    f"{nodes}/{edges}",
+                    f"{report.agreement_rate:.0%}",
+                    report.missed_answers,
+                    "yes" if report.is_sound else "NO",
+                ]
+            )
+    return rows
+
+
+HEADERS = ["trichotomy case", "|V|/|E|", "agreement", "missed", "sound"]
+
+
+def bench_quality_measurement(benchmark):
+    query = theorem_51_examples()["not_bipartite"]
+    approx = approximate(query, TW1)
+    stream = list(
+        random_database_stream(lambda s: random_digraph_db(12, 30, seed=s), 5)
+    )
+    report = benchmark.pedantic(
+        lambda: disagreement(query, approx, stream, exact_method="treewidth"),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.is_sound
+
+
+def bench_quality_report(benchmark):
+    def report():
+        rows = _measure()
+        return table(HEADERS, rows) + (
+            "\n\nDisagreements are always missed answers, never wrong ones."
+            "\nThe trivial loop approximation (non-bipartite case) loses"
+            " agreement as loop-free data gets denser — quantifying the"
+            " paper's remark that it 'provides us with little information' —"
+            " while the nontrivial approximations of the other two cases"
+            " agree almost everywhere."
+        )
+
+    body = benchmark.pedantic(report, rounds=1, iterations=1)
+    write_report("quality", "Section 7: empirical disagreement", body)
+
+
+if __name__ == "__main__":
+    print(table(HEADERS, _measure()))

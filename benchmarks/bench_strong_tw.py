@@ -1,0 +1,107 @@
+"""EXP SEC53-ARITY — strong treewidth approximations (Section 5.3).
+
+Beyond graphs, maximum-treewidth queries admit rich TW(1)-approximations:
+Proposition 5.13's construction (for every potential approximation and every
+n > m), Proposition 5.14's same-join pairs, and Proposition 5.15's
+almost-triangle.  The bench regenerates and verifies each construction.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ApproximationConfig,
+    graph_is_complete,
+    is_almost_triangle,
+    is_strong_tw_approximation,
+    prop_513_query,
+    prop_514_pair,
+    prop_515_pair,
+)
+from repro.cq import is_contained_in, is_minimal, parse_query
+from repro.hypergraphs import treewidth_of_query
+from paperfmt import table, write_report
+
+CONFIG = ApproximationConfig(exact_limit=8, max_extra_atoms=0)
+
+
+def _measure() -> list[list[object]]:
+    rows: list[list[object]] = []
+
+    q_prime = parse_query("Q() :- R(x, y, y), R(y, x, x)")
+    for n in (4, 5):
+        q = prop_513_query(q_prime, n)
+        rows.append(
+            [
+                f"Prop 5.13 (n={n})",
+                q.num_variables,
+                q.num_atoms,
+                str(graph_is_complete(q)),
+                str(is_contained_in(q_prime, q)),
+            ]
+        )
+
+    q14, a14 = prop_514_pair(3)
+    rows.append(
+        [
+            "Prop 5.14 (k=3)",
+            q14.num_variables,
+            f"{q14.num_atoms} (= {a14.num_atoms} in Q')",
+            str(graph_is_complete(q14)),
+            str(is_contained_in(a14, q14)),
+        ]
+    )
+
+    q15, a15 = prop_515_pair()
+    rows.append(
+        [
+            "Prop 5.15",
+            q15.num_variables,
+            f"{q15.num_atoms} (= {a15.num_atoms} in Q')",
+            str(graph_is_complete(q15)),
+            str(is_contained_in(a15, q15)),
+        ]
+    )
+    return rows
+
+
+HEADERS = ["construction", "|vars(Q)|", "atoms", "G(Q) complete", "Q' ⊆ Q"]
+
+
+def bench_prop_513_construction(benchmark):
+    q_prime = parse_query("Q() :- R(x, y, y), R(y, x, x)")
+    q = benchmark(lambda: prop_513_query(q_prime, 5))
+    assert graph_is_complete(q)
+
+
+def bench_prop_515_verification(benchmark):
+    q, a = prop_515_pair()
+    result = benchmark.pedantic(
+        lambda: is_strong_tw_approximation(q, a, CONFIG), rounds=1, iterations=1
+    )
+    assert result
+
+
+def bench_strong_tw_report(benchmark):
+    def report():
+        rows = _measure()
+        assert all(row[3] == "True" and row[4] == "True" for row in rows)
+        q15, a15 = prop_515_pair()
+        extras = [
+            ["Prop 5.15 tableau is an almost-triangle",
+             str(is_almost_triangle(q15.tableau().structure))],
+            ["Prop 5.15 Q has maximum treewidth 3",
+             str(treewidth_of_query(q15) == 3)],
+            ["Prop 5.15 both queries minimized",
+             str(is_minimal(q15) and is_minimal(a15))],
+            ["Prop 5.15 Q' is a strong TW approximation",
+             str(is_strong_tw_approximation(q15, a15, CONFIG))],
+        ]
+        assert all(row[1] == "True" for row in extras)
+        return table(HEADERS, rows) + "\n\n" + table(["claim", "verified"], extras)
+
+    body = benchmark.pedantic(report, rounds=1, iterations=1)
+    write_report("strong_tw", "Section 5.3: strong treewidth approximations", body)
+
+
+if __name__ == "__main__":
+    print(table(HEADERS, _measure()))

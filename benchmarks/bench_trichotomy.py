@@ -1,0 +1,88 @@
+"""EXP THM51-TRI — Theorem 5.1's trichotomy over random Boolean graph CQs.
+
+Classifies random queries into the three regimes (non-bipartite / bipartite
+unbalanced / bipartite balanced), reports the distribution, and verifies the
+promised approximation shape on a sample by exhaustive search.  The
+classifier itself is polynomial (bipartiteness + balancedness), which the
+timing column shows.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import (
+    TW1,
+    TrichotomyCase,
+    all_approximations,
+    classify_boolean_graph_query,
+    is_trivial_approximation,
+    promised_acyclic_approximation,
+)
+from repro.cq import are_equivalent, trivial_bipartite_query
+from repro.workloads import random_graph_query
+from paperfmt import table, write_report
+
+SAMPLE = 60
+
+
+def _classify_sample() -> tuple[list[list[object]], dict]:
+    counts = {case: 0 for case in TrichotomyCase}
+    total_time = 0.0
+    queries = []
+    for seed in range(SAMPLE):
+        query = random_graph_query(6, 8, seed=seed)
+        start = time.perf_counter()
+        case = classify_boolean_graph_query(query)
+        total_time += time.perf_counter() - start
+        counts[case] += 1
+        queries.append((query, case))
+
+    rows = [
+        [case.value, counts[case], f"{100 * counts[case] / SAMPLE:.0f}%"]
+        for case in TrichotomyCase
+    ]
+    rows.append(["avg classify time", f"{total_time / SAMPLE * 1e6:.0f}us", ""])
+    return rows, dict(queries=queries)
+
+
+def _verify_promises(queries) -> int:
+    verified = 0
+    for query, case in queries[:12]:
+        results = all_approximations(query, TW1)
+        if case is TrichotomyCase.NOT_BIPARTITE:
+            assert all(is_trivial_approximation(r) for r in results)
+        elif case is TrichotomyCase.BIPARTITE_UNBALANCED:
+            assert all(
+                are_equivalent(r, trivial_bipartite_query()) for r in results
+            )
+        else:
+            assert all(not is_trivial_approximation(r) for r in results)
+        promised = promised_acyclic_approximation(query)
+        if promised is not None:
+            assert any(are_equivalent(r, promised) for r in results)
+        verified += 1
+    return verified
+
+
+def bench_classifier(benchmark):
+    query = random_graph_query(8, 12, seed=99)
+    benchmark(lambda: classify_boolean_graph_query(query))
+
+
+def bench_trichotomy_report(benchmark):
+    def report():
+        rows, extra = _classify_sample()
+        verified = _verify_promises(extra["queries"])
+        return (
+            table(["case", "count", "share"], rows)
+            + f"\n\npromise verified by exhaustive search on {verified} queries"
+        )
+
+    body = benchmark.pedantic(report, rounds=1, iterations=1)
+    write_report("trichotomy", "Theorem 5.1: trichotomy over random queries", body)
+
+
+if __name__ == "__main__":
+    rows, extra = _classify_sample()
+    print(table(["case", "count", "share"], rows))

@@ -1,0 +1,74 @@
+"""repro — a reproduction of "Efficient Approximations of Conjunctive Queries"
+(Barceló, Libkin, Romero; PODS 2012).
+
+The package provides:
+
+* ``repro.cq`` — conjunctive queries, structures, tableaux, containment,
+  minimization;
+* ``repro.homomorphism`` — the homomorphism engine, cores and the
+  homomorphism preorder;
+* ``repro.graphs`` — digraph theory (oriented paths, balancedness, levels,
+  colorings) and the paper's gadget constructions;
+* ``repro.hypergraphs`` — acyclicity (GYO), tree decompositions, treewidth,
+  (generalized) hypertree width;
+* ``repro.evaluation`` — the query evaluation engine (naive, Yannakakis,
+  bounded treewidth, bounded hypertree width);
+* ``repro.core`` — the paper's contribution: C-approximations, their
+  identification, trichotomies and structure theorems;
+* ``repro.workloads`` — random query/database generators and the paper's
+  query families.
+"""
+
+__version__ = "1.0.0"
+
+from repro.cq import (
+    Atom,
+    ConjunctiveQuery,
+    Structure,
+    Tableau,
+    Vocabulary,
+    are_equivalent,
+    is_contained_in,
+    minimize,
+    parse_query,
+)
+from repro.core import (
+    AC,
+    TW1,
+    AcyclicClass,
+    ApproximationConfig,
+    GeneralizedHypertreeClass,
+    HypertreeClass,
+    TreewidthClass,
+    all_approximations,
+    approximate,
+    classify_boolean_graph_query,
+    is_approximation,
+)
+from repro.evaluation import EvalStats, evaluate
+
+__all__ = [
+    "AC",
+    "AcyclicClass",
+    "ApproximationConfig",
+    "Atom",
+    "ConjunctiveQuery",
+    "EvalStats",
+    "GeneralizedHypertreeClass",
+    "HypertreeClass",
+    "Structure",
+    "TW1",
+    "Tableau",
+    "TreewidthClass",
+    "Vocabulary",
+    "all_approximations",
+    "approximate",
+    "are_equivalent",
+    "classify_boolean_graph_query",
+    "evaluate",
+    "is_approximation",
+    "is_contained_in",
+    "minimize",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,146 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro approximate "Q() :- E(x,y), E(y,z), E(z,x)" --cls TW1
+    python -m repro classify "Q() :- E(x,y), E(y,z), E(z,x)"
+    python -m repro minimize "Q() :- E(x,y), E(x,z)"
+    python -m repro width "Q() :- R(x,y,z), R(z,u,w)"
+    python -m repro contains "Q() :- E(x,y), E(y,z)" "Q() :- E(x,y)"
+    python -m repro evaluate "Q(x) :- E(x,y)" --db graph.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cq import is_contained_in, minimize, parse_query
+from repro.core import (
+    AcyclicClass,
+    ApproximationConfig,
+    GeneralizedHypertreeClass,
+    HypertreeClass,
+    QueryClass,
+    TreewidthClass,
+    all_approximations,
+    approximate,
+    classify_boolean_graph_query,
+)
+
+
+def _parse_class(name: str) -> QueryClass:
+    name = name.upper()
+    if name == "AC":
+        return AcyclicClass()
+    for prefix, factory in (
+        ("GHTW", GeneralizedHypertreeClass),
+        ("HTW", HypertreeClass),
+        ("TW", TreewidthClass),
+    ):
+        if name.startswith(prefix) and name[len(prefix):].isdigit():
+            return factory(int(name[len(prefix):]))
+    raise argparse.ArgumentTypeError(
+        f"unknown class {name!r} (use TW<k>, AC, HTW<k> or GHTW<k>)"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Efficient approximations of conjunctive queries (PODS 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    approx = sub.add_parser("approximate", help="compute C-approximations")
+    approx.add_argument("query")
+    approx.add_argument("--cls", type=_parse_class, default=TreewidthClass(1))
+    approx.add_argument("--all", action="store_true", help="list C-APPR_min(Q)")
+    approx.add_argument("--method", choices=["auto", "exact", "greedy"], default="auto")
+    approx.add_argument("--exact-limit", type=int, default=8)
+
+    classify = sub.add_parser("classify", help="Theorem 5.1 trichotomy case")
+    classify.add_argument("query")
+
+    mini = sub.add_parser("minimize", help="Chandra-Merlin minimization")
+    mini.add_argument("query")
+
+    width = sub.add_parser("width", help="treewidth / hypertree width / acyclicity")
+    width.add_argument("query")
+
+    contains = sub.add_parser("contains", help="decide Q1 ⊆ Q2")
+    contains.add_argument("query1")
+    contains.add_argument("query2")
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a query on a JSON database")
+    evaluate.add_argument("query")
+    evaluate.add_argument("--db", required=True, help="JSON database file")
+    evaluate.add_argument(
+        "--method",
+        choices=["auto", "yannakakis", "treewidth", "hypertree", "backtracking", "naive"],
+        default="auto",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "approximate":
+        query = parse_query(args.query)
+        config = ApproximationConfig(exact_limit=args.exact_limit)
+        if args.all:
+            for result in all_approximations(query, args.cls, config):
+                print(result)
+        else:
+            print(approximate(query, args.cls, method=args.method, config=config))
+        return 0
+
+    if args.command == "classify":
+        case = classify_boolean_graph_query(parse_query(args.query))
+        print(case.value)
+        return 0
+
+    if args.command == "minimize":
+        print(minimize(parse_query(args.query)))
+        return 0
+
+    if args.command == "width":
+        from repro.hypergraphs import (
+            hypergraph_of_query,
+            hypertree_width,
+            is_acyclic_query,
+            treewidth_of_query,
+        )
+
+        query = parse_query(args.query)
+        print(f"treewidth       : {treewidth_of_query(query)}")
+        print(f"hypertree width : {hypertree_width(hypergraph_of_query(query))}")
+        print(f"acyclic         : {is_acyclic_query(query)}")
+        return 0
+
+    if args.command == "contains":
+        q1, q2 = parse_query(args.query1), parse_query(args.query2)
+        verdict = is_contained_in(q1, q2)
+        print("contained" if verdict else "not contained")
+        return 0 if verdict else 1
+
+    if args.command == "evaluate":
+        from repro.evaluation import evaluate as run
+        from repro.io import load_structure
+
+        query = parse_query(args.query)
+        db = load_structure(args.db)
+        answers = run(query, db, method=args.method)
+        if query.is_boolean:
+            print("true" if answers else "false")
+        else:
+            for row in sorted(answers, key=repr):
+                print("\t".join(map(str, row)))
+        return 0
+
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

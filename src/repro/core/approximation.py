@@ -1,0 +1,233 @@
+"""Computing C-approximations (Definition 3.1).
+
+A C-approximation of ``Q`` is a query ``Q' ∈ C`` with ``Q' ⊆ Q`` such that no
+``Q'' ∈ C`` satisfies ``Q' ⊂ Q'' ⊆ Q``.  In tableau terms: the →-minimal
+elements of the set of class-C tableaux homomorphically above ``(T_Q, x̄)``.
+
+* For graph-based classes, Theorem 4.1 bounds the search space to the
+  homomorphic images (quotients) of the tableau, giving an *exact*,
+  single-exponential algorithm (Corollary 4.3): enumerate quotients, keep
+  class members, reduce to cores, deduplicate up to homomorphic equivalence,
+  and return the →-minimal representatives.
+
+* For hypergraph-based classes, Theorem 6.1 / Claim 6.2 enlarge the space
+  with bounded extension atoms; ``ApproximationConfig.max_extra_atoms`` caps
+  how many are tried (1 by default — enough for the paper's worked examples,
+  and every returned query is still guaranteed to be a class member
+  contained in ``Q``).
+
+* For queries too large to enumerate, a randomized greedy descent provides a
+  sound best-effort answer: a class member contained in ``Q`` that no
+  inspected candidate improves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.cq.minimize import minimize
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.tableau import Tableau
+from repro.core.classes import QueryClass
+from repro.core.quotients import (
+    iter_extended_tableaux,
+    iter_quotient_tableaux,
+)
+from repro.homomorphism.cores import core_tableau
+from repro.homomorphism.orders import hom_le
+from repro.util.partitions import partition_to_mapping
+
+
+@dataclass(frozen=True)
+class ApproximationConfig:
+    """Knobs of the approximation search.
+
+    ``exact_limit`` is the largest number of tableau elements for which the
+    exact (Bell-number) enumeration runs; ``max_extra_atoms``/``allow_fresh``
+    control the hypergraph extension space of Claim 6.2; the greedy descent
+    stops after ``greedy_rounds`` consecutive unimproved samples.
+    """
+
+    exact_limit: int = 8
+    max_extra_atoms: int = 1
+    allow_fresh: bool = True
+    greedy_rounds: int = 300
+    seed: int = 17
+
+
+DEFAULT_CONFIG = ApproximationConfig()
+
+
+def candidate_tableaux(
+    query: ConjunctiveQuery,
+    cls: QueryClass,
+    config: ApproximationConfig = DEFAULT_CONFIG,
+) -> Iterable[Tableau]:
+    """The bounded witness space for ``Q`` and ``C`` (class members only)."""
+    tableau = query.tableau()
+    if cls.kind == "graph":
+        source = iter_quotient_tableaux(tableau)
+    else:
+        source = iter_extended_tableaux(
+            tableau,
+            max_extra_atoms=config.max_extra_atoms,
+            allow_fresh=config.allow_fresh,
+        )
+    for candidate in source:
+        if cls.contains_tableau(candidate):
+            yield candidate
+
+
+def approximation_frontier(
+    query: ConjunctiveQuery,
+    cls: QueryClass,
+    config: ApproximationConfig = DEFAULT_CONFIG,
+) -> list[Tableau]:
+    """The →-minimal candidate tableaux, maintained as an online frontier.
+
+    A new candidate is dropped if some frontier member maps into it (it is
+    dominated or equivalent); otherwise it evicts every frontier member it
+    maps into.  By transitivity of → the surviving set is exactly the set of
+    minimal candidates up to homomorphic equivalence.
+    """
+    frontier: list[Tableau] = []
+    for candidate in candidate_tableaux(query, cls, config):
+        if any(hom_le(member, candidate) for member in frontier):
+            continue
+        frontier = [m for m in frontier if not hom_le(candidate, m)]
+        frontier.append(candidate)
+    return frontier
+
+
+def all_approximations(
+    query: ConjunctiveQuery,
+    cls: QueryClass,
+    config: ApproximationConfig = DEFAULT_CONFIG,
+) -> list[ConjunctiveQuery]:
+    """The set ``C-APPR_min(Q)``: minimized, pairwise non-equivalent.
+
+    Exact for graph-based classes whenever the query has at most
+    ``config.exact_limit`` variables (Theorem 4.1's witness bound); for
+    hypergraph-based classes, exact relative to the extension cap
+    ``config.max_extra_atoms`` (Claim 6.2's full bound is polynomial but
+    large).  Raises ``ValueError`` beyond ``exact_limit`` — use
+    :func:`approximate` with the greedy method there.
+    """
+    tableau = query.tableau()
+    if len(tableau.structure.domain) > config.exact_limit:
+        raise ValueError(
+            f"query has {len(tableau.structure.domain)} variables; "
+            f"exact enumeration is capped at exact_limit={config.exact_limit}"
+        )
+    if cls.contains_tableau(tableau):
+        return [minimize(query)]
+
+    frontier = approximation_frontier(query, cls, config)
+    return [
+        ConjunctiveQuery.from_tableau(core_tableau(t), prefix="a")
+        for t in frontier
+    ]
+
+
+def _quotient_by(tableau: Tableau, partition) -> Tableau:
+    return tableau.rename(partition_to_mapping(partition))
+
+
+def greedy_approximate(
+    query: ConjunctiveQuery,
+    cls: QueryClass,
+    config: ApproximationConfig = DEFAULT_CONFIG,
+) -> ConjunctiveQuery:
+    """Randomized descent through quotients: sound, best-effort minimal.
+
+    The result is always a class member contained in ``Q``.  Starting from
+    the coarsest class-member quotient, the search repeatedly samples
+    quotients (random refinements of the current kernel and fully random
+    partitions), accepting any candidate strictly lower in the →-order, and
+    stops after ``greedy_rounds`` consecutive failures.
+    """
+    tableau = query.tableau()
+    if cls.contains_tableau(tableau):
+        return minimize(query)
+
+    rng = random.Random(config.seed)
+    elements = sorted(tableau.structure.domain, key=repr)
+
+    def random_partition() -> tuple[tuple, ...]:
+        block_count = rng.randint(1, len(elements))
+        blocks: list[list] = [[] for _ in range(block_count)]
+        for element in elements:
+            blocks[rng.randrange(block_count)].append(element)
+        return tuple(tuple(b) for b in blocks if b)
+
+    def random_refinement(partition) -> tuple[tuple, ...]:
+        blocks = [list(b) for b in partition]
+        candidates = [i for i, b in enumerate(blocks) if len(b) > 1]
+        if not candidates:
+            return tuple(tuple(b) for b in blocks)
+        index = rng.choice(candidates)
+        block = blocks.pop(index)
+        rng.shuffle(block)
+        cut = rng.randint(1, len(block) - 1)
+        blocks.extend([block[:cut], block[cut:]])
+        return tuple(tuple(b) for b in blocks)
+
+    # Find a class-member starting point: the coarsest quotient first.
+    current_partition = (tuple(elements),)
+    current = _quotient_by(tableau, current_partition)
+    budget = config.greedy_rounds
+    while not cls.contains_tableau(current):
+        if budget <= 0:
+            raise ValueError(
+                f"could not find any {cls.name} quotient of the query"
+            )
+        budget -= 1
+        current_partition = random_partition()
+        current = _quotient_by(tableau, current_partition)
+
+    failures = 0
+    while failures < config.greedy_rounds:
+        move = rng.random()
+        if move < 0.6:
+            candidate_partition = random_refinement(current_partition)
+        else:
+            candidate_partition = random_partition()
+        candidate = _quotient_by(tableau, candidate_partition)
+        if (
+            cls.contains_tableau(candidate)
+            and hom_le(candidate, current)
+            and not hom_le(current, candidate)
+        ):
+            current, current_partition = candidate, candidate_partition
+            failures = 0
+        else:
+            failures += 1
+    return minimize(ConjunctiveQuery.from_tableau(current, prefix="a"))
+
+
+def approximate(
+    query: ConjunctiveQuery,
+    cls: QueryClass,
+    *,
+    method: str = "auto",
+    config: ApproximationConfig = DEFAULT_CONFIG,
+) -> ConjunctiveQuery:
+    """One C-approximation of ``Q`` (Corollaries 4.2/4.3, 6.3, 6.5).
+
+    ``method="exact"`` uses the enumeration (guaranteed approximation, caps
+    apply), ``method="greedy"`` the randomized descent, and ``"auto"`` picks
+    by query size.
+    """
+    if method not in {"auto", "exact", "greedy"}:
+        raise ValueError(f"unknown method {method!r}")
+    if method == "auto":
+        small = len(query.tableau().structure.domain) <= config.exact_limit
+        method = "exact" if small else "greedy"
+    if method == "exact":
+        results = all_approximations(query, cls, config)
+        if not results:
+            raise ValueError(f"query has no {cls.name}-approximation candidates")
+        return results[0]
+    return greedy_approximate(query, cls, config)

@@ -1,0 +1,60 @@
+"""Acyclic approximations of digraphs (Corollary 4.10).
+
+The paper reinterprets its query results in pure graph terms: an acyclic
+digraph ``T`` is an *acyclic approximation* of a digraph ``G`` if ``G → T``
+and there is no acyclic ``T'`` with ``G → T' ⥮ T``.  Every digraph has one;
+the number of non-isomorphic cores of acyclic approximations is at most
+``2^(n log n)`` and can be as large as ``2^n`` (Proposition 4.4).
+"""
+
+from __future__ import annotations
+
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.structure import Structure
+from repro.cq.tableau import Tableau
+from repro.core.approximation import (
+    ApproximationConfig,
+    DEFAULT_CONFIG,
+    all_approximations,
+    approximate,
+)
+from repro.core.classes import TreewidthClass
+from repro.core.identification import is_approximation
+
+_TW1 = TreewidthClass(1)
+
+
+def _as_query(g: Structure) -> ConjunctiveQuery:
+    return ConjunctiveQuery.from_tableau(Tableau(g), prefix="v")
+
+
+def acyclic_digraph_approximation(
+    g: Structure, config: ApproximationConfig = DEFAULT_CONFIG
+) -> Structure:
+    """One acyclic approximation of the digraph ``G`` (as a digraph)."""
+    query = approximate(_as_query(g), _TW1, config=config)
+    return query.tableau().structure
+
+
+def all_acyclic_digraph_approximations(
+    g: Structure, config: ApproximationConfig = DEFAULT_CONFIG
+) -> list[Structure]:
+    """All cores of acyclic approximations of ``G`` (up to equivalence)."""
+    return [
+        query.tableau().structure
+        for query in all_approximations(_as_query(g), _TW1, config)
+    ]
+
+
+def is_acyclic_digraph_approximation(
+    g: Structure, t: Structure, config: ApproximationConfig = DEFAULT_CONFIG
+) -> bool:
+    """The ``Graph Acyclic Approximation`` decision problem (Theorem 4.12)."""
+    return is_approximation(_as_query(g), _as_query(t), _TW1, config)
+
+
+def count_acyclic_approximation_cores(
+    g: Structure, config: ApproximationConfig = DEFAULT_CONFIG
+) -> int:
+    """``|TW(1)-APPR_min|`` of the Boolean query with tableau ``G``."""
+    return len(all_approximations(_as_query(g), _TW1, config))

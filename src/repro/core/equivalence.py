@@ -1,0 +1,37 @@
+"""Deciding equivalence to a tractable class via the approximation oracle.
+
+Proposition 4.11: if TW(k)-approximations were computable in polynomial
+time, then P = NP — because ``Q`` is equivalent to a TW(k) query iff
+``Q ⊆ A(Q)`` for any TW(k)-approximation ``A(Q)`` of ``Q``, and the latter
+containment amounts to evaluating the bounded-treewidth query ``A(Q)`` on
+the tableau of ``Q`` (polynomial).  This module implements that reduction
+with our (exponential) approximation algorithm as the oracle.
+"""
+
+from __future__ import annotations
+
+from repro.cq.containment import is_contained_in
+from repro.cq.query import ConjunctiveQuery
+from repro.core.approximation import ApproximationConfig, DEFAULT_CONFIG, approximate
+from repro.core.classes import QueryClass, TreewidthClass
+
+
+def is_equivalent_to_class(
+    query: ConjunctiveQuery,
+    cls: QueryClass,
+    config: ApproximationConfig = DEFAULT_CONFIG,
+) -> bool:
+    """Whether ``Q`` is equivalent to some query of the class.
+
+    Implements the Proposition 4.11 reduction: compute an approximation and
+    test the reverse containment.
+    """
+    approximation = approximate(query, cls, method="exact", config=config)
+    return is_contained_in(query, approximation)
+
+
+def is_equivalent_to_treewidth_k(
+    query: ConjunctiveQuery, k: int, config: ApproximationConfig = DEFAULT_CONFIG
+) -> bool:
+    """``Q ≡ some TW(k) query?`` — the NP-complete problem of [12]."""
+    return is_equivalent_to_class(query, TreewidthClass(k), config)

@@ -1,0 +1,92 @@
+"""Syntactic overapproximations — the Section 7 (future work) direction.
+
+The paper's conclusions sketch *overapproximations*: queries from a
+tractable class that return **all** correct results (``Q ⊆ Q''``), possibly
+with false positives — the dual of the underapproximations studied in the
+body.  A full semantic treatment appeared only in the authors' follow-up
+work; here we implement the natural *syntactic* variant, which is sound,
+simple, and useful in practice:
+
+dropping atoms from a CQ only weakens it, so every subset ``S`` of the body
+with a class-member query ``Q_S`` satisfies ``Q ⊆ Q_S``.  A syntactic
+C-overapproximation is a ⊆-minimal such ``Q_S`` (equivalently, a maximal
+constraint subset whose hypergraph/graph falls in the class).  For Boolean
+queries the subset must stay connected to be informative; we keep the
+connected component of the head otherwise.
+
+This is weaker than the semantic notion (some semantic overapproximations
+are not atom-subsets), which is exactly why the paper leaves the semantic
+theory open; the module documents the gap.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.cq.containment import is_contained_in
+from repro.cq.query import ConjunctiveQuery
+from repro.core.classes import QueryClass
+
+
+def _subset_queries(query: ConjunctiveQuery) -> list[ConjunctiveQuery]:
+    """All well-formed queries from non-empty atom subsets containing the
+    head variables."""
+    head = set(query.head)
+    out = []
+    atoms = list(query.atoms)
+    for size in range(len(atoms), 0, -1):
+        for subset in itertools.combinations(atoms, size):
+            used = {v for atom in subset for v in atom.variables}
+            if head <= used:
+                out.append(ConjunctiveQuery(query.head, subset))
+    return out
+
+
+def syntactic_overapproximations(
+    query: ConjunctiveQuery, cls: QueryClass
+) -> list[ConjunctiveQuery]:
+    """The ⊆-minimal class members among atom-subset weakenings of ``Q``.
+
+    Every returned query ``Q''`` satisfies ``Q ⊆ Q''`` and ``Q'' ∈ C``, and
+    no other atom-subset weakening sits strictly between.  Returns ``[Q]``
+    itself (minimized) when the query is already in the class.
+    """
+    if cls.contains_query(query):
+        return [query]
+    members = [q for q in _subset_queries(query) if cls.contains_query(q)]
+    minimal: list[ConjunctiveQuery] = []
+    for candidate in members:
+        if any(is_contained_in(other, candidate) and not is_contained_in(candidate, other)
+               for other in members):
+            continue
+        if any(is_contained_in(candidate, kept) and is_contained_in(kept, candidate)
+               for kept in minimal):
+            continue
+        minimal.append(candidate)
+    return minimal
+
+
+def syntactic_overapproximate(
+    query: ConjunctiveQuery, cls: QueryClass
+) -> ConjunctiveQuery:
+    """One syntactic overapproximation (the first minimal one)."""
+    results = syntactic_overapproximations(query, cls)
+    if not results:
+        raise ValueError(f"no atom subset of the query falls in {cls.name}")
+    return results[0]
+
+
+def sandwich(query: ConjunctiveQuery, cls: QueryClass, under: ConjunctiveQuery,
+             over: ConjunctiveQuery) -> bool:
+    """Check the sandwich ``under ⊆ Q ⊆ over`` with both bounds in class.
+
+    The practical payoff of combining the paper's underapproximations with
+    overapproximations: evaluating the two tractable bounds brackets the
+    exact answer set.
+    """
+    return (
+        cls.contains_query(under)
+        and cls.contains_query(over)
+        and is_contained_in(under, query)
+        and is_contained_in(query, over)
+    )

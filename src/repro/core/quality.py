@@ -1,0 +1,85 @@
+"""Empirical approximation quality — the quantitative angle of Section 7.
+
+The paper develops the *qualitative* theory and leaves quantitative
+guarantees (how often does an approximation disagree?) to future work.
+This module provides the measurement tooling: evaluate ``Q`` and ``Q'``
+side by side over sampled databases and report the disagreement statistics.
+For an underapproximation the only possible disagreement is a false
+negative (``ā ∈ Q(D) \\ Q'(D)``), which :func:`disagreement` verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.structure import Structure
+from repro.evaluation.engine import evaluate
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Aggregated agreement statistics over sampled databases."""
+
+    samples: int
+    exact_answers: int
+    approx_answers: int
+    missed_answers: int          # in Q(D) but not Q'(D) — the only legal gap
+    wrong_answers: int           # in Q'(D) but not Q(D) — must stay 0
+    agreeing_databases: int      # databases with identical answer sets
+
+    @property
+    def recall(self) -> float:
+        """Fraction of exact answers the approximation recovered."""
+        if self.exact_answers == 0:
+            return 1.0
+        return self.approx_answers / self.exact_answers
+
+    @property
+    def agreement_rate(self) -> float:
+        if self.samples == 0:
+            return 1.0
+        return self.agreeing_databases / self.samples
+
+    @property
+    def is_sound(self) -> bool:
+        """Underapproximation soundness: no wrong answers anywhere."""
+        return self.wrong_answers == 0
+
+
+def disagreement(
+    query: ConjunctiveQuery,
+    approximation: ConjunctiveQuery,
+    databases: Iterable[Structure],
+    *,
+    exact_method: str = "auto",
+    approx_method: str = "auto",
+) -> QualityReport:
+    """Measure ``Q`` vs ``Q'`` over the given databases."""
+    samples = exact_total = approx_total = missed = wrong = agreeing = 0
+    for db in databases:
+        samples += 1
+        exact = evaluate(query, db, method=exact_method)
+        approx = evaluate(approximation, db, method=approx_method)
+        exact_total += len(exact)
+        approx_total += len(approx & exact)
+        missed += len(exact - approx)
+        wrong += len(approx - exact)
+        if exact == approx:
+            agreeing += 1
+    return QualityReport(
+        samples=samples,
+        exact_answers=exact_total,
+        approx_answers=approx_total,
+        missed_answers=missed,
+        wrong_answers=wrong,
+        agreeing_databases=agreeing,
+    )
+
+
+def random_database_stream(
+    generator: Callable[[int], Structure], count: int
+) -> Iterable[Structure]:
+    """A convenience stream of ``count`` databases from a seeded generator."""
+    return (generator(seed) for seed in range(count))

@@ -1,0 +1,119 @@
+"""Candidate tableaux for the approximation search.
+
+Theorem 4.1 shows that every graph-based C-approximation of ``Q`` is
+equivalent to one whose tableau is a homomorphic image of ``(T_Q, x̄)`` —
+i.e. a quotient of the tableau by a partition of its variables.  This module
+enumerates those quotients.
+
+For hypergraph-based classes quotients alone are not enough: acyclic
+hypergraphs are not closed under subhypergraphs, and Claim 6.2 repairs
+quotients by *adding* bounded extension atoms (possibly with fresh padding
+variables; see Example 6.6's third approximation, which has more atoms than
+the query it approximates).  ``iter_extended_tableaux`` enumerates quotients
+together with bounded sets of extension atoms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.cq.structure import Structure
+from repro.cq.tableau import Tableau
+from repro.util.naming import fresh_names
+from repro.util.partitions import bell_number, partition_to_mapping, set_partitions
+
+
+def iter_quotient_tableaux(tableau: Tableau) -> Iterator[Tableau]:
+    """All quotients of a tableau, one per set partition of its domain.
+
+    The identity quotient (the tableau itself) is included.  The number of
+    quotients is ``bell_number(|domain|)``.
+    """
+    elements = sorted(tableau.structure.domain, key=repr)
+    for partition in set_partitions(elements):
+        mapping = partition_to_mapping(partition)
+        yield tableau.rename(mapping)
+
+
+def quotient_count(tableau: Tableau) -> int:
+    return bell_number(len(tableau.structure.domain))
+
+
+def iter_extension_atoms(
+    structure: Structure,
+    *,
+    allow_fresh: bool = True,
+    min_cover: int = 2,
+) -> Iterator[tuple[str, tuple]]:
+    """Candidate extension atoms over a quotient's domain.
+
+    Each candidate is a fact ``R(t)`` whose entries are existing elements or
+    fresh padding variables (marked as ``("fresh", i)`` placeholders, later
+    renamed).  Mirroring Claim 6.2's extension tuples we require the atom to
+    cover at least ``min_cover`` existing elements — extension atoms exist to
+    cover (hyper-)edges, and covers of fewer than two elements cannot change
+    the hypergraph's cyclicity.
+    """
+    domain = sorted(structure.domain, key=repr)
+    for name in sorted(structure.vocabulary):
+        arity = structure.arity(name)
+        pool: list = list(domain)
+        if allow_fresh:
+            pool = pool + [None]  # None = a fresh element at this position
+        for pattern in itertools.product(pool, repeat=arity):
+            concrete = [value for value in pattern if value is not None]
+            if len(set(concrete)) < min_cover:
+                continue
+            fresh_index = itertools.count()
+            row = tuple(
+                ("fresh", next(fresh_index)) if value is None else value
+                for value in pattern
+            )
+            if row in structure.tuples(name):
+                continue
+            yield name, row
+
+
+def _with_extensions(
+    base: Tableau, extras: tuple[tuple[str, tuple], ...]
+) -> Tableau:
+    """Attach extension atoms, renaming fresh markers to real fresh names."""
+    namer = fresh_names(
+        {str(value) for value in base.structure.domain}, prefix="z"
+    )
+    facts = []
+    for name, row in extras:
+        concrete_row = tuple(
+            next(namer) if isinstance(value, tuple) and value and value[0] == "fresh"
+            else value
+            for value in row
+        )
+        facts.append((name, concrete_row))
+    return Tableau(base.structure.add_facts(facts), base.distinguished)
+
+
+def iter_extended_tableaux(
+    tableau: Tableau,
+    *,
+    max_extra_atoms: int = 1,
+    allow_fresh: bool = True,
+) -> Iterator[Tableau]:
+    """Quotients plus up to ``max_extra_atoms`` extension atoms each.
+
+    This is the hypergraph-class candidate space (Theorem 6.1 / Claim 6.2),
+    truncated by ``max_extra_atoms``: the paper's bound on extension tuples
+    is polynomial in ``|Q|``, and the enumeration cost grows steeply, so the
+    cap is an explicit knob.  With ``max_extra_atoms=0`` this degenerates to
+    plain quotients.
+    """
+    for quotient in iter_quotient_tableaux(tableau):
+        yield quotient
+        if max_extra_atoms <= 0:
+            continue
+        extension_pool = list(
+            iter_extension_atoms(quotient.structure, allow_fresh=allow_fresh)
+        )
+        for count in range(1, max_extra_atoms + 1):
+            for extras in itertools.combinations(extension_pool, count):
+                yield _with_extensions(quotient, extras)

@@ -1,0 +1,246 @@
+"""Strong treewidth approximations (Section 5.3).
+
+``Q'`` is a *strong treewidth approximation* of ``Q`` when ``Q'`` is a
+TW(1)-approximation of ``Q`` and ``Q`` has the maximum possible treewidth
+(> 1), i.e. its graph is a complete graph on its variables.  Over graphs the
+notion trivializes (only ``Q_triv`` qualifies); for arity ``m > 2`` the
+section shows rich behavior:
+
+* Proposition 5.13 — every nontrivial *potential* strong treewidth
+  approximation (a Boolean query over one m-ary relation whose graph has at
+  most two nodes) is a strong treewidth approximation of some ``Q`` with
+  ``n`` variables, for every ``n > m``;
+* Proposition 5.14 — the approximation need not reduce joins (a same-join
+  pair for every arity k ≥ 3);
+* Proposition 5.15 — already for ternary relations, an *almost-triangle*
+  tableau of maximum treewidth 3 with a same-join strong treewidth
+  approximation.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.cq.parser import parse_query
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.cq.structure import Structure
+
+
+def graph_is_complete(query: ConjunctiveQuery) -> bool:
+    """Whether ``G(Q)`` is the complete graph on the query's variables."""
+    graph = query.graph()
+    n = graph.number_of_nodes()
+    simple = nx.Graph((u, v) for u, v in graph.edges if u != v)
+    return simple.number_of_edges() == n * (n - 1) // 2
+
+
+def has_maximum_treewidth(query: ConjunctiveQuery) -> bool:
+    """Whether ``Q`` has the maximum possible treewidth ``n - 1``."""
+    return graph_is_complete(query)
+
+
+def is_potential_strong_tw_approximation(query: ConjunctiveQuery) -> bool:
+    """At most two variables, Boolean, single relation — ``G(Q')`` ≤ 2 nodes."""
+    return query.is_boolean and len(query.variables) <= 2 and len(query.vocabulary) == 1
+
+
+def is_strong_tw_approximation(
+    query: ConjunctiveQuery,
+    candidate: ConjunctiveQuery,
+    config=None,
+) -> bool:
+    """Definition of Section 5.3 (checked with the identification procedure)."""
+    from repro.core.approximation import DEFAULT_CONFIG
+    from repro.core.classes import TreewidthClass
+    from repro.core.identification import is_approximation
+
+    if not has_maximum_treewidth(query) or query.num_variables <= 2:
+        return False
+    return is_approximation(
+        query, candidate, TreewidthClass(1), config or DEFAULT_CONFIG
+    )
+
+
+# ---------------------------------------------------------- Proposition 5.13
+
+
+def _case_one(chosen: Atom, minority: str, majority: str, xs: list[str],
+              relation: str) -> list[Atom]:
+    """Atoms from an anchor atom whose minority variable occurs twice:
+    ``R(x1,...,x1, xi, xj)`` for all ``2 ≤ i ≤ j ≤ n``."""
+    n = len(xs)
+    pair_positions = [p for p, v in enumerate(chosen.args) if v == minority]
+    atoms: list[Atom] = []
+    for i in range(2, n + 1):
+        for j in range(i, n + 1):
+            row = [xs[0] if v == majority else v for v in chosen.args]
+            row[pair_positions[0]] = xs[i - 1]
+            row[pair_positions[1]] = xs[j - 1]
+            atoms.append(Atom(relation, tuple(row)))
+    return atoms
+
+
+def _case_two(chosen: Atom, minority: str, majority: str, xs: list[str],
+              relation: str) -> list[Atom]:
+    """Atoms from an anchor whose minority variable occurs ``p ≥ 3`` times:
+    ``R(x1,...,x1, x2,...,x_{p-1}, xi, xj)`` for ``p ≤ i < j ≤ n`` plus the
+    collapse atoms ``R(x1,...,x1, xi,...,xi)`` for ``2 ≤ i ≤ n``."""
+    n = len(xs)
+    positions = [p for p, v in enumerate(chosen.args) if v == minority]
+    p = len(positions)
+    atoms: list[Atom] = []
+    for i in range(p, n + 1):
+        for j in range(i + 1, n + 1):
+            row = [xs[0] if v == majority else v for v in chosen.args]
+            for index, position in enumerate(positions[:-2]):
+                row[position] = xs[index + 1]
+            row[positions[-2]] = xs[i - 1]
+            row[positions[-1]] = xs[j - 1]
+            atoms.append(Atom(relation, tuple(row)))
+    for i in range(2, n + 1):
+        row = [xs[0] if v == majority else xs[i - 1] for v in chosen.args]
+        atoms.append(Atom(relation, tuple(row)))
+    return atoms
+
+
+def prop_513_query(q_prime: ConjunctiveQuery, n: int) -> ConjunctiveQuery:
+    """The query ``Q`` built from a potential approximation (Prop. 5.13).
+
+    Both cases of the proof are implemented: an anchor atom whose repeated
+    variable occurs exactly twice (first case) or at least three times
+    (second case, taking the atom with the fewest repetitions).  ``Q`` has
+    variables ``x1..xn`` with ``G(Q) = K_n``.
+    """
+    if not is_potential_strong_tw_approximation(q_prime):
+        raise ValueError("q_prime must be a potential strong treewidth approximation")
+    if len(q_prime.variables) != 2:
+        raise ValueError("the construction needs a two-variable approximation")
+    (relation,) = q_prime.vocabulary
+    m = q_prime.vocabulary[relation]
+    if n <= m:
+        raise ValueError(f"need n > m = {m}")
+
+    first, second = q_prime.variables
+
+    def repeated_counts(atom: Atom) -> list[tuple[int, str]]:
+        return sorted(
+            (atom.args.count(v), v)
+            for v in (first, second)
+            if atom.args.count(v) >= 2
+        )
+
+    # Case 1: an atom where some variable occurs exactly twice.
+    chosen: Atom | None = None
+    minority = None
+    for atom in q_prime.atoms:
+        for variable in (first, second):
+            if atom.args.count(variable) == 2:
+                chosen, minority = atom, variable
+                break
+        if chosen:
+            break
+
+    xs = [f"x{i}" for i in range(1, n + 1)]
+    atoms: list[Atom] = []
+    if chosen is not None:
+        majority = second if minority == first else first
+        atoms.extend(_case_one(chosen, minority, majority, xs, relation))
+    else:
+        # Case 2: the atom with the minimum number p >= 3 of repetitions.
+        best: tuple[int, str, Atom] | None = None
+        for atom in q_prime.atoms:
+            for count, variable in repeated_counts(atom):
+                if best is None or count < best[0]:
+                    best = (count, variable, atom)
+        if best is None:
+            raise ValueError("q_prime has no atom with a repeated variable")
+        _, minority, chosen = best
+        majority = second if minority == first else first
+        atoms.extend(_case_two(chosen, minority, majority, xs, relation))
+
+    for atom in q_prime.atoms:
+        if atom == chosen:
+            continue
+        row = []
+        seen_minority = 0
+        for v in atom.args:
+            if v == majority:
+                row.append(xs[0])
+            else:
+                seen_minority += 1
+                row.append(xs[seen_minority])
+        atoms.append(Atom(relation, tuple(row)))
+    return ConjunctiveQuery((), atoms)
+
+
+# ---------------------------------------------------------- Proposition 5.14
+
+
+def prop_514_pair(k: int) -> tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """The same-join pair ``(Q, Q')`` of Proposition 5.14 for arity ``k``."""
+    if k < 3:
+        raise ValueError("k must be at least 3")
+    xs = [f"x{i}" for i in range(1, k + 2)]  # x1..x_{k+1}
+    tail = xs[3:k]  # x4..xk
+
+    atoms = [
+        Atom("R", tuple([xs[0], xs[1], xs[2], *tail])),
+        Atom("R", tuple([xs[1], xs[0], xs[k], *tail])),
+        Atom("R", tuple([xs[2], xs[k], xs[0], *tail])),
+    ]
+    for j in range(4, k + 1):
+        row = [xs[j - 1]] * k
+        row[j - 1] = xs[0]
+        atoms.append(Atom("R", tuple(row)))
+    query = ConjunctiveQuery((), atoms)
+
+    approx_atoms = []
+    for position in range(k):
+        row = ["y"] * k
+        row[position] = "x"
+        approx_atoms.append(Atom("R", tuple(row)))
+    approximation = ConjunctiveQuery((), approx_atoms)
+    return query, approximation
+
+
+# ---------------------------------------------------------- Proposition 5.15
+
+
+def prop_515_pair() -> tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """The almost-triangle pair of Proposition 5.15."""
+    query = parse_query("Q() :- R(x1, x2, x3), R(x2, x1, x4), R(x4, x3, x1)")
+    approximation = parse_query("Q() :- R(x, y, y), R(y, x, y), R(y, y, x)")
+    return query, approximation
+
+
+def is_almost_triangle(structure: Structure) -> bool:
+    """Whether a ternary-relation instance is an almost-triangle.
+
+    Some element belongs to every triple, and deleting its occurrences
+    leaves three pairs forming a triangle (three distinct unordered pairs
+    over three elements).
+    """
+    names = [name for name in structure.vocabulary if structure.arity(name) == 3]
+    if len(names) != 1 or len(structure.vocabulary) != 1:
+        return False
+    triples = sorted(structure.tuples(names[0]), key=repr)
+    if len(triples) != 3:
+        return False
+    shared = set(triples[0])
+    for triple in triples[1:]:
+        shared &= set(triple)
+    for center in shared:
+        pairs = set()
+        ok = True
+        for triple in triples:
+            rest = tuple(v for v in triple if v != center)
+            if len(rest) != 2 or rest[0] == rest[1]:
+                ok = False
+                break
+            pairs.add(frozenset(rest))
+        if not ok:
+            continue
+        vertices = set().union(*pairs) if pairs else set()
+        if len(pairs) == 3 and len(vertices) == 3:
+            return True
+    return False

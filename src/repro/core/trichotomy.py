@@ -1,0 +1,130 @@
+"""Structure theorems for approximations over graphs (Section 5).
+
+* Theorem 5.1 (Boolean trichotomy): for a Boolean graph CQ, the shape of its
+  acyclic approximations is governed by bipartiteness and balancedness of
+  the tableau: non-bipartite ⟹ only the trivial loop ``Q_triv``; bipartite
+  unbalanced ⟹ only ``Q_triv2`` (tableau ``K2↔``); bipartite balanced ⟹
+  every acyclic approximation is nontrivial and ``K2↔``-free.
+* Corollary 5.3: acyclic approximations of cyclic Boolean CQs strictly
+  reduce the number of joins.
+* Theorem 5.8 (non-Boolean dichotomy): loops appear in every acyclic
+  approximation iff the tableau is non-bipartite.
+* Theorem 5.10 / Corollary 5.11: the TW(k) analogue via (k+1)-colorability.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.cq.builders import loop_query, trivial_bipartite_query
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.tableau import Tableau
+from repro.graphs.balanced import is_balanced, levels
+from repro.graphs.coloring import is_bipartite_digraph, is_k_colorable
+from repro.graphs.digraph import has_loop, is_acyclic_digraph
+from repro.graphs.oriented_paths import directed_path
+
+
+class TrichotomyCase(Enum):
+    """The three regimes of Theorem 5.1."""
+
+    NOT_BIPARTITE = "not bipartite"
+    BIPARTITE_UNBALANCED = "bipartite, not balanced"
+    BIPARTITE_BALANCED = "bipartite and balanced"
+
+
+def _require_graph_query(query: ConjunctiveQuery) -> None:
+    if set(query.vocabulary) != {"E"} or query.vocabulary["E"] != 2:
+        raise ValueError("the trichotomy applies to queries over graphs (E/2)")
+
+
+def classify_tableau(structure) -> TrichotomyCase:
+    """Classify a digraph tableau per Theorem 5.1."""
+    if not is_bipartite_digraph(structure):
+        return TrichotomyCase.NOT_BIPARTITE
+    if not is_balanced(structure):
+        return TrichotomyCase.BIPARTITE_UNBALANCED
+    return TrichotomyCase.BIPARTITE_BALANCED
+
+
+def classify_boolean_graph_query(query: ConjunctiveQuery) -> TrichotomyCase:
+    """The Theorem 5.1 case of a Boolean graph CQ."""
+    _require_graph_query(query)
+    if not query.is_boolean:
+        raise ValueError("Theorem 5.1 concerns Boolean queries")
+    return classify_tableau(query.tableau().structure)
+
+
+def promised_acyclic_approximation(query: ConjunctiveQuery) -> ConjunctiveQuery | None:
+    """The approximation Theorem 5.1 pins down, when it does.
+
+    * non-bipartite tableau → ``Q_triv() :- E(x, x)``;
+    * bipartite unbalanced → ``Q_triv2() :- E(x, y), E(y, x)``;
+    * bipartite balanced → ``None`` (nontrivial; must be searched for).
+
+    For acyclic queries the query itself is returned.
+    """
+    structure = query.tableau().structure
+    if is_acyclic_digraph(structure):
+        return query
+    case = classify_boolean_graph_query(query)
+    if case is TrichotomyCase.NOT_BIPARTITE:
+        return loop_query()
+    if case is TrichotomyCase.BIPARTITE_UNBALANCED:
+        return trivial_bipartite_query()
+    return None
+
+
+def level_path_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The directed-path query hit by the level map of a balanced tableau.
+
+    For a balanced tableau of height ``h`` the level map is a homomorphism
+    onto ``P_h``, so the path query of length ``h`` contains ``Q`` — the
+    starting point for finding the nontrivial approximations promised in the
+    balanced case (cf. Example 5.7, where the approximation *is* a path).
+    """
+    structure = query.tableau().structure
+    lvl = levels(structure)
+    if lvl is None:
+        raise ValueError("the level map exists only for balanced tableaux")
+    height = max(lvl.values(), default=0)
+    if height < 1:
+        raise ValueError("the tableau has no edges")
+    path = directed_path(height)
+    return ConjunctiveQuery.from_tableau(Tableau(path.structure), prefix="p")
+
+
+# ------------------------------------------------------------- Theorem 5.8
+
+
+def acyclic_approximations_all_have_loops(query: ConjunctiveQuery) -> bool:
+    """Theorem 5.8's dichotomy predicate for (possibly non-Boolean) CQs.
+
+    True iff the tableau is not bipartite — exactly when every acyclic
+    approximation has a subgoal ``E(x, x)``.
+    """
+    _require_graph_query(query)
+    return not is_bipartite_digraph(query.tableau().structure)
+
+
+# -------------------------------------------------- Theorem 5.10 / Cor 5.11
+
+
+def tw_approximations_all_have_loops(query: ConjunctiveQuery, k: int) -> bool:
+    """Theorem 5.10: true iff the tableau is not ``(k+1)``-colorable."""
+    _require_graph_query(query)
+    return not is_k_colorable(query.tableau().structure, k + 1)
+
+
+def has_nontrivial_tw_approximation(query: ConjunctiveQuery, k: int) -> bool:
+    """Corollary 5.11: a Boolean graph CQ has a nontrivial
+    TW(k)-approximation iff its tableau is ``(k+1)``-colorable."""
+    _require_graph_query(query)
+    if not query.is_boolean:
+        raise ValueError("Corollary 5.11 concerns Boolean queries")
+    return is_k_colorable(query.tableau().structure, k + 1)
+
+
+def is_trivial_approximation(candidate: ConjunctiveQuery) -> bool:
+    """Whether a Boolean graph CQ is equivalent to ``Q_triv`` (a loop)."""
+    return has_loop(candidate.tableau().structure)

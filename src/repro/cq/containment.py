@@ -1,0 +1,42 @@
+"""CQ containment and equivalence via the Chandra–Merlin theorem.
+
+``Q ⊆ Q'`` (every answer of ``Q`` is an answer of ``Q'`` on every database)
+holds if and only if there is a homomorphism of tableaux
+``(T_Q', x̄') → (T_Q, x̄)``.  Both directions of the preorder — and hence
+equivalence and strict containment — reduce to homomorphism search.
+"""
+
+from __future__ import annotations
+
+from repro.cq.query import ConjunctiveQuery
+from repro.homomorphism.orders import tableau_hom
+
+
+def containment_witness(sub: ConjunctiveQuery, sup: ConjunctiveQuery) -> dict | None:
+    """A homomorphism ``(T_sup, x̄') → (T_sub, x̄)`` witnessing ``sub ⊆ sup``.
+
+    Returns ``None`` when ``sub ⊆ sup`` fails.  Raises ``ValueError`` when
+    the queries have different numbers of free variables (containment is only
+    defined between queries of equal arity).
+    """
+    if len(sub.head) != len(sup.head):
+        raise ValueError(
+            "containment requires equal head arities, got "
+            f"{len(sub.head)} and {len(sup.head)}"
+        )
+    return tableau_hom(sup.tableau(), sub.tableau())
+
+
+def is_contained_in(sub: ConjunctiveQuery, sup: ConjunctiveQuery) -> bool:
+    """Whether ``sub ⊆ sup`` holds on all databases."""
+    return containment_witness(sub, sup) is not None
+
+
+def are_equivalent(a: ConjunctiveQuery, b: ConjunctiveQuery) -> bool:
+    """Whether ``a ≡ b`` (mutual containment)."""
+    return is_contained_in(a, b) and is_contained_in(b, a)
+
+
+def is_strictly_contained_in(sub: ConjunctiveQuery, sup: ConjunctiveQuery) -> bool:
+    """Whether ``sub ⊂ sup``: containment holds but equivalence does not."""
+    return is_contained_in(sub, sup) and not is_contained_in(sup, sub)

@@ -1,0 +1,25 @@
+"""CQ minimization.
+
+Every CQ has a unique (up to variable renaming) equivalent query with the
+fewest atoms — the query whose tableau is ``core(T_Q, x̄)`` (Chandra &
+Merlin; Section 4.2 of the paper).  Minimization therefore reduces to the
+core computation with the head variables pinned.
+"""
+
+from __future__ import annotations
+
+from repro.cq.query import ConjunctiveQuery
+from repro.homomorphism.cores import core_tableau, is_core
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The minimized equivalent of ``query`` (its tableau is a core)."""
+    return ConjunctiveQuery.from_tableau(core_tableau(query.tableau()))
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """Whether the query's tableau is a core (no atom can be dropped)."""
+    tableau = query.tableau()
+    return is_core(
+        tableau.structure, pinned=tuple(dict.fromkeys(tableau.distinguished))
+    )

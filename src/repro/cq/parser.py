@@ -1,0 +1,72 @@
+"""Parser for the rule-based CQ notation used throughout the paper.
+
+Accepts strings such as::
+
+    Q(x, y) :- E(x, y), E(y, z)
+    Q() :- R(x, u, y), R(y, v, z), R(z, w, x)
+
+The head name is arbitrary, ``:-`` (or ``<-``) separates head and body, and
+body atoms are comma-separated.  Variables are identifiers (letters, digits,
+underscores, and primes such as ``x'``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.cq.query import Atom, ConjunctiveQuery
+
+_ATOM = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9']*)\s*\(([^()]*)\)\s*")
+_SEPARATOR = re.compile(r":-|:–|<-")
+
+
+class CQParseError(ValueError):
+    """Raised when a query string cannot be parsed."""
+
+
+def _parse_args(raw: str, *, allow_empty: bool) -> tuple[str, ...]:
+    raw = raw.strip()
+    if not raw:
+        if allow_empty:
+            return ()
+        raise CQParseError("atoms must have at least one argument")
+    args = tuple(part.strip() for part in raw.split(","))
+    if any(not arg for arg in args):
+        raise CQParseError(f"empty argument in {raw!r}")
+    bad = [arg for arg in args if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9']*", arg)]
+    if bad:
+        raise CQParseError(f"invalid variable names: {bad!r}")
+    return args
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a rule-notation string into a :class:`ConjunctiveQuery`."""
+    text = text.strip().rstrip(".")
+    separator = _SEPARATOR.search(text)
+    if separator is None:
+        raise CQParseError(f"missing ':-' in {text!r}")
+    head_text = text[: separator.start()]
+    body_text = text[separator.end() :]
+
+    head_match = _ATOM.fullmatch(head_text)
+    if head_match is None:
+        raise CQParseError(f"cannot parse head {head_text!r}")
+    head = _parse_args(head_match.group(2), allow_empty=True)
+
+    atoms: list[Atom] = []
+    position = 0
+    while position < len(body_text):
+        match = _ATOM.match(body_text, position)
+        if match is None:
+            raise CQParseError(f"cannot parse body near {body_text[position:]!r}")
+        atoms.append(Atom(match.group(1), _parse_args(match.group(2), allow_empty=False)))
+        position = match.end()
+        if position < len(body_text):
+            if body_text[position] != ",":
+                raise CQParseError(
+                    f"expected ',' between atoms near {body_text[position:]!r}"
+                )
+            position += 1
+    if not atoms:
+        raise CQParseError("query body is empty")
+    return ConjunctiveQuery(head, atoms)

@@ -1,0 +1,223 @@
+"""Conjunctive queries.
+
+A CQ over a vocabulary σ is an ∃,∧-formula, written in rule notation as
+
+    Q(x̄) :- R_1(x̄_1), ..., R_m(x̄_m)
+
+(equation (1) of the paper).  The number of joins of the query is ``m - 1``.
+Queries are immutable; the tableau view (:class:`repro.cq.tableau.Tableau`)
+is the bridge to all homomorphism machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.cq.structure import Structure
+from repro.cq.tableau import Tableau
+from repro.cq.vocabulary import Vocabulary
+
+Variable = str
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A single atom ``R(x_1, ..., x_n)`` of a CQ body."""
+
+    relation: str
+    args: tuple[Variable, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise ValueError("atom needs a relation name")
+        if not self.args:
+            raise ValueError("atoms of arity 0 are not supported")
+        object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(self.args)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.args)})"
+
+
+class ConjunctiveQuery:
+    """An immutable conjunctive query with head variables and body atoms."""
+
+    __slots__ = ("_head", "_atoms", "_variables", "_vocabulary", "_hash")
+
+    def __init__(self, head: Iterable[Variable], atoms: Iterable[Atom | tuple]) -> None:
+        normalized: list[Atom] = []
+        for atom in atoms:
+            if isinstance(atom, Atom):
+                normalized.append(atom)
+            else:
+                relation, args = atom
+                normalized.append(Atom(relation, tuple(args)))
+        if not normalized:
+            raise ValueError("a CQ needs at least one atom")
+        head = tuple(head)
+
+        arities: dict[str, int] = {}
+        seen: dict[Variable, None] = {}
+        for atom in normalized:
+            if arities.setdefault(atom.relation, len(atom.args)) != len(atom.args):
+                raise ValueError(
+                    f"relation {atom.relation!r} used with two different arities"
+                )
+            for variable in atom.args:
+                seen.setdefault(variable, None)
+        body_variables = tuple(seen)
+        unsafe = [x for x in head if x not in seen]
+        if unsafe:
+            raise ValueError(f"head variables {unsafe!r} do not occur in the body")
+
+        self._head = head
+        self._atoms = tuple(normalized)
+        self._variables = body_variables
+        self._vocabulary = Vocabulary(arities)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------ views
+
+    @property
+    def head(self) -> tuple[Variable, ...]:
+        """The tuple of free variables (may repeat variables)."""
+        return self._head
+
+    @property
+    def atoms(self) -> tuple[Atom, ...]:
+        return self._atoms
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """All body variables in order of first occurrence."""
+        return self._variables
+
+    @property
+    def existential_variables(self) -> tuple[Variable, ...]:
+        head = set(self._head)
+        return tuple(x for x in self._variables if x not in head)
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self._vocabulary
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self._head
+
+    @property
+    def num_atoms(self) -> int:
+        return len(self._atoms)
+
+    @property
+    def num_joins(self) -> int:
+        """``m - 1`` for a body with ``m`` atoms, as defined in Section 2."""
+        return len(self._atoms) - 1
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConjunctiveQuery):
+            return self._head == other._head and set(self._atoms) == set(other._atoms)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._head, frozenset(self._atoms)))
+        return self._hash
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self._atoms)
+        return f"Q({', '.join(self._head)}) :- {body}"
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery({self})"
+
+    # ------------------------------------------------------------ conversions
+
+    def tableau(self) -> Tableau:
+        """The tableau ``(T_Q, x̄)`` of the query."""
+        relations: dict[str, list[tuple]] = {}
+        for atom in self._atoms:
+            relations.setdefault(atom.relation, []).append(atom.args)
+        structure = Structure(relations, vocabulary=self._vocabulary)
+        return Tableau(structure, self._head)
+
+    @staticmethod
+    def from_tableau(tableau: Tableau, *, prefix: str = "v") -> "ConjunctiveQuery":
+        """The CQ whose tableau is the given one.
+
+        Elements of the tableau become variables; non-string elements (and
+        clashing ones) are renamed canonically with the given prefix.
+        """
+        if all(isinstance(value, str) for value in tableau.structure.domain):
+            named = tableau
+        else:
+            named = tableau.relabel_canonically(prefix)
+        atoms = [Atom(name, row) for name, row in named.structure.facts()]
+        isolated = named.structure.domain - {
+            variable for atom in atoms for variable in atom.args
+        }
+        if isolated:
+            raise ValueError(
+                f"tableau has isolated elements {sorted(map(repr, isolated))}; "
+                "they cannot be expressed as a CQ body"
+            )
+        return ConjunctiveQuery(named.distinguished, atoms)
+
+    # ------------------------------------------------------- graph structure
+
+    def graph(self) -> nx.Graph:
+        """The (Gaifman) graph ``G(Q)``: variables, with an edge between any
+        two distinct variables sharing an atom (Section 4)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self._variables)
+        for atom in self._atoms:
+            distinct = sorted(atom.variables)
+            for i, u in enumerate(distinct):
+                for v in distinct[i + 1 :]:
+                    graph.add_edge(u, v)
+        return graph
+
+    def hyperedges(self) -> list[frozenset[Variable]]:
+        """Variable sets of the atoms — the hyperedges of ``H(Q)``."""
+        return [atom.variables for atom in self._atoms]
+
+    # ------------------------------------------------------------- renamings
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> "ConjunctiveQuery":
+        """Apply a variable renaming/identification to head and body."""
+        return ConjunctiveQuery(
+            (mapping.get(x, x) for x in self._head),
+            [
+                Atom(atom.relation, tuple(mapping.get(x, x) for x in atom.args))
+                for atom in self._atoms
+            ],
+        )
+
+    def rename_apart(self, other: "ConjunctiveQuery") -> "ConjunctiveQuery":
+        """Rename this query's variables away from ``other``'s variables."""
+        taken = set(other.variables) | set(other.head)
+        mapping: dict[Variable, Variable] = {}
+        for variable in self._variables:
+            candidate = variable
+            suffix = 0
+            while candidate in taken:
+                candidate = f"{variable}_{suffix}"
+                suffix += 1
+            mapping[variable] = candidate
+            taken.add(candidate)
+        return self.rename(mapping)
+
+    def atoms_of(self, variable: Variable) -> Iterator[Atom]:
+        for atom in self._atoms:
+            if variable in atom.variables:
+                yield atom

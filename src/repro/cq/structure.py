@@ -1,0 +1,222 @@
+"""Finite relational structures (databases).
+
+A structure ``D = <U, R_1, ..., R_l>`` has a finite universe ``U`` and one
+finite relation per symbol of its vocabulary (Section 2).  Structures here are
+immutable; all "mutation" helpers return new structures.  As in the paper, the
+universe defaults to the active domain, but an explicit larger domain can be
+supplied (isolated digraph vertices, for instance).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Iterator, Mapping
+
+from repro.cq.vocabulary import Vocabulary
+
+Element = Hashable
+Tuple_ = tuple  # a row of a relation
+
+
+class Structure:
+    """An immutable finite relational structure.
+
+    Parameters
+    ----------
+    relations:
+        Mapping from relation names to iterables of tuples.  All tuples of a
+        relation must have the same length (the relation's arity).
+    vocabulary:
+        Optional explicit vocabulary.  Needed to give an arity to relations
+        with no tuples; inferred from the data otherwise.
+    domain:
+        Optional explicit universe; the active domain is always included.
+    """
+
+    __slots__ = ("_relations", "_domain", "_vocabulary", "_hash")
+
+    def __init__(
+        self,
+        relations: Mapping[str, Iterable[Tuple_]],
+        *,
+        vocabulary: Vocabulary | Mapping[str, int] | None = None,
+        domain: Iterable[Element] = (),
+    ) -> None:
+        arities: dict[str, int] = dict(vocabulary) if vocabulary is not None else {}
+        cleaned: dict[str, frozenset[Tuple_]] = {}
+        active: set[Element] = set(domain)
+        for name, rows in relations.items():
+            frozen = frozenset(tuple(row) for row in rows)
+            for row in frozen:
+                if name in arities and len(row) != arities[name]:
+                    raise ValueError(
+                        f"tuple {row!r} has length {len(row)}, but {name!r} has arity {arities[name]}"
+                    )
+                arities.setdefault(name, len(row))
+                active.update(row)
+            cleaned[name] = frozen
+        for name in arities:
+            cleaned.setdefault(name, frozenset())
+        self._relations = cleaned
+        self._vocabulary = Vocabulary(arities)
+        self._domain = frozenset(active)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------ views
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self._vocabulary
+
+    @property
+    def domain(self) -> frozenset[Element]:
+        return self._domain
+
+    @property
+    def relations(self) -> Mapping[str, frozenset[Tuple_]]:
+        return self._relations
+
+    def tuples(self, name: str) -> frozenset[Tuple_]:
+        """All tuples of relation ``name`` (empty if the name is unknown)."""
+        return self._relations.get(name, frozenset())
+
+    def arity(self, name: str) -> int:
+        return self._vocabulary[name]
+
+    def facts(self) -> Iterator[tuple[str, Tuple_]]:
+        """Iterate over all facts ``(relation name, tuple)``."""
+        for name in sorted(self._relations):
+            for row in sorted(self._relations[name], key=repr):
+                yield name, row
+
+    @property
+    def total_tuples(self) -> int:
+        """Total number of facts, written ``|D|`` in complexity bounds."""
+        return sum(len(rows) for rows in self._relations.values())
+
+    def __len__(self) -> int:
+        """Number of elements of the universe."""
+        return len(self._domain)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Structure):
+            return self._domain == other._domain and self._relations == other._relations
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (self._domain, tuple(sorted((k, v) for k, v in self._relations.items())))
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in sorted(self._relations):
+            rows = ",".join(repr(row) for row in sorted(self._relations[name], key=repr))
+            parts.append(f"{name}={{{rows}}}")
+        return f"Structure(|dom|={len(self._domain)}, {'; '.join(parts)})"
+
+    # ------------------------------------------------------------- containment
+
+    def is_contained_in(self, other: "Structure") -> bool:
+        """Database containment: every relation of ``self`` is a subset."""
+        return all(
+            rows <= other.tuples(name) for name, rows in self._relations.items()
+        )
+
+    def is_strictly_contained_in(self, other: "Structure") -> bool:
+        """Containment with at least one strictly smaller relation."""
+        if not self.is_contained_in(other):
+            return False
+        return any(
+            self.tuples(name) < rows for name, rows in other._relations.items()
+        )
+
+    # ------------------------------------------------------------ constructors
+
+    def induced(self, elements: Iterable[Element]) -> "Structure":
+        """The substructure induced by ``elements``.
+
+        Keeps exactly the tuples all of whose entries lie in ``elements``.
+        """
+        keep = frozenset(elements)
+        return Structure(
+            {
+                name: (row for row in rows if all(value in keep for value in row))
+                for name, rows in self._relations.items()
+            },
+            vocabulary=self._vocabulary,
+            domain=keep & self._domain,
+        )
+
+    def without(self, element: Element) -> "Structure":
+        """The substructure induced by dropping one element."""
+        return self.induced(self._domain - {element})
+
+    def rename(self, mapping: Mapping[Element, Element] | Callable[[Element], Element]) -> "Structure":
+        """Apply a function to every element; the homomorphic image of ``self``.
+
+        If ``mapping`` is injective this is a renaming; otherwise it is a
+        quotient (tuples are mapped pointwise and duplicates collapse).
+        """
+        if callable(mapping) and not isinstance(mapping, Mapping):
+            func = mapping
+        else:
+            table = dict(mapping)
+            func = lambda x: table.get(x, x)  # noqa: E731 - tiny adapter
+        return Structure(
+            {
+                name: (tuple(func(value) for value in row) for row in rows)
+                for name, rows in self._relations.items()
+            },
+            vocabulary=self._vocabulary,
+            domain=(func(value) for value in self._domain),
+        )
+
+    quotient = rename  # a quotient is a rename by a non-injective map
+
+    def add_facts(self, facts: Iterable[tuple[str, Tuple_]]) -> "Structure":
+        """A new structure with extra facts added."""
+        extended: dict[str, set[Tuple_]] = {
+            name: set(rows) for name, rows in self._relations.items()
+        }
+        for name, row in facts:
+            extended.setdefault(name, set()).add(tuple(row))
+        return Structure(extended, domain=self._domain)
+
+    def remove_facts(self, facts: Iterable[tuple[str, Tuple_]]) -> "Structure":
+        """A new structure with the given facts removed (domain preserved)."""
+        trimmed: dict[str, set[Tuple_]] = {
+            name: set(rows) for name, rows in self._relations.items()
+        }
+        for name, row in facts:
+            trimmed.get(name, set()).discard(tuple(row))
+        return Structure(trimmed, vocabulary=self._vocabulary, domain=self._domain)
+
+    def union(self, other: "Structure") -> "Structure":
+        """Relation-wise union (shared elements are identified)."""
+        vocabulary = self._vocabulary.merge(other._vocabulary)
+        names = set(self._relations) | set(other._relations)
+        return Structure(
+            {name: self.tuples(name) | other.tuples(name) for name in names},
+            vocabulary=vocabulary,
+            domain=self._domain | other._domain,
+        )
+
+    def disjoint_union(
+        self, other: "Structure", *, tags: tuple[str, str] = ("L", "R")
+    ) -> tuple["Structure", dict[Element, Element], dict[Element, Element]]:
+        """Disjoint union; returns the union plus the two injection maps."""
+        left = {value: (tags[0], value) for value in self._domain}
+        right = {value: (tags[1], value) for value in other._domain}
+        return (
+            self.rename(left).union(other.rename(right)),
+            left,
+            right,
+        )
+
+    def relabel_canonically(self, prefix: str = "v") -> tuple["Structure", dict[Element, Element]]:
+        """Rename elements to ``v0, v1, ...`` in a deterministic order."""
+        ordered = sorted(self._domain, key=repr)
+        mapping = {value: f"{prefix}{index}" for index, value in enumerate(ordered)}
+        return self.rename(mapping), mapping

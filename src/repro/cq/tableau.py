@@ -1,0 +1,76 @@
+"""Tableaux of conjunctive queries.
+
+With each CQ ``Q(x̄)`` the paper associates its tableau ``(T_Q, x̄)``: the body
+of ``Q`` viewed as a database, together with the tuple of distinguished
+(free) variables.  Tableaux with distinguished tuples are exactly structures
+expanded with constants, and all containment/approximation reasoning happens
+on them via homomorphisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.cq.structure import Structure
+
+Element = Hashable
+
+
+@dataclass(frozen=True)
+class Tableau:
+    """A structure with a tuple of distinguished elements.
+
+    For a Boolean query the distinguished tuple is empty.
+    """
+
+    structure: Structure
+    distinguished: tuple[Element, ...] = ()
+
+    def __post_init__(self) -> None:
+        missing = [x for x in self.distinguished if x not in self.structure.domain]
+        if missing:
+            raise ValueError(
+                f"distinguished elements {missing!r} are not in the active domain"
+            )
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.distinguished
+
+    def __len__(self) -> int:
+        return len(self.structure)
+
+    def rename(self, mapping) -> "Tableau":
+        """Apply a map to the structure and the distinguished tuple alike."""
+        renamed = self.structure.rename(mapping)
+        if callable(mapping) and not isinstance(mapping, dict):
+            new_distinguished = tuple(mapping(x) for x in self.distinguished)
+        else:
+            new_distinguished = tuple(mapping.get(x, x) for x in self.distinguished)
+        return Tableau(renamed, new_distinguished)
+
+    def relabel_canonically(self, prefix: str = "v") -> "Tableau":
+        _, mapping = self.structure.relabel_canonically(prefix)
+        return self.rename(mapping)
+
+
+def pin_for(source: Tableau, target: Tableau) -> dict[Element, Element] | None:
+    """The pinning constraint for homomorphisms between tableaux.
+
+    ``(D1, ā1) → (D2, ā2)`` requires ``h(ā1) = ā2`` position-wise.  Returns
+    the induced partial map, or ``None`` when it is inconsistent (the same
+    distinguished element would need two images) — in that case no
+    homomorphism of tableaux exists.
+    """
+    if len(source.distinguished) != len(target.distinguished):
+        raise ValueError(
+            "tableaux have different numbers of distinguished elements: "
+            f"{len(source.distinguished)} vs {len(target.distinguished)}"
+        )
+    pin: dict[Element, Element] = {}
+    for src, dst in zip(source.distinguished, target.distinguished):
+        if pin.get(src, dst) != dst:
+            return None
+        pin[src] = dst
+    return pin

@@ -1,0 +1,66 @@
+"""Relational vocabularies (schemas).
+
+A vocabulary is a finite set of relation names with fixed arities (Section 2
+of the paper).  Directed graphs use the vocabulary ``{"E": 2}``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+
+class Vocabulary(Mapping[str, int]):
+    """An immutable mapping from relation names to positive arities."""
+
+    __slots__ = ("_arities",)
+
+    def __init__(self, arities: Mapping[str, int]) -> None:
+        cleaned: dict[str, int] = {}
+        for name, arity in arities.items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"relation name must be a non-empty string, got {name!r}")
+            if not isinstance(arity, int) or arity < 1:
+                raise ValueError(f"arity of {name!r} must be a positive integer, got {arity!r}")
+            cleaned[name] = arity
+        self._arities = dict(sorted(cleaned.items()))
+
+    def __getitem__(self, name: str) -> int:
+        return self._arities[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._arities)
+
+    def __len__(self) -> int:
+        return len(self._arities)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}/{arity}" for name, arity in self._arities.items())
+        return f"Vocabulary({{{inner}}})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Vocabulary):
+            return self._arities == other._arities
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._arities.items()))
+
+    @property
+    def max_arity(self) -> int:
+        """The maximum arity ``m`` of a relation (0 for the empty vocabulary)."""
+        return max(self._arities.values(), default=0)
+
+    def merge(self, other: "Vocabulary") -> "Vocabulary":
+        """Union of two vocabularies; arities of shared names must agree."""
+        merged = dict(self._arities)
+        for name, arity in other.items():
+            if merged.get(name, arity) != arity:
+                raise ValueError(
+                    f"conflicting arities for {name!r}: {merged[name]} vs {arity}"
+                )
+            merged[name] = arity
+        return Vocabulary(merged)
+
+
+#: The vocabulary of directed graphs: one binary relation ``E``.
+GRAPH_VOCABULARY = Vocabulary({"E": 2})

@@ -1,0 +1,61 @@
+"""Query evaluation: Yannakakis, junction trees, hypertrees, baselines."""
+
+from repro.evaluation.stats import EvalStats
+from repro.evaluation.relation import (
+    Bindings,
+    atom_bindings,
+    empty,
+    join,
+    product_extend,
+    project,
+    project_answer,
+    semijoin,
+    unit,
+)
+from repro.evaluation.naive import (
+    backtracking_evaluate,
+    hom_evaluate,
+    naive_join_evaluate,
+)
+from repro.evaluation.treejoin import tree_join_evaluate
+from repro.evaluation.yannakakis import (
+    CyclicQueryError,
+    atom_join_tree,
+    yannakakis_boolean,
+    yannakakis_evaluate,
+)
+from repro.evaluation.treewidth_eval import treewidth_evaluate
+from repro.evaluation.hypertree_eval import hypertree_evaluate
+from repro.evaluation.engine import (
+    AUTO_TREEWIDTH_LIMIT,
+    boolean_answer,
+    evaluate,
+    is_in_answer,
+)
+
+__all__ = [
+    "AUTO_TREEWIDTH_LIMIT",
+    "Bindings",
+    "CyclicQueryError",
+    "EvalStats",
+    "atom_bindings",
+    "atom_join_tree",
+    "backtracking_evaluate",
+    "boolean_answer",
+    "empty",
+    "evaluate",
+    "hom_evaluate",
+    "hypertree_evaluate",
+    "is_in_answer",
+    "join",
+    "naive_join_evaluate",
+    "product_extend",
+    "project",
+    "project_answer",
+    "semijoin",
+    "tree_join_evaluate",
+    "treewidth_evaluate",
+    "unit",
+    "yannakakis_boolean",
+    "yannakakis_evaluate",
+]

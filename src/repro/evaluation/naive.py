@@ -1,0 +1,90 @@
+"""Baseline CQ evaluation: materialized joins and backtracking.
+
+``naive_join_evaluate`` is the textbook left-to-right join plan with fully
+materialized intermediates — its combined complexity is ``|D|^O(|Q|)``, the
+cost the paper's approximations are designed to avoid.
+
+``backtracking_evaluate`` is the tuple-at-a-time counterpart (still
+worst-case exponential in ``|Q|``, but with no materialization), and
+``hom_evaluate`` answers through the homomorphism engine — the semantic
+reference implementation (``ā ∈ Q(D)`` iff ``(T_Q, x̄) → (D, ā)``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.cq.structure import Structure
+from repro.evaluation.relation import atom_bindings, join, project_answer, unit
+from repro.evaluation.stats import EvalStats
+
+Value = Hashable
+Answer = frozenset[tuple]
+
+
+def _ordered_atoms(query: ConjunctiveQuery) -> list[Atom]:
+    """Greedy connectivity order: prefer atoms sharing variables with the
+    prefix (avoids obvious cartesian products without real optimization)."""
+    remaining = list(query.atoms)
+    ordered: list[Atom] = []
+    seen: set[str] = set()
+    while remaining:
+        connected = [a for a in remaining if a.variables & seen]
+        chosen = connected[0] if connected else remaining[0]
+        remaining.remove(chosen)
+        ordered.append(chosen)
+        seen |= chosen.variables
+    return ordered
+
+
+def naive_join_evaluate(
+    query: ConjunctiveQuery, db: Structure, stats: EvalStats | None = None
+) -> Answer:
+    """Left-to-right materialized join — the ``|D|^O(|Q|)`` baseline."""
+    current = unit()
+    for atom in _ordered_atoms(query):
+        current = join(current, atom_bindings(db, atom, stats), stats)
+        if current.is_empty:
+            return frozenset()
+    return project_answer(current, query.head)
+
+
+def backtracking_evaluate(
+    query: ConjunctiveQuery, db: Structure, stats: EvalStats | None = None
+) -> Answer:
+    """Tuple-at-a-time backtracking with per-relation indexes."""
+    atoms = _ordered_atoms(query)
+    answers: set[tuple] = set()
+
+    def extend(index: int, binding: dict[str, Value]) -> None:
+        if index == len(atoms):
+            answers.add(tuple(binding[v] for v in query.head))
+            return
+        atom = atoms[index]
+        for fact in db.tuples(atom.relation):
+            if stats is not None:
+                stats.tuples_scanned += 1
+            local = dict(binding)
+            for variable, value in zip(atom.args, fact):
+                if local.setdefault(variable, value) != value:
+                    break
+            else:
+                extend(index + 1, local)
+
+    extend(0, {})
+    if stats is not None:
+        stats.saw_intermediate(len(answers))
+    return frozenset(answers)
+
+
+def hom_evaluate(query: ConjunctiveQuery, db: Structure) -> Answer:
+    """Reference semantics: answers are images of the distinguished tuple
+    under homomorphisms ``T_Q → D``."""
+    from repro.homomorphism.search import iter_homomorphisms
+
+    tableau = query.tableau()
+    return frozenset(
+        tuple(hom[v] for v in tableau.distinguished)
+        for hom in iter_homomorphisms(tableau.structure, db)
+    )

@@ -1,0 +1,32 @@
+"""Instrumentation counters for the evaluation engine.
+
+The benchmarks of the reproduction report these counters alongside wall-clock
+time: they expose the ``|D|^O(|Q|)`` vs ``O(|D| · |Q'|)`` shapes of the
+introduction's complexity comparison independently of interpreter noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EvalStats:
+    """Mutable counters filled in by the evaluation algorithms."""
+
+    tuples_scanned: int = 0
+    intermediate_max: int = 0
+    joins: int = 0
+    semijoins: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def saw_intermediate(self, size: int) -> None:
+        if size > self.intermediate_max:
+            self.intermediate_max = size
+
+    def merge(self, other: "EvalStats") -> None:
+        self.tuples_scanned += other.tuples_scanned
+        self.intermediate_max = max(self.intermediate_max, other.intermediate_max)
+        self.joins += other.joins
+        self.semijoins += other.semijoins
+        self.notes.extend(other.notes)

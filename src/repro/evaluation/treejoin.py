@@ -1,0 +1,91 @@
+"""The shared Yannakakis-style tree algorithm.
+
+Yannakakis evaluation, bounded-treewidth evaluation and hypertree evaluation
+all reduce to the same skeleton: a tree whose nodes carry bindings relations,
+processed with an upward semijoin sweep, a downward semijoin sweep, and a
+final upward join-project that keeps only head variables plus connectors.
+This module implements that skeleton once.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.evaluation.relation import Bindings, join, project, project_answer, semijoin
+from repro.evaluation.stats import EvalStats
+
+Answer = frozenset[tuple]
+
+
+def tree_join_evaluate(
+    tree: nx.Graph,
+    bindings: Mapping[Hashable, Bindings],
+    head: Sequence[str],
+    stats: EvalStats | None = None,
+) -> Answer:
+    """Evaluate an acyclic join of ``bindings`` along ``tree``.
+
+    ``tree`` must be a tree (or a single node) whose node set equals the keys
+    of ``bindings``; the bindings must satisfy the join-tree property (shared
+    variables of two nodes appear along the path between them).  ``head``
+    variables must each occur in some node.
+    """
+    nodes = list(tree.nodes)
+    if set(nodes) != set(bindings):
+        raise ValueError("tree nodes and bindings keys differ")
+    if not nodes:
+        return frozenset({()}) if not head else frozenset()
+
+    head = tuple(head)
+    local: dict[Hashable, Bindings] = dict(bindings)
+    root = nodes[0]
+    order = list(nx.dfs_postorder_nodes(tree, source=root))
+    parent: dict[Hashable, Hashable] = {
+        child: par for par, child in nx.bfs_edges(tree, source=root)
+    }
+
+    # Upward semijoin sweep: after it, the root is consistent downward.
+    for node in order:
+        if node == root:
+            continue
+        par = parent[node]
+        local[par] = semijoin(local[par], local[node], stats)
+        if local[par].is_empty:
+            return frozenset()
+
+    # Downward sweep: full reduction (global consistency).
+    for node in reversed(order):
+        for child in tree.neighbors(node):
+            if parent.get(child) == node:
+                local[child] = semijoin(local[child], local[node], stats)
+
+    # Final upward join, projecting to head variables plus the connector to
+    # the parent — the Yannakakis answer-computation pass.
+    head_set = set(head)
+    results: dict[Hashable, Bindings] = {}
+
+    for node in order:
+        current = local[node]
+        for child in tree.neighbors(node):
+            if parent.get(child) == node:
+                current = join(current, results[child], stats)
+        if node == root:
+            keep = [c for c in current.columns if c in head_set]
+        else:
+            parent_columns = set(local[parent[node]].columns)
+            keep = [
+                c
+                for c in current.columns
+                if c in head_set or c in parent_columns
+            ]
+        results[node] = project(current, keep, stats)
+
+    final = results[root]
+    missing = head_set - set(final.columns)
+    if missing:
+        raise ValueError(
+            f"head variables {sorted(map(repr, missing))} not covered by the tree"
+        )
+    return project_answer(final, head)

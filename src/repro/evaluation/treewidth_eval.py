@@ -1,0 +1,95 @@
+"""Bounded-treewidth CQ evaluation via junction trees.
+
+For a CQ of treewidth ``k`` the primal graph has a width-``k`` tree
+decomposition; every atom's variables form a clique, hence fit inside some
+bag.  Each bag is materialized as a relation of size at most
+``|adom|^(k+1)`` (the theoretical cost of treewidth-based evaluation
+[Chekuri–Rajaraman, Flum–Frick–Grohe]), and the bags are joined along the
+decomposition tree with the acyclic tree-join skeleton.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.structure import Structure
+from repro.evaluation.relation import (
+    Bindings,
+    atom_bindings,
+    join,
+    product_extend,
+    project,
+    unit,
+)
+from repro.evaluation.stats import EvalStats
+from repro.evaluation.treejoin import tree_join_evaluate
+from repro.hypergraphs.treewidth import tree_decomposition, treewidth_exact
+
+Answer = frozenset[tuple]
+Value = Hashable
+
+
+def _variable_candidates(
+    query: ConjunctiveQuery, db: Structure, stats: EvalStats | None
+) -> dict[str, set[Value]]:
+    """Per-variable candidate values: the intersection over the atoms using
+    the variable of their projections (a sound unary filter)."""
+    candidates: dict[str, set[Value]] = {}
+    for atom in query.atoms:
+        bindings = atom_bindings(db, atom, stats)
+        for variable in bindings.columns:
+            values = bindings.values_of(variable)
+            if variable in candidates:
+                candidates[variable] &= values
+            else:
+                candidates[variable] = values
+    return candidates
+
+
+def treewidth_evaluate(
+    query: ConjunctiveQuery,
+    db: Structure,
+    k: int | None = None,
+    stats: EvalStats | None = None,
+) -> Answer:
+    """Evaluate via a width-``k`` tree decomposition of ``G(Q)``.
+
+    ``k`` defaults to the exact treewidth of the query.
+    """
+    graph = query.graph()
+    if k is None:
+        k = max(treewidth_exact(graph), 0)
+    decomposition = tree_decomposition(graph, k)
+    if decomposition is None:
+        raise ValueError(f"query treewidth exceeds {k}")
+
+    candidates = _variable_candidates(query, db, stats)
+    if any(not values for values in candidates.values()):
+        return frozenset()
+
+    # Assign every atom to a bag containing its variables.
+    bag_atoms: dict[Hashable, list] = {node: [] for node in decomposition.tree.nodes}
+    for atom in query.atoms:
+        holder = next(
+            node
+            for node, bag in decomposition.bags.items()
+            if atom.variables <= bag
+        )
+        bag_atoms[holder].append(atom)
+
+    bag_bindings: dict[Hashable, Bindings] = {}
+    for node in decomposition.tree.nodes:
+        bag = decomposition.bags[node]
+        current = unit()
+        for atom in bag_atoms[node]:
+            current = join(current, atom_bindings(db, atom, stats), stats)
+        uncovered = sorted(
+            (v for v in bag if v not in set(current.columns)), key=repr
+        )
+        current = product_extend(current, uncovered, candidates, stats)
+        bag_bindings[node] = project(current, sorted(bag, key=repr), stats)
+
+    return tree_join_evaluate(
+        decomposition.tree, bag_bindings, query.head, stats
+    )

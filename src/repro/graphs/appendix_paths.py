@@ -1,0 +1,64 @@
+"""Oriented paths of the Theorem 4.12 appendix.
+
+The DP-hardness reduction is built from the incomparable path cores
+
+    P_i = 0^{i+1} 1 0^{11-i}          (1 ≤ i ≤ 9, net length 11)
+
+and the "multi-target" paths of Claims 8.1 and 8.2:
+
+    P_ij  = 0^{i+1} 1 0 0^{j-i} 1 0^{11-j}      → P_i, P_j only
+    P_ijk = 0^{i+1} 1 0 0^{j-i} 1 0 0^{k-j} 1 0^{11-k}  → P_i, P_j, P_k only
+
+(all have net length 11).  The claims are verified computationally in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.digraph import PointedDigraph
+from repro.graphs.oriented_paths import oriented_path
+
+NET = 11
+
+
+def appendix_p_spec(i: int) -> str:
+    if not 1 <= i <= 9:
+        raise ValueError("i must be in 1..9")
+    return "0" * (i + 1) + "1" + "0" * (NET - i)
+
+
+def appendix_p(i: int, prefix: str | None = None) -> PointedDigraph:
+    """The path ``P_i`` of the appendix."""
+    return oriented_path(appendix_p_spec(i), prefix=prefix or f"P{i}_")
+
+
+def appendix_p_pair_spec(i: int, j: int) -> str:
+    if not 1 <= i < j <= 9:
+        raise ValueError("need 1 ≤ i < j ≤ 9")
+    return "0" * (i + 1) + "10" + "0" * (j - i) + "1" + "0" * (NET - j)
+
+
+def appendix_p_pair(i: int, j: int, prefix: str | None = None) -> PointedDigraph:
+    """The path ``P_ij`` of Claim 8.1 (maps into exactly ``P_i`` and ``P_j``)."""
+    return oriented_path(appendix_p_pair_spec(i, j), prefix=prefix or f"P{i}{j}_")
+
+
+def appendix_p_triple_spec(i: int, j: int, k: int) -> str:
+    if not 1 <= i < j < k <= 9:
+        raise ValueError("need 1 ≤ i < j < k ≤ 9")
+    return (
+        "0" * (i + 1)
+        + "10"
+        + "0" * (j - i)
+        + "10"
+        + "0" * (k - j)
+        + "1"
+        + "0" * (NET - k)
+    )
+
+
+def appendix_p_triple(i: int, j: int, k: int, prefix: str | None = None) -> PointedDigraph:
+    """The path ``P_ijk`` of Claim 8.2 (maps into exactly ``P_i, P_j, P_k``)."""
+    return oriented_path(
+        appendix_p_triple_spec(i, j, k), prefix=prefix or f"P{i}{j}{k}_"
+    )

@@ -1,0 +1,210 @@
+"""The gadgets ``Q*``, ``T_1..T_5``, ``T_ij``, ``T_ijk`` and ``T`` (appendix).
+
+``Q*`` (Figure 7) is a balanced 8-cycle ``a_1..a_8`` (orientation 01010101)
+with one spoke ``P_i`` per rim node — odd rim nodes receive the terminal
+node of their spoke, even ones the initial node — plus an entry node ``x``
+(edge into the ``P_1`` spoke) and an exit node ``y`` (edge out of the
+``P_8`` spoke).  It is balanced of height 25; ``x``/``y`` are its unique
+level-0/level-25 nodes.
+
+``T_1..T_4`` (Figures 9, 10) identify opposite thirds of the rim; ``T_5``
+(Figure 11) is a path-shaped gadget with two ``P_9`` spokes.  Claim 8.4:
+each ``T_i`` is an acyclic approximation of ``Q*``.
+
+``T`` (Figure 14) glues ``T_i · T_5⁻¹`` for ``i = 1..4`` at a common root
+``v``; its level-25 nodes are the four *tips* ``t_1..t_4`` (the colors of
+the Exact-Four-Colorability reduction) and its other level-0 nodes are
+``u_1..u_4``.
+
+``T_ij``/``T_ijk`` (Claims 8.5/8.6) are the path-shaped *blocks* that map
+into exactly the rails their index set names; they are the alphabet from
+which the choosers of the reduction are assembled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.cq.structure import Structure
+from repro.graphs.appendix_paths import (
+    appendix_p,
+    appendix_p_pair,
+    appendix_p_triple,
+)
+from repro.graphs.digraph import PointedDigraph, digraph, merge_nodes
+
+Element = Hashable
+
+#: Rim orientation of Q*: "0" = forward edge (a_i -> a_{i+1}).
+_RIM = "01010101"
+
+
+def _rim_edges(tag: str) -> list[tuple[str, str]]:
+    names = [f"a{i}{tag}" for i in range(1, 9)]
+    edges = []
+    for index, ch in enumerate(_RIM):
+        u, v = names[index], names[(index + 1) % 8]
+        edges.append((u, v) if ch == "0" else (v, u))
+    return edges
+
+
+def qstar(tag: str = "") -> PointedDigraph:
+    """``Q*`` with initial node ``x{tag}`` and terminal node ``y{tag}``."""
+    g = digraph(_rim_edges(tag))
+    for i in range(1, 9):
+        spoke = appendix_p(i, prefix=f"s{i}{tag}_")
+        rim = f"a{i}{tag}"
+        glue = spoke.terminal if i % 2 == 1 else spoke.initial
+        g = g.union(spoke.structure.rename({glue: rim}))
+    x, y = f"x{tag}", f"y{tag}"
+    p1_initial = f"s1{tag}_0"  # initial node of the P1 spoke
+    p8_terminal = f"s8{tag}_{13}"  # terminal node of the P8 spoke
+    g = g.add_facts([("E", (x, p1_initial)), ("E", (p8_terminal, y))])
+    return PointedDigraph(g, x, y)
+
+
+_T_IDENTIFICATIONS = {
+    1: (("a1", "a7"), ("a2", "a6"), ("a3", "a5")),
+    2: (("a8", "a6"), ("a1", "a5"), ("a2", "a4")),
+    3: (("a7", "a5"), ("a8", "a4"), ("a1", "a3")),
+    4: (("a6", "a4"), ("a7", "a3"), ("a8", "a2")),
+}
+
+
+def t_gadget(i: int, tag: str = "") -> PointedDigraph:
+    """``T_i`` for ``1 ≤ i ≤ 4``: ``Q*`` with one rim folding applied."""
+    if i == 5:
+        return t5_gadget(tag)
+    if i not in _T_IDENTIFICATIONS:
+        raise ValueError("i must be in 1..5")
+    pointed = qstar(tag)
+    g = pointed.structure
+    for keep, drop in _T_IDENTIFICATIONS[i]:
+        g = merge_nodes(g, f"{keep}{tag}", f"{drop}{tag}")
+    return PointedDigraph(g, pointed.initial, pointed.terminal)
+
+
+def t5_gadget(tag: str = "") -> PointedDigraph:
+    """``T_5`` (Figure 11): ``x5 → P1 → P8 → y5`` with two ``P_9`` spokes.
+
+    One ``P_9`` copy's terminal is identified with the terminal of ``P_1``;
+    the other's initial with the initial of ``P_8``.
+    """
+    p1 = appendix_p(1, prefix=f"f1{tag}_")
+    p8 = appendix_p(8, prefix=f"f8{tag}_")
+    g = p1.structure.union(p8.structure)
+    x, y = f"x5{tag}", f"y5{tag}"
+    g = g.add_facts(
+        [
+            ("E", (x, p1.initial)),
+            ("E", (p1.terminal, p8.initial)),
+            ("E", (p8.terminal, y)),
+        ]
+    )
+    nine_a = appendix_p(9, prefix=f"n1{tag}_")
+    g = g.union(nine_a.structure.rename({nine_a.terminal: p1.terminal}))
+    nine_b = appendix_p(9, prefix=f"n2{tag}_")
+    g = g.union(nine_b.structure.rename({nine_b.initial: p8.initial}))
+    return PointedDigraph(g, x, y)
+
+
+def _p_backbone(tag: str) -> tuple[Structure, str, str, str, str]:
+    """The path ``P = p1 → P_1 → P_8 → p2`` shared by the blocks.
+
+    Returns ``(structure, p1, p2, p1_terminal, p8_initial)`` where the last
+    two are the junctions the extra spokes attach to.
+    """
+    p1 = appendix_p(1, prefix=f"b1{tag}_")
+    p8 = appendix_p(8, prefix=f"b8{tag}_")
+    g = p1.structure.union(p8.structure)
+    start, end = f"p1{tag}", f"p2{tag}"
+    g = g.add_facts(
+        [
+            ("E", (start, p1.initial)),
+            ("E", (p1.terminal, p8.initial)),
+            ("E", (p8.terminal, end)),
+        ]
+    )
+    return g, start, end, p1.terminal, p8.initial
+
+
+_PAIR_SPOKES = {
+    frozenset({1, 5}): (7, 9),
+    frozenset({2, 5}): (5, 9),
+    frozenset({3, 5}): (3, 9),
+    frozenset({1, 2}): (5, 7),
+    frozenset({1, 3}): (3, 7),
+    frozenset({2, 3}): (3, 5),
+}
+
+_TRIPLE_SPOKES = {
+    frozenset({1, 2, 5}): ("top", (5, 7, 9)),
+    frozenset({2, 4, 5}): ("bottom", (2, 6, 9)),
+    frozenset({3, 4, 5}): ("bottom", (2, 4, 9)),
+}
+
+
+def t_block(indices: frozenset[int] | set[int], tag: str = "") -> PointedDigraph:
+    """The block ``T_X``: maps into exactly the rails named by ``X``.
+
+    Singletons give ``T_i`` themselves; pairs the ``T_ij`` of Claim 8.5
+    (spoke ``P_ij`` hung at the top junction); triples the ``T_ijk`` of
+    Claim 8.6 (``T_125``'s spoke at the top junction, ``T_245``/``T_345``'s
+    at the bottom one).
+    """
+    indices = frozenset(indices)
+    if len(indices) == 1:
+        (i,) = indices
+        return t_gadget(i, tag)
+    if len(indices) == 2:
+        spoke_pair = _PAIR_SPOKES.get(indices)
+        if spoke_pair is None:
+            raise ValueError(f"no T_ij block for {set(indices)!r}")
+        g, start, end, top, _ = _p_backbone(tag)
+        spoke = appendix_p_pair(*spoke_pair, prefix=f"sp{tag}_")
+        g = g.union(spoke.structure.rename({spoke.terminal: top}))
+        return PointedDigraph(g, start, end)
+    if len(indices) == 3:
+        entry = _TRIPLE_SPOKES.get(indices)
+        if entry is None:
+            raise ValueError(f"no T_ijk block for {set(indices)!r}")
+        where, spec = entry
+        g, start, end, top, bottom = _p_backbone(tag)
+        spoke = appendix_p_triple(*spec, prefix=f"sp{tag}_")
+        if where == "top":
+            g = g.union(spoke.structure.rename({spoke.terminal: top}))
+        else:
+            g = g.union(spoke.structure.rename({spoke.initial: bottom}))
+        return PointedDigraph(g, start, end)
+    raise ValueError(f"no block for index set {set(indices)!r}")
+
+
+@dataclass(frozen=True)
+class TargetTree:
+    """The digraph ``T`` with its named special nodes."""
+
+    structure: Structure
+    root: Element                      # v
+    tips: Mapping[int, Element]        # t_1..t_4 (level 25)
+    leaves: Mapping[int, Element]      # u_1..u_4 (level 0)
+
+
+def target_tree(arms: tuple[int, ...] = (1, 2, 3, 4)) -> TargetTree:
+    """``T`` of Figure 14 (or the subgraph ``Z`` when ``arms=(1,2,3)``).
+
+    Each arm ``i`` is ``T_i · T_5⁻¹`` from the shared root ``v`` through the
+    tip ``t_i`` to the leaf ``u_i``.
+    """
+    structure = Structure({"E": []}, vocabulary={"E": 2}, domain=["v"])
+    tips: dict[int, Element] = {}
+    leaves: dict[int, Element] = {}
+    for i in arms:
+        rail = t_gadget(i, tag=f"_r{i}")
+        five = t5_gadget(tag=f"_r{i}")
+        glued = rail.structure.rename({rail.initial: "v"})
+        five_glued = five.structure.rename({five.terminal: rail.terminal})
+        structure = structure.union(glued).union(five_glued)
+        tips[i] = rail.terminal
+        leaves[i] = five.initial
+    return TargetTree(structure, "v", tips, leaves)

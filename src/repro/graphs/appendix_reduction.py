@@ -1,0 +1,165 @@
+"""The Exact-Four-Colorability reduction of Theorem 4.12 (appendix).
+
+Given an undirected graph ``G``, the digraph ``φ(G)`` replaces every edge
+``{u, u'}`` with a fresh copy of the gadget ``T̃`` (``p ↦ u``, ``q ↦ u'``),
+adds a node ``v0``, and hangs a copy of ``Q*`` (initial ``v0``, terminal
+``u``) plus a copy of ``T_5`` (terminal ``u``) off every vertex ``u``.
+Then ``G`` is 4-colorable but not 3-colorable iff ``φ(G) → T`` and no
+homomorphism reaches a proper subgraph of ``T`` — and, by Proposition 8.14,
+iff ``T`` is an acyclic approximation of ``φ(G)``.
+
+The core-forcing variant ``φ̃(G)`` (Proposition 8.18) additionally attaches
+one ``S_n^k`` gadget per vertex, built from the fan paths ``W_n^k``
+(Claims 8.16, 8.17 — incomparable cores).
+
+``S`` and ``S_n^k`` are reconstructed from Figures 23/24 under the textual
+constraints of the appendix (the figure itself does not survive the text
+dump): a backbone ``w' ← P6 ... P4/W_n^k ... P9 → w`` carrying the spokes
+``P135`` and ``P8``; the reconstruction is validated by testing the claims
+the proofs rely on (Claim 8.17, and the mapping facts used in
+Proposition 8.18).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.cq.structure import Structure
+from repro.graphs.appendix_choosers import t_tilde
+from repro.graphs.appendix_paths import appendix_p, appendix_p_triple
+from repro.graphs.digraph import PointedDigraph
+from repro.graphs.oriented_paths import directed_path, oriented_path
+
+
+def w_path(n: int, prefix: str = "w") -> PointedDigraph:
+    """``W_n = 000 (10)^n 0`` (Figure 21), of height 4."""
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    return oriented_path("000" + "10" * n + "0", prefix=prefix)
+
+
+def w_path_marked(n: int, k: int, prefix: str = "w") -> Structure:
+    """``W_n^k``: ``W_n`` plus an edge from a fresh node ``z`` into ``x_k``.
+
+    ``x_k`` is the ``k``-th valley of the zigzag (level 2): node
+    ``p_{2 + 2k}`` of the path — ``p3`` is the first peak, ``p4 = x_1`` the
+    first valley (Figure 21).
+    """
+    if not 1 <= k <= n:
+        raise ValueError("k must be in 1..n")
+    path = w_path(n, prefix=prefix)
+    x_k = f"{prefix}{2 + 2 * k}"
+    z = f"{prefix}_z{k}"
+    return path.structure.add_facts([("E", (z, x_k))])
+
+
+def s_gadget(tag: str = "") -> tuple[Structure, dict[str, str]]:
+    """The digraph ``S`` (Figure 23), with its named nodes.
+
+    Reconstruction: a chain ``w' ←P6– j1 –P135→? ...`` satisfying the
+    textual constraints: ``S`` contains a directed path of length 4 from
+    ``z'`` to ``z``; spokes ``P6`` (into ``w'``), ``P135``, ``P3``, ``P8``
+    and ``P9`` (into ``w``).  We build:
+
+    * backbone junction ``j`` with spoke ``P6`` ending at ``w'`` and spoke
+      ``P135`` ending at ``j``,
+    * ``j –P3→ z'``, ``z' –P4→ z`` (the path replaced in ``S_n^k``),
+    * ``z –P8→ j2``, ``j2 –P9→ w``.
+    """
+    names = {
+        "w_prime": f"wp{tag}",
+        "j": f"j{tag}",
+        "z_prime": f"zp{tag}",
+        "z": f"z{tag}",
+        "j2": f"j2{tag}",
+        "w": f"w{tag}",
+    }
+    p6 = appendix_p(6, prefix=f"sp6{tag}_")
+    p135 = appendix_p_triple(1, 3, 5, prefix=f"sp135{tag}_")
+    p3 = directed_path(3, prefix=f"sp3{tag}_")
+    p4 = directed_path(4, prefix=f"sp4{tag}_")
+    p8 = appendix_p(8, prefix=f"sp8{tag}_")
+    p9 = directed_path(9, prefix=f"sp9{tag}_")
+
+    g = p6.structure.rename({p6.initial: names["j"], p6.terminal: names["w_prime"]})
+    g = g.union(p135.structure.rename({p135.terminal: names["j"]}))
+    g = g.union(
+        p3.structure.rename({p3.initial: names["j"], p3.terminal: names["z_prime"]})
+    )
+    g = g.union(
+        p4.structure.rename({p4.initial: names["z_prime"], p4.terminal: names["z"]})
+    )
+    g = g.union(
+        p8.structure.rename({p8.initial: names["z"], p8.terminal: names["j2"]})
+    )
+    g = g.union(
+        p9.structure.rename({p9.initial: names["j2"], p9.terminal: names["w"]})
+    )
+    return g, names
+
+
+def s_n_k(n: int, k: int, tag: str = "") -> tuple[Structure, dict[str, str]]:
+    """``S_n^k``: ``S`` with the ``z' → z`` path replaced by ``W_n^k``.
+
+    Per the text: "take S and replace the directed path of length 4 that
+    starts at z' and ends at z by a copy of W_n^k, identifying a with z'
+    and renaming e to z".
+    """
+    g, names = s_gadget(tag)
+    # Remove the P4 backbone between z' and z (every fact touching a node of
+    # the sp4-prefixed path copy), then graft W_n^k in its place.
+    trimmed_rows = [
+        row
+        for row in g.tuples("E")
+        if not any(str(value).startswith(f"sp4{tag}_") for value in row)
+    ]
+    trimmed = Structure({"E": trimmed_rows}, vocabulary={"E": 2})
+    marked = w_path_marked(n, k, prefix=f"wk{tag}_")
+    # a = initial node (level 0) of W_n^k; e = terminal node.
+    w = w_path(n, prefix=f"wk{tag}_")
+    glued = marked.rename({w.initial: names["z_prime"], w.terminal: names["z"]})
+    return trimmed.union(glued), names
+
+
+def phi(graph: nx.Graph) -> tuple[Structure, dict]:
+    """``φ(G)``: the reduction digraph, plus a map of the special nodes.
+
+    Vertices of ``G`` become nodes of ``φ(G)``; each edge gets a fresh
+    ``T̃`` copy; every vertex receives a ``Q*`` (from ``v0``) and a ``T_5``.
+    """
+    from repro.graphs.appendix_qstar import qstar, t5_gadget
+
+    structure = Structure({"E": []}, vocabulary={"E": 2}, domain=["v0"])
+    vertex_nodes = {u: ("vertex", u) for u in graph.nodes}
+    for index, (u, w) in enumerate(sorted(graph.edges, key=repr)):
+        gadget = t_tilde(tag=f"_e{index}")
+        structure = structure.union(
+            gadget.structure.rename(
+                {gadget.p: vertex_nodes[u], gadget.q: vertex_nodes[w]}
+            )
+        )
+    for index, u in enumerate(sorted(graph.nodes, key=repr)):
+        star = qstar(tag=f"_v{index}")
+        structure = structure.union(
+            star.structure.rename(
+                {star.initial: "v0", star.terminal: vertex_nodes[u]}
+            )
+        )
+        five = t5_gadget(tag=f"_v{index}")
+        structure = structure.union(
+            five.structure.rename({five.terminal: vertex_nodes[u]})
+        )
+    return structure, {"v0": "v0", "vertices": vertex_nodes}
+
+
+def phi_tilde(graph: nx.Graph) -> tuple[Structure, dict]:
+    """``φ̃(G)``: ``φ(G)`` with one ``S_n^k`` per vertex (Prop. 8.18)."""
+    structure, names = phi(graph)
+    vertices = sorted(names["vertices"], key=repr)
+    n = len(vertices)
+    for k, u in enumerate(vertices, start=1):
+        gadget, gadget_names = s_n_k(n, k, tag=f"_s{k}")
+        structure = structure.union(
+            gadget.rename({gadget_names["z"]: names["vertices"][u]})
+        )
+    return structure, names

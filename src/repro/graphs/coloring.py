@@ -1,0 +1,59 @@
+"""Colorability of digraphs via homomorphisms into complete digraphs.
+
+A loop-free digraph is ``k``-colorable iff it maps homomorphically into
+``K_k↔`` (Sections 5.1–5.2: bipartiteness is 2-colorability, and the TW(k)
+dichotomy of Theorem 5.10 is governed by ``(k+1)``-colorability).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.cq.structure import Structure
+from repro.graphs.digraph import complete_digraph, edges, has_loop, underlying_graph
+from repro.homomorphism.search import find_homomorphism
+
+Element = Hashable
+
+
+def coloring(g: Structure, k: int) -> dict[Element, int] | None:
+    """A proper ``k``-coloring of ``G^u``, or ``None``.
+
+    Uses a greedy assignment first (fast path) and falls back to the
+    homomorphism engine (search into ``K_k↔``) when greedy fails.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if has_loop(g):
+        return None
+    if not edges(g):
+        return {v: 0 for v in g.domain}
+
+    undirected = underlying_graph(g)
+    greedy = nx.greedy_color(undirected, strategy="largest_first")
+    if max(greedy.values(), default=0) < k:
+        return greedy
+    hom = find_homomorphism(g, complete_digraph(k))
+    return hom if hom is None else {v: int(c) for v, c in hom.items()}
+
+
+def is_k_colorable(g: Structure, k: int) -> bool:
+    """Whether the underlying graph of ``g`` is ``k``-colorable."""
+    return coloring(g, k) is not None
+
+
+def is_bipartite_digraph(g: Structure) -> bool:
+    """The paper's bipartiteness: ``G → K2↔`` (2-colorability)."""
+    return is_k_colorable(g, 2)
+
+
+def chromatic_number(g: Structure, *, max_k: int = 16) -> int:
+    """The least ``k`` with ``G → K_k↔`` (searched up to ``max_k``)."""
+    if has_loop(g):
+        raise ValueError("digraphs with loops have no proper coloring")
+    for k in range(1, max_k + 1):
+        if is_k_colorable(g, k):
+            return k
+    raise ValueError(f"chromatic number exceeds max_k={max_k}")

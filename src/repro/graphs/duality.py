@@ -1,0 +1,86 @@
+"""Homomorphism dualities and gap pairs (Nešetřil–Tardif, used in Prop 5.6).
+
+A *duality pair* ``(A, D)`` satisfies, for every digraph ``H``:
+``H → D``  iff  ``A ↛ H``.  For the directed path ``P_n`` (``n`` edges) the
+dual is the transitive tournament on ``n`` vertices — the Gallai–Roy
+theorem: a digraph maps into the tournament iff it is a DAG with no
+directed path of ``n`` edges, iff ``P_n`` does not map into it.
+
+Nešetřil–Tardif [36] turn duality pairs into *gaps* in the homomorphism
+order: nothing sits strictly between ``core(A × D)`` and ``A``.  With
+``A = P_{k+1}`` and ``D = F_k`` (the tournament), the core of
+``F_k × P_{k+1}`` is exactly the digraph ``G_k`` of Proposition 5.6 — the
+paper "omits the tedious calculations"; :func:`nt_gap_pair` performs them,
+and the tests check the result against the explicit ``G_k`` construction.
+"""
+
+from __future__ import annotations
+
+from repro.cq.structure import Structure
+from repro.cq.tableau import Tableau
+from repro.graphs.oriented_paths import directed_path
+from repro.homomorphism.cores import core
+from repro.homomorphism.orders import hom_le
+from repro.homomorphism.search import homomorphism_exists
+
+
+def categorical_product(g: Structure, h: Structure) -> Structure:
+    """The categorical (tensor) product of two digraphs.
+
+    Vertices are pairs; ``((a,c),(b,d))`` is an edge iff ``(a,b)`` and
+    ``(c,d)`` are.  The product is the meet in the homomorphism order:
+    ``X → G × H`` iff ``X → G`` and ``X → H``.
+    """
+    edges = [
+        ((a, c), (b, d))
+        for a, b in g.tuples("E")
+        for c, d in h.tuples("E")
+    ]
+    domain = [(x, y) for x in g.domain for y in h.domain]
+    return Structure({"E": edges}, vocabulary={"E": 2}, domain=domain)
+
+
+def transitive_tournament(n: int) -> Structure:
+    """The transitive tournament on ``n`` vertices ``0 < 1 < ... < n-1``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return Structure(
+        {"E": [(i, j) for i in range(n) for j in range(n) if i < j]},
+        vocabulary={"E": 2},
+        domain=range(n),
+    )
+
+
+def path_dual(n: int) -> Structure:
+    """The dual of the directed path ``P_n``: ``H → dual ⟺ P_n ↛ H``."""
+    return transitive_tournament(n)
+
+
+def holds_duality(a: Structure, d: Structure, h: Structure) -> bool:
+    """Check the duality equation on one instance ``H``."""
+    return homomorphism_exists(h, d) == (not homomorphism_exists(a, h))
+
+
+def nt_gap_pair(k: int) -> tuple[Structure, Structure]:
+    """The Nešetřil–Tardif gap below ``P_{k+1}``: ``(core(F_k × P_{k+1}), P_{k+1})``.
+
+    Nothing sits strictly between the two in the homomorphism order; the
+    lower element is (isomorphic to) the paper's ``G_k``.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    path = directed_path(k + 1).structure
+    dual = path_dual(k + 1)
+    lower, _ = core(categorical_product(dual, path))
+    return lower, path
+
+
+def is_gap_violator(lower: Structure, upper: Structure, middle: Structure) -> bool:
+    """Whether ``middle`` sits strictly between ``lower`` and ``upper``."""
+    lower_t, upper_t, middle_t = Tableau(lower), Tableau(upper), Tableau(middle)
+    return (
+        hom_le(lower_t, middle_t)
+        and not hom_le(middle_t, lower_t)
+        and hom_le(middle_t, upper_t)
+        and not hom_le(upper_t, middle_t)
+    )

@@ -1,0 +1,190 @@
+"""Gadget constructions from Sections 4 and 5 of the paper.
+
+* Proposition 4.4 (Figures 3–5): oriented paths ``P1 = 001000`` and
+  ``P2 = 000100`` are incomparable cores; the digraph ``D`` combines them
+  around a 4-node core; ``D_ac``/``D_bd`` identify opposite corners; ``G_n``
+  chains ``n`` copies of ``D``; and for every ``s ∈ {V,H}^n`` the digraph
+  ``G_n^s`` chooses one identification per copy.  The queries ``Q_n`` (tableau
+  ``G_n``) then have at least ``2^n`` non-equivalent minimized
+  TW(1)-approximations ``Q_n^s``.
+
+* Proposition 5.6: the family ``G_k`` (two directed k-paths with shifted
+  cross edges) whose tight acyclic approximation is the path ``P_{k+1}``.
+
+* The worked examples of the introduction and Example 5.7.
+"""
+
+from __future__ import annotations
+
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.structure import Structure
+from repro.cq.tableau import Tableau
+from repro.graphs.digraph import add_edges, digraph, merge_nodes
+from repro.graphs.oriented_paths import oriented_path
+
+#: The two incomparable oriented-path cores of Proposition 4.4.
+P1_SPEC = "001000"
+P2_SPEC = "000100"
+
+
+def paper_p1(prefix: str = "p1_") -> Structure:
+    return oriented_path(P1_SPEC, prefix=prefix).structure
+
+
+def paper_p2(prefix: str = "p2_") -> Structure:
+    return oriented_path(P2_SPEC, prefix=prefix).structure
+
+
+def _attach_path(
+    g: Structure, spec: str, *, at, end: str, prefix: str
+) -> Structure:
+    """Attach a fresh oriented path to ``g``, gluing one endpoint onto ``at``.
+
+    ``end`` is ``"initial"`` or ``"terminal"`` — the endpoint identified with
+    the existing node ``at``.
+    """
+    path = oriented_path(spec, prefix=prefix)
+    glue = path.initial if end == "initial" else path.terminal
+    glued = path.structure.rename({glue: at})
+    return g.union(glued)
+
+
+def gadget_d(tag: str = "") -> Structure:
+    """The digraph ``D`` of Figure 3.
+
+    Core 4 nodes ``a, b, c, d`` with edges ``(a,b), (a,d), (c,b), (c,d)``;
+    copies of ``P1``/``P2`` attach by their initial nodes at ``b``/``d`` and
+    by their terminal nodes at ``a``/``c``.
+    """
+    a, b, c, d = f"a{tag}", f"b{tag}", f"c{tag}", f"d{tag}"
+    g = digraph([(a, b), (a, d), (c, b), (c, d)])
+    g = _attach_path(g, P1_SPEC, at=b, end="initial", prefix=f"bp1{tag}_")
+    g = _attach_path(g, P2_SPEC, at=d, end="initial", prefix=f"dp2{tag}_")
+    g = _attach_path(g, P1_SPEC, at=a, end="terminal", prefix=f"ap1{tag}_")
+    g = _attach_path(g, P2_SPEC, at=c, end="terminal", prefix=f"cp2{tag}_")
+    return g
+
+
+def gadget_d_ac(tag: str = "") -> Structure:
+    """``D_ac``: the digraph ``D`` with ``a`` and ``c`` identified (Fig. 4)."""
+    return merge_nodes(gadget_d(tag), f"a{tag}", f"c{tag}")
+
+
+def gadget_d_bd(tag: str = "") -> Structure:
+    """``D_bd``: the digraph ``D`` with ``b`` and ``d`` identified (Fig. 4)."""
+    return merge_nodes(gadget_d(tag), f"b{tag}", f"d{tag}")
+
+
+def _linking_endpoints(tag: str) -> tuple[str, str]:
+    """The two nodes of a ``D``-copy used to chain copies in ``G_n``.
+
+    The link goes from the *terminal node of the copy of P2 which starts at
+    d* (node ``dp2{tag}_6``) of copy ``i`` to the *initial node of the copy
+    of P1 which ends at a* (node ``ap1{tag}_0``) of copy ``i+1``.
+    """
+    return f"dp2{tag}_6", f"ap1{tag}_0"
+
+
+def gadget_g_n(n: int) -> Structure:
+    """``G_n`` of Figure 5: ``n`` chained disjoint copies of ``D``."""
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    g = gadget_d("_0")
+    for i in range(1, n):
+        g = g.union(gadget_d(f"_{i}"))
+    links = []
+    for i in range(n - 1):
+        out_node, _ = _linking_endpoints(f"_{i}")
+        _, in_node = _linking_endpoints(f"_{i + 1}")
+        links.append((out_node, in_node))
+    return add_edges(g, links)
+
+
+def gadget_g_n_s(s: str) -> Structure:
+    """``G_n^s`` for ``s ∈ {V, H}^n``: per-copy identification of ``D``.
+
+    ``s_i = V`` identifies ``a`` with ``c`` (vertical fold, giving ``D_ac``)
+    and ``s_i = H`` identifies ``b`` with ``d`` (horizontal fold, ``D_bd``).
+    """
+    if not s or any(ch not in "VH" for ch in s):
+        raise ValueError(f"s must be a non-empty string over V/H, got {s!r}")
+    g = gadget_g_n(len(s))
+    for i, choice in enumerate(s):
+        tag = f"_{i}"
+        if choice == "V":
+            g = merge_nodes(g, f"a{tag}", f"c{tag}")
+        else:
+            g = merge_nodes(g, f"b{tag}", f"d{tag}")
+    return g
+
+
+def q_n(n: int) -> ConjunctiveQuery:
+    """The Boolean CQ ``Q_n`` whose tableau is ``G_n``."""
+    return ConjunctiveQuery.from_tableau(Tableau(gadget_g_n(n)))
+
+
+def q_n_s(s: str) -> ConjunctiveQuery:
+    """The treewidth-1 CQ ``Q_n^s`` whose tableau is ``G_n^s``."""
+    return ConjunctiveQuery.from_tableau(Tableau(gadget_g_n_s(s)))
+
+
+# ----------------------------------------------------------- Proposition 5.6
+
+
+def tight_g_k(k: int) -> Structure:
+    """The digraph ``G_k`` of Proposition 5.6.
+
+    Two disjoint directed paths ``x_0 → ... → x_k`` and ``y_0 → ... → y_k``
+    plus the cross edges ``(x_i, y_{i+2})`` for ``0 ≤ i ≤ k-2``.  For
+    ``k ≥ 3``, ``G_k → P_{k+1}`` and nothing lies strictly between them.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    edge_list = [(f"x{i}", f"x{i + 1}") for i in range(k)]
+    edge_list += [(f"y{i}", f"y{i + 1}") for i in range(k)]
+    edge_list += [(f"x{i}", f"y{i + 2}") for i in range(k - 1)]
+    return digraph(edge_list)
+
+
+# ------------------------------------------------- Introduction/Example 5.7
+
+
+def intro_q1() -> ConjunctiveQuery:
+    """``Q1() :- E(x, y), E(y, z), E(z, x)`` — only trivially approximable."""
+    from repro.cq.parser import parse_query
+
+    return parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+
+
+def intro_q2() -> ConjunctiveQuery:
+    """``Q2`` of the introduction: two 3-paths joined by two cross edges.
+
+    ``Q2() :- P3(x,y,z,u), P3(x',y',z',u'), E(x,z'), E(y,u')``; its tableau
+    is bipartite and balanced and it has the nontrivial acyclic approximation
+    ``Q'() :- P4(x', x, y, z, u)`` (a path of length 4).
+    """
+    from repro.cq.parser import parse_query
+
+    return parse_query(
+        "Q() :- E(x, y), E(y, z), E(z, u), "
+        "E(x', y'), E(y', z'), E(z', u'), E(x, z'), E(y, u')"
+    )
+
+
+def intro_ternary_q() -> ConjunctiveQuery:
+    """The ternary variant of ``Q1``: ``R(x,u,y), R(y,v,z), R(z,w,x)``."""
+    from repro.cq.parser import parse_query
+
+    return parse_query("Q() :- R(x, u, y), R(y, v, z), R(z, w, x)")
+
+
+def intro_ternary_approx() -> ConjunctiveQuery:
+    """A nontrivial acyclic approximation of :func:`intro_ternary_q`."""
+    from repro.cq.parser import parse_query
+
+    return parse_query("Q() :- R(x, u, y), R(y, v, u), R(u, w, x)")
+
+
+def example_57_second() -> Structure:
+    """The second digraph of Example 5.7 — exactly ``T_{Q2}``."""
+    return intro_q2().tableau().structure

@@ -1,0 +1,45 @@
+"""Homomorphisms, cores and the homomorphism preorder."""
+
+from repro.homomorphism.search import (
+    count_homomorphisms,
+    find_homomorphism,
+    homomorphism_exists,
+    image,
+    is_homomorphism,
+    iter_homomorphisms,
+)
+from repro.homomorphism.bounded_tw import (
+    bounded_treewidth_homomorphism,
+    bounded_tw_hom_exists,
+    containment_via_treewidth,
+)
+from repro.homomorphism.cores import core, core_tableau, is_core, retract_exists
+from repro.homomorphism.pebble import k_consistency, pebble_refutes
+from repro.homomorphism.orders import (
+    hom_equivalent,
+    hom_le,
+    strictly_below,
+    tableau_hom,
+)
+
+__all__ = [
+    "bounded_treewidth_homomorphism",
+    "bounded_tw_hom_exists",
+    "containment_via_treewidth",
+    "core",
+    "core_tableau",
+    "count_homomorphisms",
+    "find_homomorphism",
+    "hom_equivalent",
+    "hom_le",
+    "homomorphism_exists",
+    "image",
+    "is_core",
+    "is_homomorphism",
+    "iter_homomorphisms",
+    "k_consistency",
+    "pebble_refutes",
+    "retract_exists",
+    "strictly_below",
+    "tableau_hom",
+]

@@ -1,0 +1,89 @@
+"""Cores of structures and tableaux.
+
+A structure ``D`` is a core if there is no homomorphism from ``D`` into a
+proper substructure of ``D``; every structure has a unique core up to
+isomorphism (Hell & Nešetřil), and the core of the tableau of a CQ is the
+tableau of its minimized equivalent (Chandra & Merlin).
+
+For tableaux, endomorphisms must fix the distinguished tuple point-wise, so
+the distinguished elements are pinned during the search.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.cq.structure import Structure
+from repro.cq.tableau import Tableau
+from repro.homomorphism.search import find_homomorphism, image
+
+Element = Hashable
+
+
+def _identity_pin(pinned: tuple[Element, ...]) -> dict[Element, Element]:
+    return {element: element for element in pinned}
+
+
+def core(
+    structure: Structure, *, pinned: tuple[Element, ...] = ()
+) -> tuple[Structure, dict[Element, Element]]:
+    """The core of ``structure`` and a retraction onto it.
+
+    ``pinned`` elements must be mapped to themselves by every endomorphism
+    considered (they always survive into the core).  Returns the core as a
+    substructure of the input, together with the composed retraction map from
+    the original domain onto the core's domain.
+
+    The algorithm repeatedly looks for an endomorphism avoiding some element;
+    a structure is a core exactly when no single element can be avoided, and
+    replacing the structure by the image of a found endomorphism strictly
+    shrinks it, so the loop terminates in at most ``|D|`` rounds.
+    """
+    pin = _identity_pin(pinned)
+    current = structure
+    retraction: dict[Element, Element] = {value: value for value in structure.domain}
+
+    shrunk = True
+    while shrunk:
+        shrunk = False
+        removable = sorted(current.domain - set(pinned), key=repr)
+        for element in removable:
+            endo = find_homomorphism(current, current.without(element), pin=pin)
+            if endo is None:
+                continue
+            current = image(current, endo)
+            retraction = {
+                origin: endo[target] for origin, target in retraction.items()
+            }
+            shrunk = True
+            break
+    return current, retraction
+
+
+def is_core(structure: Structure, *, pinned: tuple[Element, ...] = ()) -> bool:
+    """Whether no endomorphism avoids any element (fixing ``pinned``)."""
+    pin = _identity_pin(pinned)
+    for element in sorted(structure.domain - set(pinned), key=repr):
+        if find_homomorphism(structure, structure.without(element), pin=pin):
+            return False
+    return True
+
+
+def core_tableau(tableau: Tableau) -> Tableau:
+    """The core of a tableau (the tableau of the minimized query)."""
+    cored, retraction = core(
+        tableau.structure, pinned=tuple(dict.fromkeys(tableau.distinguished))
+    )
+    distinguished = tuple(retraction[x] for x in tableau.distinguished)
+    return Tableau(cored, distinguished)
+
+
+def retract_exists(structure: Structure, sub_domain: frozenset[Element]) -> bool:
+    """Whether ``structure`` retracts into its substructure induced by ``sub_domain``.
+
+    A retraction is an endomorphism fixing the substructure point-wise with
+    image inside it.
+    """
+    target = structure.induced(sub_domain)
+    pin = {element: element for element in sub_domain if element in structure.domain}
+    return find_homomorphism(structure, target, pin=pin) is not None

@@ -1,0 +1,40 @@
+"""The homomorphism preorder on structures and tableaux.
+
+The paper works with two dual preorders: containment of CQs and the existence
+of homomorphisms between their tableaux (``Q ⊆ Q' ⇔ T_Q' → T_Q``).  This
+module provides the tableau side: ``hom_le``, strictness (the paper's ``⥮``
+symbol, rendered ``upslope`` in the text: ``D ⥮ D'`` iff ``D → D'`` but not
+``D' → D``), and homomorphic equivalence.
+"""
+
+from __future__ import annotations
+
+from repro.cq.tableau import Tableau, pin_for
+from repro.homomorphism.search import find_homomorphism
+
+
+def tableau_hom(source: Tableau, target: Tableau) -> dict | None:
+    """A homomorphism of tableaux ``(D1, ā1) → (D2, ā2)``, or ``None``.
+
+    The distinguished tuple of the source must be mapped position-wise onto
+    the distinguished tuple of the target.
+    """
+    pin = pin_for(source, target)
+    if pin is None:
+        return None
+    return find_homomorphism(source.structure, target.structure, pin=pin)
+
+
+def hom_le(source: Tableau, target: Tableau) -> bool:
+    """Whether ``source → target`` in the homomorphism preorder."""
+    return tableau_hom(source, target) is not None
+
+
+def hom_equivalent(a: Tableau, b: Tableau) -> bool:
+    """Homomorphic equivalence: both directions hold (same core)."""
+    return hom_le(a, b) and hom_le(b, a)
+
+
+def strictly_below(a: Tableau, b: Tableau) -> bool:
+    """The paper's strict order: ``a → b`` holds but ``b → a`` does not."""
+    return hom_le(a, b) and not hom_le(b, a)

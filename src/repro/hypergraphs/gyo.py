@@ -1,0 +1,102 @@
+"""GYO reduction: hypergraph acyclicity and join trees.
+
+A hypergraph is acyclic iff the Graham/Yu–Özsoyoğlu reduction succeeds:
+repeatedly (1) delete vertices occurring in a single hyperedge and (2) delete
+hyperedges contained in other hyperedges.  Acyclicity is equivalent to the
+existence of a tree decomposition whose bags are exactly hyperedges
+(Section 3) and to hypertree width 1 (Section 6); Yannakakis' algorithm
+evaluates acyclic CQs along the join tree the reduction produces.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import networkx as nx
+
+from repro.hypergraphs.hypergraph import Hypergraph
+
+Vertex = Hashable
+
+
+def gyo_join_tree(
+    labelled_edges: Sequence[tuple[Hashable, frozenset[Vertex]]],
+) -> nx.Graph | None:
+    """Run GYO on labelled hyperedges; return a join tree or ``None``.
+
+    ``labelled_edges`` may contain duplicate vertex sets under different
+    labels (multiple atoms over the same variables).  The returned tree has
+    the labels as nodes and satisfies the join-tree (connectedness) property;
+    ``None`` means the hypergraph is cyclic.
+    """
+    if not labelled_edges:
+        return nx.Graph()
+
+    current: dict[Hashable, set[Vertex]] = {
+        label: set(edge) for label, edge in labelled_edges
+    }
+    tree = nx.Graph()
+    tree.add_nodes_from(current)
+
+    def occurrences() -> dict[Vertex, list[Hashable]]:
+        where: dict[Vertex, list[Hashable]] = {}
+        for label, edge in current.items():
+            for vertex in edge:
+                where.setdefault(vertex, []).append(label)
+        return where
+
+    changed = True
+    while changed and len(current) > 1:
+        changed = False
+
+        # Rule 1: drop vertices that occur in exactly one hyperedge.
+        for vertex, labels in occurrences().items():
+            if len(labels) == 1:
+                current[labels[0]].discard(vertex)
+                changed = True
+
+        # Rule 2: absorb a hyperedge contained in another one.
+        labels = sorted(current, key=repr)
+        absorbed = None
+        for small in labels:
+            for big in labels:
+                if small != big and current[small] <= current[big]:
+                    absorbed = (small, big)
+                    break
+            if absorbed:
+                break
+        if absorbed:
+            small, big = absorbed
+            tree.add_edge(small, big)
+            del current[small]
+            changed = True
+
+    if len(current) > 1:
+        return None
+    return tree
+
+
+def is_acyclic(hypergraph: Hypergraph) -> bool:
+    """Whether the hypergraph is (α-)acyclic."""
+    labelled = [(edge, edge) for edge in hypergraph.edges]
+    return gyo_join_tree(labelled) is not None
+
+
+def join_tree(hypergraph: Hypergraph) -> nx.Graph | None:
+    """A join tree over the hyperedges, or ``None`` for cyclic hypergraphs."""
+    labelled = [(edge, edge) for edge in hypergraph.edges]
+    return gyo_join_tree(labelled)
+
+
+def is_acyclic_query(query) -> bool:
+    """Whether a CQ is acyclic (its hypergraph passes GYO)."""
+    from repro.hypergraphs.hypergraph import hypergraph_of_query
+
+    return is_acyclic(hypergraph_of_query(query))
+
+
+def is_acyclic_structure(structure) -> bool:
+    """Whether a tableau/structure is acyclic in the hypergraph sense."""
+    from repro.hypergraphs.hypergraph import hypergraph_of_structure
+
+    return is_acyclic(hypergraph_of_structure(structure))

@@ -1,0 +1,166 @@
+"""Hypertree width (Gottlob, Leone, Scarcello) — Section 6 of the paper.
+
+A hypertree decomposition is a tree decomposition ``<T, f>`` plus a guard
+map ``c : T → 2^E`` with ``f(u) ⊆ ⋃c(u)``, subject to the *special
+condition* ``⋃c(u) ∩ ⋃{f(t) | t ∈ T_u} ⊆ f(u)``.  Its width is
+``max |c(u)|``; hypertree width 1 coincides with acyclicity, and CQs of
+bounded hypertree width have polynomial combined complexity.
+
+The decision procedure below follows the det-k-decomp scheme (Gottlob &
+Samer): recursively decompose (edge-component, connector) states, guessing a
+guard ``λ`` of at most ``k`` hyperedges; by the normal-form theorem of
+Gottlob–Leone–Scarcello the bag can be fixed to the maximal choice
+``χ = V(λ) ∩ (V(component) ∪ connector)``, which also enforces the special
+condition.  States are memoized, making the procedure polynomial for fixed
+``k`` up to the number of components.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.treedecomp import HypertreeDecomposition
+from repro.util.disjoint_set import DisjointSet
+
+Vertex = Hashable
+
+
+class _HypertreeSolver:
+    def __init__(self, hypergraph: Hypergraph, k: int) -> None:
+        self.hypergraph = hypergraph
+        self.k = k
+        self.edges: list[frozenset[Vertex]] = sorted(hypergraph.edges, key=repr)
+        self.memo: dict[tuple[frozenset, frozenset], bool] = {}
+        self.choice: dict[tuple[frozenset, frozenset], tuple] = {}
+
+    # ---------------------------------------------------------------- helpers
+
+    def _components(
+        self, component_edges: frozenset[int], bag: frozenset[Vertex]
+    ) -> list[tuple[frozenset[int], frozenset[Vertex]]]:
+        """Split the uncovered edges into [χ]-components with connectors.
+
+        Two edges are connected when they share a vertex outside ``bag``;
+        each component's connector is its vertex set intersected with the
+        bag.
+        """
+        remaining = [
+            index for index in sorted(component_edges)
+            if not self.edges[index] <= bag
+        ]
+        if not remaining:
+            return []
+        union = DisjointSet(remaining)
+        anchor: dict[Vertex, int] = {}
+        for index in remaining:
+            for vertex in self.edges[index]:
+                if vertex in bag:
+                    continue
+                if vertex in anchor:
+                    union.union(anchor[vertex], index)
+                else:
+                    anchor[vertex] = index
+        out: list[tuple[frozenset[int], frozenset[Vertex]]] = []
+        for group in union.groups():
+            vertices = frozenset().union(*(self.edges[i] for i in group))
+            out.append((frozenset(group), frozenset(vertices) & bag))
+        return out
+
+    def _guard_candidates(self) -> Iterable[tuple[int, ...]]:
+        indices = range(len(self.edges))
+        for size in range(1, self.k + 1):
+            yield from itertools.combinations(indices, size)
+
+    # ----------------------------------------------------------------- search
+
+    def decide(self, component_edges: frozenset[int], connector: frozenset[Vertex]) -> bool:
+        state = (component_edges, connector)
+        cached = self.memo.get(state)
+        if cached is not None:
+            return cached
+
+        component_vertices = frozenset().union(
+            *(self.edges[i] for i in component_edges)
+        ) if component_edges else frozenset()
+        scope = component_vertices | connector
+
+        result = False
+        for guard in self._guard_candidates():
+            cover = frozenset().union(*(self.edges[i] for i in guard))
+            if not connector <= cover:
+                continue
+            bag = cover & scope
+            if not bag:
+                continue
+            children = self._components(component_edges, bag)
+            # Progress: every child must be a strictly smaller edge set.
+            if any(len(child_edges) >= len(component_edges) for child_edges, _ in children):
+                continue
+            if all(self.decide(child_edges, child_conn) for child_edges, child_conn in children):
+                self.choice[state] = (guard, bag, children)
+                result = True
+                break
+        self.memo[state] = result
+        return result
+
+    def build(self) -> HypertreeDecomposition | None:
+        all_edges = frozenset(range(len(self.edges)))
+        if not all_edges:
+            tree = nx.DiGraph()
+            tree.add_node("root")
+            return HypertreeDecomposition(tree, {"root": frozenset()}, {"root": frozenset()})
+        if not self.decide(all_edges, frozenset()):
+            return None
+
+        tree = nx.DiGraph()
+        chi: dict[Hashable, frozenset[Vertex]] = {}
+        guards: dict[Hashable, frozenset[frozenset[Vertex]]] = {}
+        counter = itertools.count()
+
+        def expand(state: tuple[frozenset, frozenset]) -> Hashable:
+            guard, bag, children = self.choice[state]
+            node = next(counter)
+            tree.add_node(node)
+            chi[node] = bag
+            guards[node] = frozenset(self.edges[i] for i in guard)
+            for child_state in children:
+                child_node = expand(child_state)
+                tree.add_edge(node, child_node)
+            return node
+
+        expand((all_edges, frozenset()))
+        return HypertreeDecomposition(tree, chi, guards)
+
+
+def hypertree_decomposition(
+    hypergraph: Hypergraph, k: int
+) -> HypertreeDecomposition | None:
+    """A hypertree decomposition of width ≤ k, or ``None`` if none exists."""
+    if k < 1:
+        return None
+    return _HypertreeSolver(hypergraph, k).build()
+
+
+def hypertree_width_at_most(hypergraph: Hypergraph, k: int) -> bool:
+    """Whether ``htw(H) ≤ k``."""
+    return hypertree_decomposition(hypergraph, k) is not None
+
+
+def hypertree_width(hypergraph: Hypergraph, *, max_k: int | None = None) -> int:
+    """The exact hypertree width (searched from 1 upward)."""
+    bound = max_k if max_k is not None else max(len(hypergraph.edges), 1)
+    for k in range(1, bound + 1):
+        if hypertree_width_at_most(hypergraph, k):
+            return k
+    raise ValueError(f"hypertree width exceeds {bound}")
+
+
+def query_hypertree_width_at_most(query, k: int) -> bool:
+    """Membership test for the class HTW(k) of Section 6."""
+    from repro.hypergraphs.hypergraph import hypergraph_of_query
+
+    return hypertree_width_at_most(hypergraph_of_query(query), k)

@@ -1,0 +1,201 @@
+"""Treewidth: exact decision procedure, exact value, and heuristics.
+
+Treewidth equals the minimum over elimination orders of the maximum degree
+at elimination time.  The decision procedure ``treewidth_at_most`` explores
+elimination orders with memoization on the set of remaining vertices; the
+"filled" adjacency of a state is a function of the remaining set alone (two
+remaining vertices are adjacent iff they are adjacent in ``G`` or connected
+through eliminated vertices), which makes the memoization sound.
+
+This is exponential in general — fine for tableau-sized graphs, which is
+where the paper needs it (class membership tests for TW(k) and the
+approximation search).  ``treewidth_upper_bound`` provides a min-fill
+heuristic for larger inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import networkx as nx
+
+from repro.hypergraphs.treedecomp import TreeDecomposition
+
+Vertex = Hashable
+
+
+def _simple(graph: nx.Graph) -> nx.Graph:
+    """Copy of the graph without self-loops (loops don't affect treewidth)."""
+    cleaned = nx.Graph()
+    cleaned.add_nodes_from(graph.nodes)
+    cleaned.add_edges_from((u, v) for u, v in graph.edges if u != v)
+    return cleaned
+
+
+class _EliminationSolver:
+    """Decides ``tw(G) ≤ k`` and produces a witnessing elimination order."""
+
+    def __init__(self, graph: nx.Graph, k: int) -> None:
+        self.graph = _simple(graph)
+        self.k = k
+        self.memo: dict[frozenset, bool] = {}
+        self.order: dict[frozenset, Vertex] = {}
+
+    def filled_neighbors(self, remaining: frozenset, vertex: Vertex) -> set[Vertex]:
+        """Neighbors of ``vertex`` in the filled graph on ``remaining``.
+
+        ``u`` is a filled neighbor iff an original path joins them whose
+        interior avoids ``remaining``.
+        """
+        seen = {vertex}
+        frontier = [vertex]
+        neighbors: set[Vertex] = set()
+        while frontier:
+            current = frontier.pop()
+            for nxt in self.graph.neighbors(current):
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                if nxt in remaining:
+                    neighbors.add(nxt)
+                else:
+                    frontier.append(nxt)
+        return neighbors
+
+    def decide(self, remaining: frozenset) -> bool:
+        if len(remaining) <= self.k + 1:
+            return True
+        cached = self.memo.get(remaining)
+        if cached is not None:
+            return cached
+
+        result = False
+        candidates = sorted(remaining, key=repr)
+        degrees = {
+            v: self.filled_neighbors(remaining, v) for v in candidates
+        }
+        # Eliminate low-degree vertices first; a simplicial vertex of degree
+        # ≤ k can always be eliminated greedily (standard safe rule).
+        candidates.sort(key=lambda v: len(degrees[v]))
+        for vertex in candidates:
+            neighbors = degrees[vertex]
+            if len(neighbors) > self.k:
+                break  # sorted by degree: everything later is worse
+            if self.decide(remaining - {vertex}):
+                self.order[remaining] = vertex
+                result = True
+                break
+        self.memo[remaining] = result
+        return result
+
+    def elimination_order(self) -> list[Vertex] | None:
+        everything = frozenset(self.graph.nodes)
+        if not self.decide(everything):
+            return None
+        order: list[Vertex] = []
+        remaining = everything
+        while len(remaining) > self.k + 1:
+            vertex = self.order[remaining]
+            order.append(vertex)
+            remaining = remaining - {vertex}
+        order.extend(sorted(remaining, key=repr))
+        return order
+
+
+def treewidth_at_most(graph: nx.Graph, k: int) -> bool:
+    """Exact decision: does ``graph`` have treewidth at most ``k``?"""
+    if k < 0:
+        return graph.number_of_nodes() == 0
+    return _EliminationSolver(graph, k).decide(frozenset(_simple(graph).nodes))
+
+
+def treewidth_exact(graph: nx.Graph) -> int:
+    """The exact treewidth, by increasing the decision bound.
+
+    An upper bound from the min-fill heuristic caps the search.
+    """
+    simple = _simple(graph)
+    if simple.number_of_nodes() == 0:
+        return -1
+    upper = treewidth_upper_bound(simple)
+    for k in range(upper + 1):
+        if treewidth_at_most(simple, k):
+            return k
+    return upper
+
+
+def treewidth_upper_bound(graph: nx.Graph) -> int:
+    """A min-fill heuristic upper bound (networkx's approximation)."""
+    from networkx.algorithms.approximation import treewidth_min_fill_in
+
+    simple = _simple(graph)
+    if simple.number_of_nodes() == 0:
+        return -1
+    width, _ = treewidth_min_fill_in(simple)
+    return width
+
+
+def decomposition_from_elimination(
+    graph: nx.Graph, order: Sequence[Vertex]
+) -> TreeDecomposition:
+    """The tree decomposition induced by an elimination order.
+
+    Bag of ``v`` = ``{v} ∪ (neighbors of v at elimination time)``; the bag of
+    ``v`` hangs off the bag of the earliest-later eliminated neighbor.
+    """
+    simple = _simple(graph)
+    if set(order) != set(simple.nodes):
+        raise ValueError("order must enumerate every vertex exactly once")
+
+    position = {v: i for i, v in enumerate(order)}
+    working = simple.copy()
+    bags: dict[Vertex, frozenset[Vertex]] = {}
+    parent_of: dict[Vertex, Vertex] = {}
+
+    for vertex in order:
+        neighbors = set(working.neighbors(vertex))
+        bags[vertex] = frozenset(neighbors | {vertex})
+        if neighbors:
+            parent_of[vertex] = min(neighbors, key=lambda u: position[u])
+        for u in neighbors:
+            for w in neighbors:
+                if u != w:
+                    working.add_edge(u, w)
+        working.remove_node(vertex)
+
+    tree = nx.Graph()
+    tree.add_nodes_from(order)
+    for child, parent in parent_of.items():
+        tree.add_edge(child, parent)
+    # A disconnected graph yields a forest; chain the component roots so the
+    # result is a single tree (bags of different components share no vertex,
+    # so extra tree edges cannot break the connectedness condition).
+    components = [sorted(c, key=repr)[0] for c in nx.connected_components(tree)]
+    for left, right in zip(components, components[1:]):
+        tree.add_edge(left, right)
+    return TreeDecomposition(tree, bags)
+
+
+def tree_decomposition(graph: nx.Graph, k: int) -> TreeDecomposition | None:
+    """A width-``≤ k`` tree decomposition of the graph, or ``None``."""
+    simple = _simple(graph)
+    if simple.number_of_nodes() == 0:
+        empty = nx.Graph()
+        return TreeDecomposition(empty, {})
+    solver = _EliminationSolver(simple, k)
+    order = solver.elimination_order()
+    if order is None:
+        return None
+    decomposition = decomposition_from_elimination(simple, order)
+    assert decomposition.width <= k
+    return decomposition
+
+
+def treewidth_of_query(query) -> int:
+    """Treewidth of ``G(Q)`` — the graph-based tractability measure."""
+    return treewidth_exact(query.graph())
+
+
+def query_treewidth_at_most(query, k: int) -> bool:
+    """Membership test for the class TW(k) of Section 4."""
+    return treewidth_at_most(query.graph(), k)

@@ -1,0 +1,21 @@
+"""Small shared helpers used across the library."""
+
+from repro.util.partitions import (
+    bell_number,
+    canonical_partition,
+    partition_to_mapping,
+    refinements,
+    set_partitions,
+)
+from repro.util.disjoint_set import DisjointSet
+from repro.util.naming import fresh_names
+
+__all__ = [
+    "DisjointSet",
+    "bell_number",
+    "canonical_partition",
+    "fresh_names",
+    "partition_to_mapping",
+    "refinements",
+    "set_partitions",
+]

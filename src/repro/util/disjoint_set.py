@@ -1,0 +1,54 @@
+"""A union-find structure with path compression and union by size."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+
+class DisjointSet:
+    """Union-find over arbitrary hashable elements.
+
+    Elements are added lazily on first use; ``find`` on an unseen element
+    creates a fresh singleton set.
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: Hashable) -> Hashable:
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the sets containing ``a`` and ``b``; return the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> list[frozenset[Hashable]]:
+        """All current equivalence classes."""
+        by_root: dict[Hashable, set[Hashable]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), set()).add(item)
+        return [frozenset(group) for group in by_root.values()]

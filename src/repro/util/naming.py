@@ -1,0 +1,21 @@
+"""Generation of fresh element/variable names."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+
+def fresh_names(taken: Iterable[Hashable], prefix: str = "z") -> Iterator[str]:
+    """Yield an endless stream of names not present in ``taken``.
+
+    Names look like ``z0, z1, ...``; the stream skips collisions with the
+    initial ``taken`` set (later external additions are the caller's concern).
+    """
+    used = set(taken)
+    index = 0
+    while True:
+        name = f"{prefix}{index}"
+        if name not in used:
+            used.add(name)
+            yield name
+        index += 1

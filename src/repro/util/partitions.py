@@ -1,0 +1,124 @@
+"""Set partitions, enumerated via restricted growth strings.
+
+The approximation algorithms of the paper enumerate homomorphic images of a
+tableau.  Every homomorphic image of a structure is (isomorphic to) a quotient
+by the kernel of the homomorphism, so enumerating images amounts to
+enumerating set partitions of the domain (Theorem 4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Hashable, Iterable, Iterator, Sequence
+
+
+@lru_cache(maxsize=None)
+def bell_number(n: int) -> int:
+    """Number of set partitions of an ``n``-element set.
+
+    Computed with the Bell triangle.  ``bell_number(0) == 1``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    row = [1]
+    for _ in range(n):
+        new_row = [row[-1]]
+        for value in row:
+            new_row.append(new_row[-1] + value)
+        row = new_row
+    return row[0]
+
+
+def set_partitions(items: Sequence[Hashable]) -> Iterator[tuple[tuple[Hashable, ...], ...]]:
+    """Yield every set partition of ``items`` as a tuple of blocks.
+
+    Partitions are produced in restricted-growth-string order; each block is a
+    tuple preserving the original order of ``items``, and blocks are ordered
+    by their first element.  The number of partitions is ``bell_number(n)``.
+    """
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        yield ()
+        return
+
+    # Restricted growth strings: a[0] = 0 and a[i] <= max(a[0..i-1]) + 1.
+    codes = [0] * n
+    while True:
+        block_count = max(codes) + 1
+        blocks: list[list[Hashable]] = [[] for _ in range(block_count)]
+        for item, code in zip(items, codes):
+            blocks[code].append(item)
+        yield tuple(tuple(block) for block in blocks)
+
+        # Advance to the next restricted growth string.
+        i = n - 1
+        while i > 0:
+            bound = max(codes[:i]) + 1
+            if codes[i] < bound:
+                codes[i] += 1
+                for j in range(i + 1, n):
+                    codes[j] = 0
+                break
+            i -= 1
+        else:
+            return
+
+
+def partition_to_mapping(
+    partition: Iterable[Sequence[Hashable]],
+) -> dict[Hashable, Hashable]:
+    """Map every element of every block to the block's first element.
+
+    The resulting mapping realizes the quotient by the partition, using block
+    representatives as the quotient's domain.
+    """
+    mapping: dict[Hashable, Hashable] = {}
+    for block in partition:
+        block = tuple(block)
+        if not block:
+            raise ValueError("partition blocks must be non-empty")
+        representative = block[0]
+        for element in block:
+            if element in mapping:
+                raise ValueError(f"element {element!r} occurs in two blocks")
+            mapping[element] = representative
+    return mapping
+
+
+def canonical_partition(
+    partition: Iterable[Sequence[Hashable]],
+) -> frozenset[frozenset[Hashable]]:
+    """A hashable, order-insensitive form of a partition."""
+    return frozenset(frozenset(block) for block in partition)
+
+
+def refinements(
+    partition: Sequence[Sequence[Hashable]],
+) -> Iterator[tuple[tuple[Hashable, ...], ...]]:
+    """Yield all proper refinements of ``partition``.
+
+    A refinement splits at least one block into smaller blocks; the trivial
+    refinement (the partition itself) is not produced.  Used by the greedy
+    descent of the approximation search.
+    """
+    blocks = [tuple(block) for block in partition]
+
+    def sub_partitions(block: tuple[Hashable, ...]) -> list[tuple[tuple[Hashable, ...], ...]]:
+        return list(set_partitions(block))
+
+    choices = [sub_partitions(block) for block in blocks]
+
+    def recurse(index: int, acc: list[tuple[Hashable, ...]], proper: bool) -> Iterator[
+        tuple[tuple[Hashable, ...], ...]
+    ]:
+        if index == len(blocks):
+            if proper:
+                yield tuple(acc)
+            return
+        for option in choices[index]:
+            yield from recurse(
+                index + 1, acc + list(option), proper or len(option) > 1
+            )
+
+    yield from recurse(0, [], False)

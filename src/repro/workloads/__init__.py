@@ -1,0 +1,27 @@
+"""Workload generators: random queries, random data, paper families."""
+
+from repro.workloads.random_queries import (
+    cycle_with_chords,
+    grid_query,
+    random_cq,
+    random_graph_query,
+)
+from repro.workloads.random_data import (
+    path_heavy_db,
+    random_database,
+    random_digraph_db,
+    social_network_db,
+    union_with_pattern,
+)
+
+__all__ = [
+    "cycle_with_chords",
+    "grid_query",
+    "path_heavy_db",
+    "random_cq",
+    "random_database",
+    "random_digraph_db",
+    "random_graph_query",
+    "social_network_db",
+    "union_with_pattern",
+]

@@ -1,0 +1,100 @@
+"""The paper's query families, gathered under one roof.
+
+Everything here re-exports or assembles constructions defined next to their
+theory modules, so examples and benchmarks have a single import point.
+"""
+
+from __future__ import annotations
+
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.parser import parse_query
+from repro.graphs.gadgets import (
+    gadget_d,
+    gadget_d_ac,
+    gadget_d_bd,
+    gadget_g_n,
+    gadget_g_n_s,
+    intro_q1,
+    intro_q2,
+    intro_ternary_approx,
+    intro_ternary_q,
+    q_n,
+    q_n_s,
+    tight_g_k,
+)
+from repro.core.strong_tw import prop_513_query, prop_514_pair, prop_515_pair
+from repro.core.tight import tight_pair
+
+
+def example_66_query() -> ConjunctiveQuery:
+    """Example 6.6's ternary query."""
+    return parse_query("Q() :- R(x1, x2, x3), R(x3, x4, x5), R(x5, x6, x1)")
+
+
+def example_66_approximations() -> list[ConjunctiveQuery]:
+    """The three acyclic approximations listed in Example 6.6."""
+    return [
+        parse_query("Q() :- R(x, y, x)"),
+        parse_query("Q() :- R(x1, x2, x3), R(x3, x4, x2), R(x2, x6, x1)"),
+        parse_query(
+            "Q() :- R(x1, x2, x3), R(x3, x4, x5), R(x5, x6, x1), R(x1, x3, x5)"
+        ),
+    ]
+
+
+def proposition_59_query() -> ConjunctiveQuery:
+    """The 4-cycle with three free variables of Proposition 5.9."""
+    return parse_query(
+        "Q(x1, x2, x3) :- E(x1, x2), E(x2, x3), E(x3, x4), E(x4, x1)"
+    )
+
+
+def theorem_51_examples() -> dict[str, ConjunctiveQuery]:
+    """One Boolean graph query per trichotomy case of Theorem 5.1."""
+    return {
+        "not_bipartite": intro_q1(),
+        "bipartite_unbalanced": parse_query(
+            "Q() :- E(x, y), E(y, z), E(z, u), E(x, u)"
+        ),
+        "bipartite_balanced": intro_q2(),
+    }
+
+
+def prop_44_query(n: int) -> ConjunctiveQuery:
+    """``Q_n`` of Proposition 4.4 (tableau ``G_n``)."""
+    return q_n(n)
+
+
+def prop_44_approximations(n: int) -> list[ConjunctiveQuery]:
+    """The ``2^n`` approximations ``Q_n^s`` of Proposition 4.4."""
+    queries = []
+    for index in range(2 ** n):
+        s = "".join("V" if (index >> bit) & 1 else "H" for bit in range(n))
+        queries.append(q_n_s(s))
+    return queries
+
+
+__all__ = [
+    "example_66_approximations",
+    "example_66_query",
+    "gadget_d",
+    "gadget_d_ac",
+    "gadget_d_bd",
+    "gadget_g_n",
+    "gadget_g_n_s",
+    "intro_q1",
+    "intro_q2",
+    "intro_ternary_approx",
+    "intro_ternary_q",
+    "prop_44_approximations",
+    "prop_44_query",
+    "prop_513_query",
+    "prop_514_pair",
+    "prop_515_pair",
+    "proposition_59_query",
+    "q_n",
+    "q_n_s",
+    "theorem_51_examples",
+    "tight_g_k",
+    "tight_pair",
+]

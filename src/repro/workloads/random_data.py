@@ -1,0 +1,106 @@
+"""Random database generators for the evaluation benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.cq.structure import Structure
+from repro.cq.vocabulary import Vocabulary
+
+
+def random_digraph_db(
+    num_nodes: int, num_edges: int, *, seed: int | None = None, loops: bool = False
+) -> Structure:
+    """A random directed graph database over relation ``E``."""
+    rng = random.Random(seed)
+    edges: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(edges) < num_edges and attempts < 50 * num_edges + 100:
+        attempts += 1
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v and not loops:
+            continue
+        edges.add((u, v))
+    return Structure({"E": edges}, vocabulary={"E": 2}, domain=range(num_nodes))
+
+
+def random_database(
+    vocabulary: Vocabulary | dict[str, int],
+    domain_size: int,
+    tuples_per_relation: int,
+    *,
+    seed: int | None = None,
+) -> Structure:
+    """A random database over an arbitrary vocabulary."""
+    vocabulary = Vocabulary(vocabulary)
+    rng = random.Random(seed)
+    relations: dict[str, set[tuple]] = {}
+    for name in sorted(vocabulary):
+        arity = vocabulary[name]
+        rows: set[tuple] = set()
+        attempts = 0
+        while len(rows) < tuples_per_relation and attempts < 50 * tuples_per_relation + 100:
+            attempts += 1
+            rows.add(tuple(rng.randrange(domain_size) for _ in range(arity)))
+        relations[name] = rows
+    return Structure(relations, vocabulary=vocabulary, domain=range(domain_size))
+
+
+def social_network_db(
+    num_people: int,
+    avg_degree: float = 4.0,
+    *,
+    seed: int | None = None,
+    communities: int = 4,
+) -> Structure:
+    """A community-structured "follows" graph (the intro's motivating shape).
+
+    People mostly follow within their community with a few cross links —
+    producing the skewed, locally dense graphs on which cyclic pattern
+    queries are expensive and acyclic approximations shine.
+    """
+    rng = random.Random(seed)
+    edges: set[tuple[int, int]] = set()
+    target = int(num_people * avg_degree)
+    membership = [rng.randrange(communities) for _ in range(num_people)]
+    by_community: dict[int, list[int]] = {}
+    for person, community in enumerate(membership):
+        by_community.setdefault(community, []).append(person)
+    attempts = 0
+    while len(edges) < target and attempts < 50 * target + 100:
+        attempts += 1
+        u = rng.randrange(num_people)
+        if rng.random() < 0.85:
+            pool = by_community[membership[u]]
+            v = rng.choice(pool)
+        else:
+            v = rng.randrange(num_people)
+        if u != v:
+            edges.add((u, v))
+    return Structure({"E": edges}, vocabulary={"E": 2}, domain=range(num_people))
+
+
+def path_heavy_db(
+    num_nodes: int, *, branches: int = 3, seed: int | None = None
+) -> Structure:
+    """Long chains with light branching: many paths, few cycles."""
+    rng = random.Random(seed)
+    edges: list[tuple[int, int]] = [(i, i + 1) for i in range(num_nodes - 1)]
+    for _ in range(branches * max(num_nodes // 10, 1)):
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u != v:
+            edges.append((u, v))
+    return Structure({"E": edges}, vocabulary={"E": 2}, domain=range(num_nodes))
+
+
+def union_with_pattern(db: Structure, pattern: Structure, *, tag: str = "w") -> Structure:
+    """Plant a disjoint copy of ``pattern`` into ``db`` (a witness)."""
+    renamed = pattern.rename({v: (tag, v) for v in pattern.domain})
+    return db.union(renamed)
+
+
+def domain_values(db: Structure) -> Iterable:
+    return sorted(db.domain, key=repr)

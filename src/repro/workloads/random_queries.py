@@ -1,0 +1,130 @@
+"""Random conjunctive-query generators.
+
+Benchmarks and property-based tests use these: random Boolean graph queries
+(tableaux are random digraphs), random higher-arity CQs, and structured
+families (cycles with chords, grids) that land on interesting points of the
+trichotomy of Theorem 5.1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.cq.vocabulary import Vocabulary
+
+
+def random_graph_query(
+    num_variables: int,
+    num_atoms: int,
+    *,
+    seed: int | None = None,
+    allow_loops: bool = False,
+    head_size: int = 0,
+) -> ConjunctiveQuery:
+    """A random CQ over the graph vocabulary with a connected tableau.
+
+    The first ``num_variables - 1`` atoms form a random spanning tree-ish
+    skeleton (guaranteeing every variable occurs), the rest are random edges.
+    """
+    if num_variables < 2:
+        raise ValueError("need at least two variables")
+    if num_atoms < num_variables - 1:
+        raise ValueError("need at least num_variables - 1 atoms for connectivity")
+    rng = random.Random(seed)
+    variables = [f"x{i}" for i in range(num_variables)]
+
+    atoms: list[Atom] = []
+    seen_pairs: set[tuple[str, str]] = set()
+    for i in range(1, num_variables):
+        other = variables[rng.randrange(i)]
+        pair = (variables[i], other) if rng.random() < 0.5 else (other, variables[i])
+        atoms.append(Atom("E", pair))
+        seen_pairs.add(pair)
+    while len(atoms) < num_atoms:
+        u = rng.choice(variables)
+        v = rng.choice(variables)
+        if u == v and not allow_loops:
+            continue
+        if (u, v) in seen_pairs:
+            continue
+        seen_pairs.add((u, v))
+        atoms.append(Atom("E", (u, v)))
+    head = tuple(rng.sample(variables, head_size)) if head_size else ()
+    return ConjunctiveQuery(head, atoms)
+
+
+def random_cq(
+    vocabulary: Vocabulary | dict[str, int],
+    num_variables: int,
+    num_atoms: int,
+    *,
+    seed: int | None = None,
+    head_size: int = 0,
+) -> ConjunctiveQuery:
+    """A random CQ over an arbitrary vocabulary (every variable used)."""
+    vocabulary = Vocabulary(vocabulary)
+    if num_atoms < 1:
+        raise ValueError("need at least one atom")
+    rng = random.Random(seed)
+    variables = [f"x{i}" for i in range(num_variables)]
+    names = sorted(vocabulary)
+
+    atoms: list[Atom] = []
+    unused = list(variables)
+    rng.shuffle(unused)
+    widest = max(vocabulary.values())
+    wide_names = [n for n in names if vocabulary[n] == widest]
+    while len(atoms) < num_atoms:
+        # While variables remain unused, prefer the widest relations so that
+        # the atom budget always suffices to cover every variable.
+        name = rng.choice(wide_names if unused else names)
+        arity = vocabulary[name]
+        args = []
+        for _ in range(arity):
+            if unused:
+                args.append(unused.pop())
+            else:
+                args.append(rng.choice(variables))
+        atoms.append(Atom(name, tuple(args)))
+    if unused:
+        raise ValueError(
+            f"{num_atoms} atoms cannot use {num_variables} variables "
+            f"(max arity {vocabulary.max_arity})"
+        )
+    head = tuple(rng.sample(variables, head_size)) if head_size else ()
+    return ConjunctiveQuery(head, atoms)
+
+
+def cycle_with_chords(
+    length: int, chords: Sequence[tuple[int, int]] = (), *, head_size: int = 0
+) -> ConjunctiveQuery:
+    """A directed cycle of the given length plus chord edges ``(i, j)``."""
+    if length < 3:
+        raise ValueError("cycle length must be at least 3")
+    atoms = [Atom("E", (f"x{i}", f"x{(i + 1) % length}")) for i in range(length)]
+    for i, j in chords:
+        atoms.append(Atom("E", (f"x{i % length}", f"x{j % length}")))
+    head = tuple(f"x{i}" for i in range(head_size))
+    return ConjunctiveQuery(head, atoms)
+
+
+def grid_query(rows: int, cols: int) -> ConjunctiveQuery:
+    """A Boolean query whose tableau is the directed grid (right/down edges).
+
+    Grids are balanced and bipartite: by Theorem 5.1 they sit in the
+    interesting region of the trichotomy.  Treewidth is ``min(rows, cols)``.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid must be non-empty")
+    if rows * cols < 2:
+        raise ValueError("grid needs at least two variables")
+    atoms = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                atoms.append(Atom("E", (f"g{r}_{c}", f"g{r}_{c + 1}")))
+            if r + 1 < rows:
+                atoms.append(Atom("E", (f"g{r}_{c}", f"g{r + 1}_{c}")))
+    return ConjunctiveQuery((), atoms)

@@ -1,0 +1,147 @@
+"""Verification of the synthesized choosers and T̃ (Definition 8.7,
+Claims 8.9–8.11, Corollary 8.12)."""
+
+import pytest
+
+from repro.graphs import digraph_hom_exists, height, is_balanced, levels
+from repro.graphs.appendix_choosers import (
+    Chain,
+    _CHOOSER_EXPRESSIONS,
+    build_chain,
+    build_expression_gadget,
+    chooser,
+    chooser_relation,
+    expression_relation,
+    extended_chooser_21,
+    extended_chooser_34,
+    t_prime,
+    t_tilde,
+)
+from repro.graphs.appendix_qstar import target_tree
+from repro.graphs.balanced import digraph_homomorphism
+
+
+def _observed_relation(structure, a, b, tree) -> set:
+    got = set()
+    for i in range(1, 5):
+        for m in range(1, 5):
+            pin = {a: tree.tips[i], b: tree.tips[m]}
+            if digraph_homomorphism(structure, tree.structure, pin=pin) is not None:
+                got.add((i, m))
+    return got
+
+
+class TestExpressionAlgebra:
+    def test_expression_relations_match_targets(self):
+        for (i, j), expr in _CHOOSER_EXPRESSIONS.items():
+            assert expression_relation(expr) == chooser_relation(i, j), (i, j)
+
+    def test_relation_targets(self):
+        assert chooser_relation(1, 3) == {(1, 2), (1, 3), (2, 1), (2, 2)}
+        assert chooser_relation(2, 1) == {(1, 1), (1, 3), (2, 2), (2, 3)}
+
+    def test_invalid_indices(self):
+        with pytest.raises(ValueError):
+            chooser_relation(4, 1)
+        with pytest.raises(ValueError):
+            chooser(1, 2)  # not synthesized (not needed by T')
+
+    def test_gadget_shape(self):
+        structure, a, b = build_expression_gadget(("C", {1, 2}, {2, 3}), tag="t")
+        lvl = levels(structure)
+        assert lvl[a] == 25 and lvl[b] == 25
+        assert is_balanced(structure)
+
+    def test_dangler_gadget(self):
+        structure, a, b = build_expression_gadget(("D", {1, 2}), tag="d")
+        assert a == b
+
+
+class TestChain:
+    def test_chain_junction_levels(self):
+        chain = build_chain(
+            [frozenset({1, 2}), frozenset({1, 2, 5})], start_at_tip=False
+        )
+        lvl = levels(chain.structure)
+        assert [lvl[j] for j in chain.junctions] == [0, 25, 0]
+
+    def test_chain_requires_blocks(self):
+        with pytest.raises(ValueError):
+            build_chain([], start_at_tip=False)
+
+
+class TestChoosersAgainstT:
+    """Definition 8.7, checked with the homomorphism engine."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("pair", [(2, 1), (1, 3), (3, 2)], ids=str)
+    def test_chooser_relation_exact(self, pair):
+        tree = target_tree()
+        c = chooser(*pair)
+        assert _observed_relation(c.structure, c.a, c.b, tree) == set(c.relation)
+
+    @pytest.mark.slow
+    def test_corollary_8_12_inside_z(self):
+        # Every needed pair is realizable inside Z = arms {1,2,3}.
+        z = target_tree(arms=(1, 2, 3))
+        c = chooser(2, 1)
+        got = {
+            (i, m)
+            for i in (1, 2, 3)
+            for m in (1, 2, 3)
+            if digraph_homomorphism(
+                c.structure, z.structure, pin={c.a: z.tips[i], c.b: z.tips[m]}
+            )
+            is not None
+        }
+        assert got == set(c.relation)
+
+
+class TestExtendedChoosers:
+    def test_shapes(self):
+        for ext in (extended_chooser_21(), extended_chooser_34()):
+            lvl = levels(ext.structure)
+            assert lvl[ext.start] == 0
+            assert lvl[ext.a] == 25
+            assert lvl[ext.b] == 25
+            assert is_balanced(ext.structure)
+
+    @pytest.mark.slow
+    def test_claim_8_9_s21(self):
+        # S̃21 is an extended (2,1)-chooser: a=t1 allows b in {1,3,4};
+        # a=t2 allows {2,3,4}; a in {t3,t4} impossible.
+        tree = target_tree()
+        ext = extended_chooser_21()
+        got = _observed_relation(ext.structure, ext.a, ext.b, tree)
+        assert got == set(ext.relation)
+
+    @pytest.mark.slow
+    def test_claim_8_9_s34(self):
+        tree = target_tree()
+        ext = extended_chooser_34()
+        got = _observed_relation(ext.structure, ext.a, ext.b, tree)
+        assert got == set(ext.relation)
+
+
+class TestTPrimeAndTTilde:
+    def test_t_prime_shape(self):
+        tp = t_prime()
+        assert len(tp.a_nodes) == 3
+        assert is_balanced(tp.structure)
+        assert height(tp.structure) == 25
+
+    def test_t_tilde_shape(self):
+        tt = t_tilde()
+        assert is_balanced(tt.structure)
+        assert height(tt.structure) == 25
+        lvl = levels(tt.structure)
+        assert lvl[tt.p] == 25 and lvl[tt.q] == 25
+
+    @pytest.mark.slow
+    def test_claim_8_11(self):
+        # No hom identifies p and q; every distinct pair is realizable.
+        tree = target_tree()
+        tt = t_tilde()
+        got = _observed_relation(tt.structure, tt.p, tt.q, tree)
+        expected = {(i, j) for i in range(1, 5) for j in range(1, 5) if i != j}
+        assert got == expected

@@ -1,0 +1,86 @@
+"""Computational verification of Claims 8.1 and 8.2 (appendix paths)."""
+
+import pytest
+
+from repro.graphs import digraph_hom_exists, height, is_balanced, net_length
+from repro.graphs.appendix_paths import (
+    appendix_p,
+    appendix_p_pair,
+    appendix_p_pair_spec,
+    appendix_p_spec,
+    appendix_p_triple,
+    appendix_p_triple_spec,
+)
+from repro.homomorphism import is_core
+
+
+class TestPi:
+    def test_net_length_11(self):
+        for i in range(1, 10):
+            assert net_length(appendix_p_spec(i)) == 11
+
+    def test_heights_equal(self):
+        # All P_i have height 11... actually height equals net length here
+        # because the dip never goes below the start.
+        heights = {height(appendix_p(i).structure) for i in range(1, 10)}
+        assert len(heights) == 1
+
+    @pytest.mark.parametrize("i", [1, 4, 9])
+    def test_pi_is_core(self, i):
+        assert is_core(appendix_p(i).structure)
+
+    def test_pairwise_incomparable(self):
+        paths = {i: appendix_p(i).structure for i in (1, 2, 5, 8, 9)}
+        for i in paths:
+            for j in paths:
+                expected = i == j
+                assert digraph_hom_exists(paths[i], paths[j]) == expected, (i, j)
+
+    def test_balanced(self):
+        assert is_balanced(appendix_p(3).structure)
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            appendix_p_spec(0)
+        with pytest.raises(ValueError):
+            appendix_p_spec(10)
+
+
+class TestPij:
+    def test_net_length_11(self):
+        assert net_length(appendix_p_pair_spec(1, 5)) == 11
+        assert net_length(appendix_p_pair_spec(3, 7)) == 11
+
+    @pytest.mark.parametrize("pair", [(1, 5), (2, 5), (3, 5), (1, 2), (1, 3), (2, 3), (5, 7), (7, 9)])
+    def test_claim_8_1(self, pair):
+        # P_ij → P_i and P_ij → P_j, and P_ij ↛ P_k for k ∉ {i, j}.
+        i, j = pair
+        p_ij = appendix_p_pair(i, j).structure
+        for k in range(1, 10):
+            expected = k in (i, j)
+            assert digraph_hom_exists(p_ij, appendix_p(k).structure) == expected, k
+
+    def test_bad_indices(self):
+        with pytest.raises(ValueError):
+            appendix_p_pair_spec(5, 5)
+        with pytest.raises(ValueError):
+            appendix_p_pair_spec(3, 1)
+
+
+class TestPijk:
+    @pytest.mark.parametrize("triple", [(1, 2, 5), (2, 4, 5), (3, 4, 5), (5, 7, 9), (1, 3, 5)])
+    def test_claim_8_2(self, triple):
+        i, j, k = triple
+        p_ijk = appendix_p_triple(i, j, k).structure
+        for target in range(1, 10):
+            expected = target in triple
+            assert (
+                digraph_hom_exists(p_ijk, appendix_p(target).structure) == expected
+            ), target
+
+    def test_net_length(self):
+        assert net_length(appendix_p_triple_spec(1, 3, 5)) == 11
+
+    def test_bad_indices(self):
+        with pytest.raises(ValueError):
+            appendix_p_triple_spec(1, 1, 2)

@@ -1,0 +1,119 @@
+"""Computational verification of Claims 8.3–8.6 (Q*, T_i, T_ij, T_ijk, T)."""
+
+import itertools
+
+import pytest
+
+from repro.graphs import (
+    digraph_hom_exists,
+    height,
+    is_acyclic_digraph,
+    is_balanced,
+    levels,
+)
+from repro.graphs.appendix_qstar import qstar, t_block, t_gadget, t5_gadget, target_tree
+
+
+class TestQstar:
+    def test_balanced_height_25(self):
+        g = qstar().structure
+        assert is_balanced(g)
+        assert height(g) == 25
+
+    def test_unique_extremes(self):
+        pointed = qstar()
+        lvl = levels(pointed.structure)
+        assert [n for n, v in lvl.items() if v == 0] == [pointed.initial]
+        assert [n for n, v in lvl.items() if v == 25] == [pointed.terminal]
+
+    def test_qstar_is_cyclic(self):
+        assert not is_acyclic_digraph(qstar().structure)
+
+
+class TestTGadgets:
+    @pytest.mark.parametrize("i", [1, 2, 3, 4, 5])
+    def test_acyclic_balanced_height(self, i):
+        g = t_gadget(i).structure
+        assert is_acyclic_digraph(g)
+        assert is_balanced(g)
+        assert height(g) == 25
+
+    @pytest.mark.parametrize("i", [1, 2, 3, 4])
+    def test_qstar_maps_onto_ti(self, i):
+        assert digraph_hom_exists(qstar().structure, t_gadget(i).structure)
+
+    def test_qstar_not_into_t5(self):
+        assert not digraph_hom_exists(qstar().structure, t5_gadget().structure)
+
+    @pytest.mark.slow
+    def test_t_gadgets_incomparable_cores(self):
+        # T_1..T_5 are incomparable cores (used throughout the appendix).
+        gadgets = {i: t_gadget(i).structure for i in range(1, 6)}
+        for i, j in itertools.permutations(gadgets, 2):
+            assert not digraph_hom_exists(gadgets[i], gadgets[j]), (i, j)
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            t_gadget(6)
+
+
+class TestBlocks:
+    PAIRS = [frozenset(p) for p in [(1, 5), (2, 5), (3, 5), (1, 2), (1, 3), (2, 3)]]
+    TRIPLES = [frozenset(t) for t in [(1, 2, 5), (2, 4, 5), (3, 4, 5)]]
+
+    @pytest.mark.parametrize("indices", PAIRS, ids=str)
+    def test_claim_8_5(self, indices):
+        # T_ij → T_k exactly for k ∈ {i, j}.
+        block = t_block(indices).structure
+        for k in range(1, 6):
+            expected = k in indices
+            assert digraph_hom_exists(block, t_gadget(k).structure) == expected, k
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("indices", TRIPLES, ids=str)
+    def test_claim_8_6(self, indices):
+        block = t_block(indices).structure
+        for k in range(1, 6):
+            expected = k in indices
+            assert digraph_hom_exists(block, t_gadget(k).structure) == expected, k
+
+    def test_block_shape(self):
+        block = t_block({1, 5})
+        assert is_acyclic_digraph(block.structure)
+        assert height(block.structure) == 25
+        lvl = levels(block.structure)
+        assert lvl[block.initial] == 0
+        assert lvl[block.terminal] == 25
+
+    def test_unknown_block(self):
+        with pytest.raises(ValueError):
+            t_block({1, 4})
+        with pytest.raises(ValueError):
+            t_block({1, 2, 3, 4})
+
+
+class TestTargetTree:
+    def test_t_is_acyclic_of_height_25(self):
+        t = target_tree()
+        assert is_acyclic_digraph(t.structure)
+        assert height(t.structure) == 25
+
+    def test_special_node_levels(self):
+        t = target_tree()
+        lvl = levels(t.structure)
+        assert lvl[t.root] == 0
+        for i in range(1, 5):
+            assert lvl[t.tips[i]] == 25
+            assert lvl[t.leaves[i]] == 0
+
+    def test_level_zero_nodes_are_exactly_hubs(self):
+        t = target_tree()
+        lvl = levels(t.structure)
+        zeros = {n for n, v in lvl.items() if v == 0}
+        assert zeros == {t.root} | set(t.leaves.values())
+
+    def test_z_subgraph(self):
+        z = target_tree(arms=(1, 2, 3))
+        t = target_tree()
+        assert z.structure.is_contained_in(t.structure)
+        assert set(z.tips) == {1, 2, 3}

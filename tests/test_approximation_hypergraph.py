@@ -1,0 +1,94 @@
+"""Tests for hypergraph-based approximations (Section 6)."""
+
+import pytest
+
+from repro.cq import are_equivalent, is_contained_in, parse_query
+from repro.core import (
+    AC,
+    ApproximationConfig,
+    HypertreeClass,
+    all_approximations,
+    approximate,
+    is_approximation,
+)
+from repro.graphs.gadgets import intro_ternary_approx, intro_ternary_q
+
+QUOTIENTS_ONLY = ApproximationConfig(max_extra_atoms=0)
+NO_FRESH = ApproximationConfig(max_extra_atoms=1, allow_fresh=False)
+
+
+class TestIntroTernaryExample:
+    def test_intro_approx_is_acyclic_and_contained(self):
+        q, q_prime = intro_ternary_q(), intro_ternary_approx()
+        assert AC.contains_query(q_prime)
+        assert not AC.contains_query(q)
+        assert is_contained_in(q_prime, q)
+
+    def test_intro_approx_is_an_approximation(self):
+        # Q'():-R(x,u,y),R(y,v,u),R(u,w,x) is among the nontrivial acyclic
+        # approximations of Q():-R(x,u,y),R(y,v,z),R(z,w,x).  (Witness space
+        # capped to quotients; the candidate itself is the z→u quotient.)
+        q, q_prime = intro_ternary_q(), intro_ternary_approx()
+        assert is_approximation(q, q_prime, AC, QUOTIENTS_ONLY)
+
+    def test_intro_approx_is_nontrivial(self):
+        q_prime = intro_ternary_approx()
+        trivial = parse_query("Q() :- R(x, x, x)")
+        assert not are_equivalent(q_prime, trivial)
+
+
+class TestExample66:
+    """Example 6.6: the ternary 'triangle' query has exactly three
+    non-equivalent acyclic approximations."""
+
+    QUERY = parse_query("Q() :- R(x1, x2, x3), R(x3, x4, x5), R(x5, x6, x1)")
+    A1 = parse_query("Q() :- R(x, y, x)")
+    A2 = parse_query("Q() :- R(x1, x2, x3), R(x3, x4, x2), R(x2, x6, x1)")
+    A3 = parse_query(
+        "Q() :- R(x1, x2, x3), R(x3, x4, x5), R(x5, x6, x1), R(x1, x3, x5)"
+    )
+
+    def test_listed_queries_are_acyclic_and_contained(self):
+        for candidate in (self.A1, self.A2, self.A3):
+            assert AC.contains_query(candidate)
+            assert is_contained_in(candidate, self.QUERY)
+
+    def test_listed_queries_are_pairwise_inequivalent(self):
+        assert not are_equivalent(self.A1, self.A2)
+        assert not are_equivalent(self.A1, self.A3)
+        assert not are_equivalent(self.A2, self.A3)
+
+    def test_join_counts_match_paper(self):
+        # fewer, equal, and more joins than Q (2 joins).
+        assert self.A1.num_joins < self.QUERY.num_joins
+        assert self.A2.num_joins == self.QUERY.num_joins
+        assert self.A3.num_joins > self.QUERY.num_joins
+
+    @pytest.mark.slow
+    def test_computed_approximations_match_example(self):
+        results = all_approximations(self.QUERY, AC, NO_FRESH)
+        assert len(results) == 3
+        for expected in (self.A1, self.A2, self.A3):
+            assert any(are_equivalent(r, expected) for r in results), expected
+
+
+class TestHypertreeApproximations:
+    def test_htw2_member_is_its_own_approximation(self):
+        q = parse_query("Q() :- R(x1, x2, x3), R(x3, x4, x5), R(x5, x6, x1)")
+        results = all_approximations(q, HypertreeClass(2), QUOTIENTS_ONLY)
+        assert len(results) == 1
+        assert are_equivalent(results[0], q)
+
+    def test_acyclic_approximation_of_four_cycle(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, u), E(u, x)")
+        results = all_approximations(q, AC, QUOTIENTS_ONLY)
+        assert results
+        for result in results:
+            assert AC.contains_query(result)
+            assert is_contained_in(result, q)
+
+    def test_approximate_single(self):
+        q = intro_ternary_q()
+        result = approximate(q, AC, config=QUOTIENTS_ONLY)
+        assert AC.contains_query(result)
+        assert is_contained_in(result, q)

@@ -1,0 +1,113 @@
+"""Tests for the bounded-treewidth homomorphism DP."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cq import Structure, parse_query
+from repro.homomorphism import (
+    bounded_treewidth_homomorphism,
+    bounded_tw_hom_exists,
+    containment_via_treewidth,
+    find_homomorphism,
+    homomorphism_exists,
+    is_homomorphism,
+)
+from tests.test_properties import digraphs
+
+
+def directed_cycle(n: int) -> Structure:
+    return Structure({"E": [(i, (i + 1) % n) for i in range(n)]})
+
+
+def directed_path(n: int) -> Structure:
+    return Structure({"E": [(i, i + 1) for i in range(n)]})
+
+
+class TestBasics:
+    def test_path_into_cycle(self):
+        h = bounded_treewidth_homomorphism(directed_path(5), directed_cycle(3))
+        assert h is not None
+        assert is_homomorphism(directed_path(5), directed_cycle(3), h)
+
+    def test_no_hom_detected(self):
+        assert not bounded_tw_hom_exists(directed_cycle(5), directed_cycle(3))
+
+    def test_cycle_into_cycle(self):
+        h = bounded_treewidth_homomorphism(directed_cycle(6), directed_cycle(3))
+        assert h is not None and is_homomorphism(
+            directed_cycle(6), directed_cycle(3), h
+        )
+
+    def test_pin(self):
+        h = bounded_treewidth_homomorphism(
+            directed_path(2), directed_path(2), pin={0: 0}
+        )
+        assert h == {0: 0, 1: 1, 2: 2}
+
+    def test_pin_infeasible(self):
+        assert (
+            bounded_treewidth_homomorphism(
+                directed_path(2), directed_path(2), pin={0: 2}
+            )
+            is None
+        )
+
+    def test_pin_unknown_element(self):
+        with pytest.raises(ValueError):
+            bounded_treewidth_homomorphism(
+                directed_path(1), directed_path(1), pin={99: 0}
+            )
+
+    def test_width_too_small(self):
+        with pytest.raises(ValueError):
+            bounded_treewidth_homomorphism(
+                directed_cycle(4), directed_cycle(4), k=1
+            )
+
+    def test_higher_arity(self):
+        src = Structure({"R": [("a", "b", "c"), ("c", "d", "e")]})
+        dst = Structure({"R": [(1, 2, 3), (3, 4, 5)]})
+        h = bounded_treewidth_homomorphism(src, dst)
+        assert h is not None and is_homomorphism(src, dst, h)
+
+    def test_empty_source(self):
+        empty = Structure({"E": []}, vocabulary={"E": 2})
+        assert bounded_treewidth_homomorphism(empty, directed_path(1)) == {}
+
+
+class TestAgreementWithEngine:
+    @given(digraphs(max_nodes=5, max_edges=7), digraphs(max_nodes=4, max_edges=8))
+    @settings(max_examples=50, deadline=None)
+    def test_existence_agrees(self, source, target):
+        assert bounded_tw_hom_exists(source, target) == homomorphism_exists(
+            source, target
+        )
+
+    @given(digraphs(max_nodes=5, max_edges=7), digraphs(max_nodes=4, max_edges=8))
+    @settings(max_examples=30, deadline=None)
+    def test_returned_map_is_a_hom(self, source, target):
+        h = bounded_treewidth_homomorphism(source, target)
+        if h is not None:
+            assert is_homomorphism(source, target, h)
+
+
+class TestContainmentFastPath:
+    def test_agrees_with_chandra_merlin(self):
+        from repro.cq import is_contained_in
+
+        cases = [
+            ("Q() :- E(x, y), E(y, z)", "Q() :- E(x, y)"),
+            ("Q() :- E(x, y)", "Q() :- E(x, y), E(y, z)"),
+            ("Q(x) :- E(x, y), E(y, z)", "Q(x) :- E(x, y)"),
+            ("Q() :- E(x, y), E(y, z), E(z, x)", "Q() :- E(x, x)"),
+            ("Q() :- E(x, x)", "Q() :- E(x, y), E(y, z), E(z, x)"),
+        ]
+        for sub_text, sup_text in cases:
+            sub, sup = parse_query(sub_text), parse_query(sup_text)
+            assert containment_via_treewidth(sub, sup) == is_contained_in(sub, sup)
+
+    def test_head_pin_inconsistency(self):
+        sub = parse_query("Q(x, y) :- E(x, y)")
+        sup = parse_query("Q(x, x) :- E(x, x)")
+        # T_sup has one distinguished element needing two images: no hom.
+        assert containment_via_treewidth(sub, sup) is False

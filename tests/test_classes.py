@@ -1,0 +1,78 @@
+"""Tests for the query-class objects."""
+
+import pytest
+
+from repro.cq import parse_query
+from repro.core import (
+    AC,
+    AcyclicClass,
+    GeneralizedHypertreeClass,
+    HypertreeClass,
+    TreewidthClass,
+    primal_graph_of_structure,
+)
+
+
+TRIANGLE = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+PATH = parse_query("Q() :- E(x, y), E(y, z)")
+TWO_CYCLE_LOOP = parse_query("Q(x, y) :- E(x, y), E(y, x), E(x, x)")
+TERNARY_CYCLE = parse_query("Q() :- R(x1, x2, x3), R(x3, x4, x5), R(x5, x6, x1)")
+
+
+class TestTreewidthClass:
+    def test_membership(self):
+        assert not TreewidthClass(1).contains_query(TRIANGLE)
+        assert TreewidthClass(2).contains_query(TRIANGLE)
+        assert TreewidthClass(1).contains_query(PATH)
+
+    def test_loops_do_not_matter(self):
+        assert TreewidthClass(1).contains_query(TWO_CYCLE_LOOP)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TreewidthClass(0)
+
+    def test_names_and_equality(self):
+        assert TreewidthClass(2) == TreewidthClass(2)
+        assert TreewidthClass(2) != TreewidthClass(3)
+        assert repr(TreewidthClass(2)) == "TW(2)"
+
+
+class TestAcyclicClass:
+    def test_membership(self):
+        assert not AC.contains_query(TRIANGLE)
+        assert AC.contains_query(PATH)
+        assert AC.contains_query(TWO_CYCLE_LOOP)
+
+    def test_big_atom_is_acyclic_but_high_treewidth(self):
+        q = parse_query("Q() :- R(a, b, c, d)")
+        assert AC.contains_query(q)
+        assert not TreewidthClass(2).contains_query(q)
+        assert TreewidthClass(3).contains_query(q)
+
+    def test_singleton(self):
+        assert AcyclicClass() == AC
+
+
+class TestHypertreeClasses:
+    def test_ac_equals_htw1(self):
+        for q in (TRIANGLE, PATH, TWO_CYCLE_LOOP, TERNARY_CYCLE):
+            assert AC.contains_query(q) == HypertreeClass(1).contains_query(q)
+
+    def test_ternary_cycle_width_2(self):
+        assert HypertreeClass(2).contains_query(TERNARY_CYCLE)
+        assert not HypertreeClass(1).contains_query(TERNARY_CYCLE)
+        assert GeneralizedHypertreeClass(2).contains_query(TERNARY_CYCLE)
+
+    def test_kinds(self):
+        assert TreewidthClass(1).kind == "graph"
+        assert AC.kind == "hypergraph"
+        assert HypertreeClass(2).kind == "hypergraph"
+
+
+class TestPrimalGraph:
+    def test_primal_graph_of_structure(self):
+        structure = TERNARY_CYCLE.tableau().structure
+        graph = primal_graph_of_structure(structure)
+        assert graph.number_of_nodes() == 6
+        assert graph.number_of_edges() == 9

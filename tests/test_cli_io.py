@@ -1,0 +1,92 @@
+"""Tests for JSON I/O and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cq import Structure, parse_query
+from repro.cli import main
+from repro.io import (
+    dump_query,
+    dump_structure,
+    load_query,
+    load_structure,
+    structure_from_dict,
+    structure_to_dict,
+)
+
+
+class TestIo:
+    def test_structure_round_trip(self, tmp_path):
+        structure = Structure({"E": [(1, 2), (2, 3)]}, domain=[1, 2, 3, 9])
+        path = tmp_path / "db.json"
+        dump_structure(structure, path)
+        assert load_structure(path) == structure
+
+    def test_structure_dict_shape(self):
+        data = structure_to_dict(Structure({"E": [(1, 2)]}))
+        assert data["relations"]["E"] == [[1, 2]]
+        assert data["domain"] == [1, 2]
+
+    def test_missing_relations_key(self):
+        with pytest.raises(ValueError):
+            structure_from_dict({})
+
+    def test_query_round_trip(self, tmp_path):
+        query = parse_query("Q(x) :- E(x, y), E(y, z)")
+        path = tmp_path / "query.txt"
+        dump_query(query, path)
+        assert load_query(path) == query
+
+
+class TestCli:
+    def test_approximate(self, capsys):
+        assert main(["approximate", "Q() :- E(x,y), E(y,z), E(z,x)"]) == 0
+        out = capsys.readouterr().out
+        assert "E(" in out
+
+    def test_approximate_all(self, capsys):
+        assert main(
+            ["approximate", "Q() :- E(x,y), E(y,z), E(z,x)", "--all", "--cls", "TW1"]
+        ) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_approximate_hypergraph_class(self, capsys):
+        assert main(
+            ["approximate", "Q() :- R(x,u,y), R(y,v,z), R(z,w,x)", "--cls", "AC"]
+        ) == 0
+
+    def test_classify(self, capsys):
+        assert main(["classify", "Q() :- E(x,y), E(y,z), E(z,x)"]) == 0
+        assert "not bipartite" in capsys.readouterr().out
+
+    def test_minimize(self, capsys):
+        assert main(["minimize", "Q() :- E(x,y), E(x,z)"]) == 0
+        assert capsys.readouterr().out.count("E(") == 1
+
+    def test_width(self, capsys):
+        assert main(["width", "Q() :- R(x,y,z), R(z,u,w)"]) == 0
+        out = capsys.readouterr().out
+        assert "treewidth" in out and "acyclic" in out
+
+    def test_contains_exit_codes(self):
+        assert main(["contains", "Q() :- E(x,y), E(y,z)", "Q() :- E(x,y)"]) == 0
+        assert main(["contains", "Q() :- E(x,y)", "Q() :- E(x,y), E(y,z)"]) == 1
+
+    def test_evaluate(self, tmp_path, capsys):
+        db = {"relations": {"E": [[1, 2], [2, 3]]}}
+        path = tmp_path / "g.json"
+        path.write_text(json.dumps(db))
+        assert main(["evaluate", "Q(x, z) :- E(x,y), E(y,z)", "--db", str(path)]) == 0
+        assert "1\t3" in capsys.readouterr().out
+
+    def test_evaluate_boolean(self, tmp_path, capsys):
+        db = {"relations": {"E": [[1, 2]]}}
+        path = tmp_path / "g.json"
+        path.write_text(json.dumps(db))
+        assert main(["evaluate", "Q() :- E(x,y)", "--db", str(path)]) == 0
+        assert "true" in capsys.readouterr().out
+
+    def test_unknown_class(self):
+        with pytest.raises(SystemExit):
+            main(["approximate", "Q() :- E(x,y)", "--cls", "WAT"])

@@ -1,0 +1,124 @@
+"""Tests for digraph colorability."""
+
+import pytest
+
+from repro.graphs import (
+    chromatic_number,
+    coloring,
+    complete_digraph,
+    digraph,
+    is_bipartite_digraph,
+    is_k_colorable,
+    symmetric_closure,
+)
+
+
+def sym_cycle(n: int):
+    return symmetric_closure(digraph([(i, (i + 1) % n) for i in range(n)]))
+
+
+class TestColorability:
+    def test_directed_cycle_2_colorable_iff_even(self):
+        assert is_bipartite_digraph(digraph([(i, (i + 1) % 4) for i in range(4)]))
+        assert not is_bipartite_digraph(digraph([(i, (i + 1) % 5) for i in range(5)]))
+
+    def test_loop_never_colorable(self):
+        assert not is_k_colorable(digraph([(0, 0)]), 10)
+
+    def test_complete_digraph_chromatic(self):
+        assert chromatic_number(complete_digraph(4)) == 4
+
+    def test_odd_sym_cycle_needs_3(self):
+        assert chromatic_number(sym_cycle(5)) == 3
+
+    def test_coloring_is_proper(self):
+        g = sym_cycle(6)
+        result = coloring(g, 2)
+        assert result is not None
+        for u, v in g.tuples("E"):
+            assert result[u] != result[v]
+
+    def test_edgeless(self):
+        g = digraph([], nodes=[1, 2, 3])
+        assert is_k_colorable(g, 1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            is_k_colorable(digraph([(0, 1)]), 0)
+
+    def test_chromatic_number_raises_on_loop(self):
+        with pytest.raises(ValueError):
+            chromatic_number(digraph([(0, 0)]))
+
+    def test_greedy_fallback_to_search(self):
+        # A graph where greedy with largest-first may overshoot but search
+        # certifies colorability: the 5-wheel minus spokes is just C5.
+        assert is_k_colorable(sym_cycle(7), 3)
+        assert not is_k_colorable(sym_cycle(7), 2)
+
+
+class TestGadgetsProp44:
+    def test_gadget_d_shape(self):
+        from repro.graphs.gadgets import gadget_d
+
+        d = gadget_d()
+        assert len(d.domain) == 28
+        assert d.total_tuples == 28
+
+    def test_dac_dbd_balanced_height_9(self):
+        from repro.graphs import height, is_balanced
+        from repro.graphs.gadgets import gadget_d_ac, gadget_d_bd
+
+        for g in (gadget_d_ac(), gadget_d_bd()):
+            assert is_balanced(g)
+            assert height(g) == 9
+
+    def test_claim_4_6_incomparable_cores(self):
+        # Claim 4.6: D_ac and D_bd are incomparable cores.
+        from repro.graphs import digraph_hom_exists
+        from repro.graphs.gadgets import gadget_d_ac, gadget_d_bd
+        from repro.homomorphism import is_core
+
+        dac, dbd = gadget_d_ac(), gadget_d_bd()
+        assert not digraph_hom_exists(dac, dbd)
+        assert not digraph_hom_exists(dbd, dac)
+        assert is_core(dac)
+        assert is_core(dbd)
+
+    def test_g_n_size(self):
+        # Q_n has 28n variables and 29n - 1 edges (the paper counts
+        # 29n - 2 joins).
+        from repro.graphs.gadgets import gadget_g_n
+
+        for n in (1, 2, 3):
+            g = gadget_g_n(n)
+            assert len(g.domain) == 28 * n
+            assert g.total_tuples == 29 * n - 1
+
+    def test_g_n_s_maps_into_g_n_quotient(self):
+        # Each G_n^s is a homomorphic image of G_n (Claim 4.8 direction).
+        from repro.graphs import digraph_hom_exists
+        from repro.graphs.gadgets import gadget_g_n, gadget_g_n_s
+
+        assert digraph_hom_exists(gadget_g_n(2), gadget_g_n_s("VH"))
+
+    def test_claim_4_7_incomparable_for_n_1(self):
+        from repro.graphs import digraph_hom_exists
+        from repro.graphs.gadgets import gadget_g_n_s
+
+        gv, gh = gadget_g_n_s("V"), gadget_g_n_s("H")
+        assert not digraph_hom_exists(gv, gh)
+        assert not digraph_hom_exists(gh, gv)
+
+    def test_q_n_s_is_treewidth_one(self):
+        from repro.graphs import is_acyclic_digraph
+        from repro.graphs.gadgets import gadget_g_n_s
+
+        assert is_acyclic_digraph(gadget_g_n_s("V"))
+        assert is_acyclic_digraph(gadget_g_n_s("HV"))
+
+    def test_g_n_is_cyclic(self):
+        from repro.graphs import is_acyclic_digraph
+        from repro.graphs.gadgets import gadget_g_n
+
+        assert not is_acyclic_digraph(gadget_g_n(1))

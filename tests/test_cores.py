@@ -1,0 +1,138 @@
+"""Tests for core computation."""
+
+from repro.cq import Structure, Tableau
+from repro.homomorphism import (
+    core,
+    core_tableau,
+    hom_equivalent,
+    is_core,
+    is_homomorphism,
+    retract_exists,
+    strictly_below,
+    tableau_hom,
+)
+
+
+def directed_cycle(n: int) -> Structure:
+    return Structure({"E": [(i, (i + 1) % n) for i in range(n)]})
+
+
+def sym_edge() -> Structure:
+    return Structure({"E": [(0, 1), (1, 0)]})
+
+
+class TestCore:
+    def test_directed_cycle_is_core(self):
+        assert is_core(directed_cycle(5))
+
+    def test_even_bidirected_cycle_cores_to_edge(self):
+        c4 = Structure(
+            {
+                "E": [(i, (i + 1) % 4) for i in range(4)]
+                + [((i + 1) % 4, i) for i in range(4)]
+            }
+        )
+        cored, retraction = core(c4)
+        assert len(cored) == 2
+        assert cored.total_tuples == 2
+        # The retraction really maps c4 onto the core.
+        assert is_homomorphism(c4, cored, retraction)
+
+    def test_core_of_disjoint_cycles(self):
+        # C6 + C3 (directed) cores to C3: C6 → C3 but not vice versa.
+        c6 = directed_cycle(6)
+        c3 = directed_cycle(3).rename(lambda x: x + 10)
+        union = c6.union(c3)
+        cored, _ = core(union)
+        assert len(cored) == 3
+
+    def test_core_idempotent(self):
+        c4 = Structure(
+            {
+                "E": [(i, (i + 1) % 4) for i in range(4)]
+                + [((i + 1) % 4, i) for i in range(4)]
+            }
+        )
+        cored, _ = core(c4)
+        again, _ = core(cored)
+        assert again == cored
+
+    def test_loop_absorbs_everything(self):
+        g = directed_cycle(3).add_facts([("E", (0, 0))])
+        cored, _ = core(g)
+        assert len(cored) == 1
+        assert cored.total_tuples == 1
+
+    def test_pinned_elements_survive(self):
+        # Pinning both endpoints of one edge of the bidirected square keeps
+        # them in the core even though the square folds.
+        c4 = Structure(
+            {
+                "E": [(i, (i + 1) % 4) for i in range(4)]
+                + [((i + 1) % 4, i) for i in range(4)]
+            }
+        )
+        cored, retraction = core(c4, pinned=(0, 3))
+        assert {0, 3} <= set(cored.domain)
+        assert retraction[0] == 0 and retraction[3] == 3
+
+
+class TestCoreTableau:
+    def test_boolean_tableau(self):
+        t = Tableau(sym_edge())
+        assert core_tableau(t).structure.total_tuples == 2
+
+    def test_distinguished_fixed(self):
+        # Path of length 2 with distinguished middle node: E(a,b), E(b,c),
+        # distinguished (b,) — can fold a onto c? No: E(a,b) vs E(c,?) — c has
+        # no outgoing edge, so the tableau is a core.
+        s = Structure({"E": [("a", "b"), ("b", "c")]})
+        t = Tableau(s, ("b",))
+        cored = core_tableau(t)
+        assert cored.structure == s
+
+    def test_distinguished_enables_less_folding(self):
+        # Two parallel edges from one source: E(a,b), E(a,c).  Boolean: folds
+        # to one edge.  With c distinguished, b folds onto c only.
+        s = Structure({"E": [("a", "b"), ("a", "c")]})
+        assert core_tableau(Tableau(s)).structure.total_tuples == 1
+        cored = core_tableau(Tableau(s, ("c",)))
+        assert cored.distinguished == ("c",)
+        assert "c" in cored.structure.domain
+
+
+class TestOrders:
+    def test_hom_equivalence(self):
+        c6 = Tableau(directed_cycle(6))
+        c3 = Tableau(directed_cycle(3))
+        c2 = Tableau(directed_cycle(2))
+        assert not hom_equivalent(c6, c3)  # C3 does not map into C6
+        assert hom_equivalent(c6, Tableau(directed_cycle(6).rename(lambda x: -x - 1)))
+        assert strictly_below(c6, c3)
+        assert strictly_below(c6, c2)
+
+    def test_tableau_hom_respects_distinguished(self):
+        s = Structure({"E": [("a", "b")]})
+        t1 = Tableau(s, ("a",))
+        t2 = Tableau(s, ("b",))
+        assert tableau_hom(t1, t1) is not None
+        assert tableau_hom(t1, t2) is None
+
+    def test_inconsistent_distinguished_pinning(self):
+        s = Structure({"E": [("a", "a")]})
+        t_source = Tableau(s, ("a", "a"))
+        s2 = Structure({"E": [("a", "b"), ("b", "a")]})
+        t_target = Tableau(s2, ("a", "b"))
+        assert tableau_hom(t_source, t_target) is None
+
+
+class TestRetract:
+    def test_retract_exists(self):
+        c4 = Structure(
+            {
+                "E": [(i, (i + 1) % 4) for i in range(4)]
+                + [((i + 1) % 4, i) for i in range(4)]
+            }
+        )
+        assert retract_exists(c4, frozenset({0, 1}))
+        assert not retract_exists(directed_cycle(3), frozenset({0, 1}))

@@ -1,0 +1,135 @@
+"""Tests for digraph utilities and pointed digraphs."""
+
+import pytest
+
+from repro.graphs import (
+    PointedDigraph,
+    complete_digraph,
+    digraph,
+    directed_path,
+    edges,
+    has_loop,
+    is_acyclic_digraph,
+    is_oriented_forest,
+    is_weakly_connected,
+    merge_nodes,
+    net_length,
+    nodes,
+    oriented_path,
+    reverse_spec,
+    single_loop,
+    symmetric_closure,
+    underlying_graph,
+    weak_components,
+)
+
+
+class TestConstruction:
+    def test_digraph_with_isolated_nodes(self):
+        g = digraph([(1, 2)], nodes=[3])
+        assert nodes(g) == frozenset({1, 2, 3})
+        assert edges(g) == frozenset({(1, 2)})
+
+    def test_complete_digraph(self):
+        k3 = complete_digraph(3)
+        assert len(edges(k3)) == 6
+        assert not has_loop(k3)
+
+    def test_single_loop(self):
+        assert has_loop(single_loop())
+
+    def test_symmetric_closure(self):
+        g = symmetric_closure(digraph([(1, 2)]))
+        assert edges(g) == frozenset({(1, 2), (2, 1)})
+
+    def test_merge_nodes(self):
+        g = merge_nodes(digraph([(1, 2), (2, 3)]), 1, 3)
+        assert edges(g) == frozenset({(1, 2), (2, 1)})
+
+
+class TestPredicates:
+    def test_acyclic_allows_loops_and_two_cycles(self):
+        # Query acyclicity over graphs: loops and 2-cycles are acyclic.
+        assert is_acyclic_digraph(digraph([(1, 1)]))
+        assert is_acyclic_digraph(digraph([(1, 2), (2, 1)]))
+
+    def test_acyclic_rejects_triangles(self):
+        assert not is_acyclic_digraph(digraph([(1, 2), (2, 3), (3, 1)]))
+
+    def test_acyclic_accepts_oriented_trees(self):
+        assert is_acyclic_digraph(digraph([(1, 2), (3, 2), (3, 4)]))
+
+    def test_oriented_forest_is_strict(self):
+        assert is_oriented_forest(digraph([(1, 2), (3, 2)]))
+        assert not is_oriented_forest(digraph([(1, 1)]))
+        assert not is_oriented_forest(digraph([(1, 2), (2, 1)]))
+
+    def test_weak_components(self):
+        g = digraph([(1, 2), (3, 4)])
+        assert len(weak_components(g)) == 2
+        assert not is_weakly_connected(g)
+
+    def test_underlying_graph(self):
+        g = underlying_graph(digraph([(1, 2), (2, 1), (2, 3)]))
+        assert g.number_of_edges() == 2
+
+
+class TestOrientedPaths:
+    def test_spec_001(self):
+        path = oriented_path("001")
+        assert edges(path.structure) == frozenset(
+            {("p0", "p1"), ("p1", "p2"), ("p3", "p2")}
+        )
+        assert path.initial == "p0"
+        assert path.terminal == "p3"
+
+    def test_net_length(self):
+        assert net_length("001000") == 4
+        assert net_length("11") == -2
+
+    def test_reverse_spec(self):
+        assert reverse_spec("001") == "011"
+        assert net_length(reverse_spec("001000")) == -net_length("001000")
+
+    def test_directed_path(self):
+        p3 = directed_path(3)
+        assert len(edges(p3.structure)) == 3
+
+    def test_zero_length_path(self):
+        p0 = directed_path(0)
+        assert p0.initial == p0.terminal
+        assert len(nodes(p0.structure)) == 1
+
+    def test_bad_spec(self):
+        with pytest.raises(ValueError):
+            oriented_path("01a")
+
+
+class TestPointedDigraph:
+    def test_concat_lengths_add(self):
+        p = directed_path(2).concat(directed_path(3))
+        assert len(edges(p.structure)) == 5
+        assert len(nodes(p.structure)) == 6
+
+    def test_concat_is_fresh(self):
+        p = directed_path(2)
+        q = p.concat(p)  # self-concatenation must not share nodes
+        assert len(nodes(q.structure)) == 5
+
+    def test_reversed(self):
+        p = directed_path(2)
+        assert p.reversed().initial == p.terminal
+
+    def test_mul_operator(self):
+        p = directed_path(1) * directed_path(1)
+        assert len(edges(p.structure)) == 2
+
+    def test_concat_net_length_via_levels(self):
+        from repro.graphs import height
+
+        zigzag = oriented_path("001").concat(oriented_path("100"))
+        assert height(zigzag.structure) == 2
+
+    def test_invalid_pointed(self):
+        with pytest.raises(ValueError):
+            PointedDigraph(digraph([(1, 2)]), 1, 99)

@@ -1,0 +1,68 @@
+"""Tests for the Proposition 4.11 oracle reduction and Prop 5.9."""
+
+import pytest
+
+from repro.cq import is_minimal, minimize, parse_query
+from repro.core import (
+    TW1,
+    all_approximations,
+    is_equivalent_to_class,
+    is_equivalent_to_treewidth_k,
+)
+
+
+class TestEquivalenceOracle:
+    def test_acyclic_query_equivalent(self):
+        q = parse_query("Q() :- E(x, y), E(y, z)")
+        assert is_equivalent_to_treewidth_k(q, 1)
+
+    def test_redundantly_cyclic_query_equivalent(self):
+        # A bidirected 4-cycle is equivalent to K2↔ — a TW(1) query.
+        q = parse_query(
+            "Q() :- E(a, b), E(b, a), E(b, c), E(c, b), E(c, d), E(d, c), "
+            "E(d, a), E(a, d)"
+        )
+        assert is_equivalent_to_treewidth_k(q, 1)
+
+    def test_triangle_not_tw1_equivalent(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+        assert not is_equivalent_to_treewidth_k(q, 1)
+        assert is_equivalent_to_treewidth_k(q, 2)
+
+    def test_directed_four_cycle_not_tw1_equivalent(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, u), E(u, x)")
+        assert not is_equivalent_to_treewidth_k(q, 1)
+
+    def test_class_version(self):
+        from repro.core import AcyclicClass
+
+        q = parse_query("Q() :- E(x, y), E(y, x), E(x, x)")
+        assert is_equivalent_to_class(q, AcyclicClass())
+
+
+class TestProposition59:
+    """A non-Boolean cyclic CQ whose minimized acyclic approximations all
+    have exactly as many joins as Q (contrast with Corollary 5.3)."""
+
+    QUERY = parse_query("Q(x1, x2, x3) :- E(x1, x2), E(x2, x3), E(x3, x4), E(x4, x1)")
+
+    def test_query_is_minimized_and_cyclic(self):
+        from repro.hypergraphs import is_acyclic_query
+
+        assert is_minimal(self.QUERY)
+        assert not is_acyclic_query(self.QUERY)
+
+    def test_all_minimized_acyclic_approximations_keep_joins(self):
+        results = all_approximations(self.QUERY, TW1)
+        assert results
+        for result in results:
+            assert minimize(result).num_joins == self.QUERY.num_joins
+
+    def test_expected_approximation_shape(self):
+        # The proof's G_0: two copies of K2↔ sharing x2' — 3 joins.
+        expected = parse_query(
+            "Q(x1, x2, x3) :- E(x1, x2), E(x2, x1), E(x2, x3), E(x3, x2)"
+        )
+        from repro.core import is_approximation
+
+        assert is_approximation(self.QUERY, expected, TW1)

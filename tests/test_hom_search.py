@@ -1,0 +1,136 @@
+"""Tests for the homomorphism engine."""
+
+from repro.cq import Structure
+from repro.homomorphism import (
+    count_homomorphisms,
+    find_homomorphism,
+    homomorphism_exists,
+    image,
+    is_homomorphism,
+    iter_homomorphisms,
+)
+
+
+def directed_cycle(n: int) -> Structure:
+    return Structure({"E": [(i, (i + 1) % n) for i in range(n)]})
+
+
+def directed_path(n: int) -> Structure:
+    return Structure({"E": [(i, i + 1) for i in range(n)]})
+
+
+def clique_sym(n: int) -> Structure:
+    return Structure({"E": [(i, j) for i in range(n) for j in range(n) if i != j]})
+
+
+class TestBasics:
+    def test_identity_exists(self):
+        g = directed_cycle(3)
+        h = find_homomorphism(g, g)
+        assert h is not None
+        assert is_homomorphism(g, g, h)
+
+    def test_path_into_longer_path_fails(self):
+        assert not homomorphism_exists(directed_path(3), directed_path(2))
+
+    def test_path_into_cycle(self):
+        assert homomorphism_exists(directed_path(5), directed_cycle(3))
+
+    def test_cycle_into_shorter_cycle_divisibility(self):
+        assert homomorphism_exists(directed_cycle(6), directed_cycle(3))
+        assert not homomorphism_exists(directed_cycle(5), directed_cycle(3))
+
+    def test_anything_into_loop(self):
+        loop = Structure({"E": [(0, 0)]})
+        assert homomorphism_exists(directed_cycle(7), loop)
+        assert homomorphism_exists(clique_sym(4), loop)
+
+    def test_empty_source_domain(self):
+        empty = Structure({"E": []}, vocabulary={"E": 2})
+        assert count_homomorphisms(empty, directed_cycle(3)) == 1
+
+    def test_missing_target_relation(self):
+        src = Structure({"R": [(0, 1)]})
+        dst = Structure({"E": [(0, 1)]})
+        assert not homomorphism_exists(src, dst)
+
+
+class TestColoringViaHomomorphism:
+    """k-colorability is homomorphism into the symmetric clique."""
+
+    def test_triangle_is_3_colorable_not_2(self):
+        triangle = clique_sym(3)
+        assert homomorphism_exists(triangle, clique_sym(3))
+        assert not homomorphism_exists(triangle, clique_sym(2))
+
+    def test_odd_cycle_sym_not_bipartite(self):
+        c5 = Structure(
+            {"E": [(i, (i + 1) % 5) for i in range(5)] + [((i + 1) % 5, i) for i in range(5)]}
+        )
+        assert not homomorphism_exists(c5, clique_sym(2))
+        assert homomorphism_exists(c5, clique_sym(3))
+
+
+class TestPinning:
+    def test_pin_respected(self):
+        g = directed_path(2)
+        h = find_homomorphism(g, g, pin={0: 0})
+        assert h == {0: 0, 1: 1, 2: 2}
+
+    def test_contradictory_pin(self):
+        g = directed_path(2)
+        assert find_homomorphism(g, g, pin={0: 2}) is None
+
+    def test_pin_unknown_element_raises(self):
+        g = directed_path(1)
+        try:
+            find_homomorphism(g, g, pin={42: 0})
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestCandidates:
+    def test_candidate_restriction(self):
+        g = directed_path(1)
+        target = Structure({"E": [(0, 1), (2, 3)]})
+        homs = list(iter_homomorphisms(g, target, candidates={0: [2]}))
+        assert homs == [{0: 2, 1: 3}]
+
+    def test_empty_candidates_means_no_hom(self):
+        g = directed_path(1)
+        assert not homomorphism_exists(g, g, candidates={0: []})
+
+
+class TestCounting:
+    def test_count_path_into_two_edges(self):
+        # One edge maps into a structure with two disjoint edges: 2 ways.
+        target = Structure({"E": [(0, 1), (2, 3)]})
+        assert count_homomorphisms(directed_path(1), target) == 2
+
+    def test_count_endomorphisms_of_directed_cycle(self):
+        # The endomorphisms of a directed n-cycle are the n rotations.
+        assert count_homomorphisms(directed_cycle(5), directed_cycle(5)) == 5
+
+    def test_enumeration_is_exhaustive_and_distinct(self):
+        homs = list(iter_homomorphisms(directed_path(2), directed_cycle(3)))
+        assert len(homs) == 3
+        assert len({tuple(sorted(h.items())) for h in homs}) == 3
+
+
+class TestImage:
+    def test_image_structure(self):
+        g = directed_cycle(4)
+        h = find_homomorphism(g, directed_cycle(2))
+        img = image(g, h)
+        assert img.is_contained_in(directed_cycle(2))
+        assert img.total_tuples == 2
+
+    def test_is_homomorphism_rejects_partial_maps(self):
+        g = directed_path(2)
+        assert not is_homomorphism(g, g, {0: 0})
+
+    def test_is_homomorphism_rejects_non_homs(self):
+        g = directed_path(2)
+        assert not is_homomorphism(g, g, {0: 2, 1: 1, 2: 0})

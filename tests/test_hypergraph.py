@@ -1,0 +1,158 @@
+"""Tests for hypergraphs, GYO acyclicity and join trees."""
+
+import networkx as nx
+import pytest
+
+from repro.cq import parse_query
+from repro.hypergraphs import (
+    Hypergraph,
+    gyo_join_tree,
+    hypergraph_of_query,
+    hypergraph_of_structure,
+    is_acyclic,
+    is_acyclic_query,
+    join_tree,
+)
+
+
+def triangle_hg() -> Hypergraph:
+    return Hypergraph([{"x", "y"}, {"y", "z"}, {"z", "x"}])
+
+
+class TestHypergraph:
+    def test_vertices_collected(self):
+        h = Hypergraph([{"a", "b"}, {"b", "c"}])
+        assert h.vertices == frozenset({"a", "b", "c"})
+
+    def test_extra_vertices(self):
+        h = Hypergraph([{"a"}], vertices={"b"})
+        assert "b" in h.vertices
+
+    def test_rejects_empty_edge(self):
+        with pytest.raises(ValueError):
+            Hypergraph([set()])
+
+    def test_primal_graph(self):
+        h = Hypergraph([{"x", "y", "z"}])
+        assert h.primal_graph().number_of_edges() == 3
+
+    def test_of_query(self):
+        q = parse_query("Q() :- R(x, y, z), E(x, x)")
+        h = hypergraph_of_query(q)
+        assert frozenset({"x", "y", "z"}) in h.edges
+        assert frozenset({"x"}) in h.edges
+
+    def test_of_structure(self):
+        q = parse_query("Q() :- E(x, y), E(y, z)")
+        assert hypergraph_of_structure(q.tableau().structure) == hypergraph_of_query(q)
+
+    def test_induced_subhypergraph(self):
+        # Section 6 example: the only induced subhypergraph of
+        # {abc, ab, bc, ac} containing all 2-element edges is itself.
+        h = Hypergraph([{"a", "b", "c"}, {"a", "b"}, {"b", "c"}, {"a", "c"}])
+        induced = h.induced({"a", "b", "c"})
+        assert induced == h
+        smaller = h.induced({"a", "b"})
+        assert smaller.edges == frozenset({frozenset({"a", "b"}), frozenset({"a"}), frozenset({"b"})})
+
+    def test_edge_extension(self):
+        h = Hypergraph([{"a", "b"}, {"b", "c"}])
+        extended = h.extend_edge({"a", "b"}, {"z"})
+        assert frozenset({"a", "b", "z"}) in extended.edges
+        assert frozenset({"a", "b"}) not in extended.edges
+
+    def test_edge_extension_validations(self):
+        h = Hypergraph([{"a", "b"}])
+        with pytest.raises(ValueError):
+            h.extend_edge({"a", "c"}, {"z"})
+        with pytest.raises(ValueError):
+            h.extend_edge({"a", "b"}, {"a"})
+
+    def test_subhypergraph(self):
+        h = triangle_hg()
+        sub = h.subhypergraph([{"x", "y"}])
+        assert len(sub.edges) == 1
+        with pytest.raises(ValueError):
+            h.subhypergraph([{"x", "q"}])
+
+
+class TestAcyclicity:
+    def test_triangle_cyclic(self):
+        assert not is_acyclic(triangle_hg())
+
+    def test_triangle_with_covering_edge_acyclic(self):
+        # The Section 6 example: adding {x, y, z} makes the triangle acyclic.
+        h = Hypergraph([{"x", "y"}, {"y", "z"}, {"z", "x"}, {"x", "y", "z"}])
+        assert is_acyclic(h)
+
+    def test_path_acyclic(self):
+        assert is_acyclic(Hypergraph([{"a", "b"}, {"b", "c"}, {"c", "d"}]))
+
+    def test_single_edge(self):
+        assert is_acyclic(Hypergraph([{"a", "b", "c"}]))
+
+    def test_empty(self):
+        assert is_acyclic(Hypergraph([]))
+
+    def test_loops_and_two_cycles_acyclic(self):
+        q = parse_query("Q() :- E(x, y), E(y, x), E(x, x)")
+        assert is_acyclic_query(q)
+
+    def test_longer_cycles_cyclic(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, u), E(u, x)")
+        assert not is_acyclic_query(q)
+
+    def test_berge_style_example(self):
+        # {a,b,c} with all three 2-subsets: acyclic (alpha-acyclicity is not
+        # closed under subhypergraphs).
+        h = Hypergraph([{"a", "b", "c"}, {"a", "b"}, {"b", "c"}, {"a", "c"}])
+        assert is_acyclic(h)
+        assert not is_acyclic(h.subhypergraph([{"a", "b"}, {"b", "c"}, {"a", "c"}]))
+
+
+class TestJoinTree:
+    def _check_join_tree(self, labelled, tree):
+        # Join tree property: for each vertex, the tree nodes whose edges
+        # contain it induce a connected subtree.
+        by_label = dict(labelled)
+        for vertex in {v for _, e in labelled for v in e}:
+            holders = [label for label, edge in labelled if vertex in edge]
+            sub = tree.subgraph(holders)
+            assert nx.is_connected(sub), vertex
+
+    def test_join_tree_of_acyclic(self):
+        h = Hypergraph([{"a", "b"}, {"b", "c"}, {"c", "d"}])
+        tree = join_tree(h)
+        assert tree is not None
+        assert nx.is_tree(tree)
+        labelled = [(e, e) for e in h.edges]
+        self._check_join_tree(labelled, tree)
+
+    def test_join_tree_none_for_cyclic(self):
+        assert join_tree(triangle_hg()) is None
+
+    def test_duplicate_labels_supported(self):
+        labelled = [
+            ("atom0", frozenset({"x", "y"})),
+            ("atom1", frozenset({"x", "y"})),
+            ("atom2", frozenset({"y", "z"})),
+        ]
+        tree = gyo_join_tree(labelled)
+        assert tree is not None
+        assert set(tree.nodes) == {"atom0", "atom1", "atom2"}
+        self._check_join_tree(labelled, tree)
+
+    def test_star_query_join_tree(self):
+        labelled = [
+            ("r", frozenset({"x", "y", "z"})),
+            ("s", frozenset({"x"})),
+            ("t", frozenset({"y"})),
+        ]
+        tree = gyo_join_tree(labelled)
+        assert tree is not None and nx.is_tree(tree)
+        self._check_join_tree(labelled, tree)
+
+    def test_empty_join_tree(self):
+        tree = gyo_join_tree([])
+        assert tree is not None
+        assert tree.number_of_nodes() == 0

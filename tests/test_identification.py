@@ -1,0 +1,105 @@
+"""Tests for the identification (DP) decision procedure."""
+
+import pytest
+
+from repro.cq import Structure, Tableau, loop_query, parse_query, path_query
+from repro.core import (
+    ApproximationConfig,
+    TreewidthClass,
+    better_witness,
+    is_approximation,
+    is_exact_homomorphism_target,
+)
+
+TW1 = TreewidthClass(1)
+
+
+class TestIsApproximation:
+    def test_trivial_loop_for_triangle(self):
+        triangle = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+        assert is_approximation(triangle, loop_query(), TW1)
+
+    def test_non_member_rejected(self):
+        triangle = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+        assert not is_approximation(triangle, triangle, TW1)
+
+    def test_non_contained_rejected(self):
+        triangle = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+        # A single edge is acyclic but does NOT imply a triangle.
+        assert not is_approximation(triangle, parse_query("Q() :- E(x, y)"), TW1)
+
+    def test_improvable_candidate_rejected(self):
+        # P5 ⊆ Q2 (the level map sends T_Q2 into a path), but P4 sits
+        # strictly between: P5 ⊂ P4 ⊆ Q2, so P5 is not an approximation.
+        from repro.graphs.gadgets import intro_q2
+        from repro.cq import is_contained_in
+
+        assert is_contained_in(path_query(5), intro_q2())
+        assert not is_approximation(intro_q2(), path_query(5), TW1)
+        witness = better_witness(intro_q2(), path_query(5), TW1)
+        assert witness is not None
+
+    def test_witness_none_for_real_approximation(self):
+        from repro.graphs.gadgets import intro_q2
+
+        assert better_witness(intro_q2(), path_query(4), TW1) is None
+
+    def test_exact_limit_guard(self):
+        big = parse_query(
+            "Q() :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,f), E(f,g), E(g,h), E(h,a)"
+        )
+        with pytest.raises(ValueError):
+            is_approximation(big, loop_query(), TW1, ApproximationConfig(exact_limit=4))
+
+
+class TestExactHomomorphism:
+    def test_exact_hom_to_core_image(self):
+        # C6 maps onto C3 surjectively: no proper substructure of C3 works.
+        c6 = Tableau(Structure({"E": [(i, (i + 1) % 6) for i in range(6)]}))
+        c3 = Tableau(Structure({"E": [(10, 11), (11, 12), (12, 10)]}))
+        assert is_exact_homomorphism_target(c6, c3)
+
+    def test_not_exact_when_subtarget_suffices(self):
+        # An edge maps into a path of length 2 without using all of it.
+        edge = Tableau(Structure({"E": [(0, 1)]}))
+        p2 = Tableau(Structure({"E": [(10, 11), (11, 12)]}))
+        assert not is_exact_homomorphism_target(edge, p2)
+
+    def test_no_hom_at_all(self):
+        c3 = Tableau(Structure({"E": [(0, 1), (1, 2), (2, 0)]}))
+        p2 = Tableau(Structure({"E": [(10, 11), (11, 12)]}))
+        assert not is_exact_homomorphism_target(c3, p2)
+
+
+class TestDigraphDecisionProblem:
+    def test_graph_acyclic_approximation_instances(self):
+        from repro.core import is_acyclic_digraph_approximation
+        from repro.graphs import digraph, single_loop
+
+        triangle = digraph([(0, 1), (1, 2), (2, 0)])
+        assert is_acyclic_digraph_approximation(triangle, single_loop())
+        # An oriented path is not an approximation of the triangle (not even
+        # contained: the triangle does not map into it).
+        path = digraph([(5, 6), (6, 7)])
+        assert not is_acyclic_digraph_approximation(triangle, path)
+
+    def test_digraph_approximations_of_triangle(self):
+        from repro.core import (
+            acyclic_digraph_approximation,
+            all_acyclic_digraph_approximations,
+        )
+        from repro.graphs import digraph, has_loop
+
+        triangle = digraph([(0, 1), (1, 2), (2, 0)])
+        results = all_acyclic_digraph_approximations(triangle)
+        assert len(results) == 1
+        assert has_loop(results[0])
+        single = acyclic_digraph_approximation(triangle)
+        assert has_loop(single)
+
+    def test_count_cores(self):
+        from repro.core import count_acyclic_approximation_cores
+        from repro.graphs import digraph
+
+        triangle = digraph([(0, 1), (1, 2), (2, 0)])
+        assert count_acyclic_approximation_cores(triangle) == 1

@@ -1,0 +1,79 @@
+"""Tests for the syntactic overapproximation extension (Section 7)."""
+
+import pytest
+
+from repro.cq import is_contained_in, parse_query
+from repro.core import (
+    AC,
+    TW1,
+    approximate,
+    sandwich,
+    syntactic_overapproximate,
+    syntactic_overapproximations,
+)
+
+
+TRIANGLE = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+FOUR_CYCLE = parse_query("Q() :- E(x, y), E(y, z), E(z, u), E(u, x)")
+
+
+class TestOverapproximations:
+    def test_soundness(self):
+        for result in syntactic_overapproximations(TRIANGLE, TW1):
+            assert TW1.contains_query(result)
+            assert is_contained_in(TRIANGLE, result)
+
+    def test_triangle_drops_one_atom(self):
+        results = syntactic_overapproximations(TRIANGLE, TW1)
+        assert results
+        assert all(r.num_atoms == 2 for r in results)
+
+    def test_member_is_its_own_overapproximation(self):
+        q = parse_query("Q() :- E(x, y), E(y, z)")
+        assert syntactic_overapproximations(q, TW1) == [q]
+
+    def test_minimality_within_subsets(self):
+        # No returned overapproximation is strictly contained in another
+        # atom-subset member: dropping two atoms from the triangle is
+        # strictly weaker than dropping one.
+        results = syntactic_overapproximations(TRIANGLE, TW1)
+        single_atom = parse_query("Q() :- E(x, y)")
+        for result in results:
+            assert is_contained_in(result, single_atom)
+            assert not is_contained_in(single_atom, result)
+
+    def test_free_variables_respected(self):
+        q = parse_query("Q(x, u) :- E(x, y), E(y, z), E(z, u), E(u, x)")
+        for result in syntactic_overapproximations(q, AC):
+            assert set(q.head) <= set(result.variables)
+            assert is_contained_in(q, result)
+
+    def test_single_overapproximation(self):
+        result = syntactic_overapproximate(FOUR_CYCLE, TW1)
+        assert is_contained_in(FOUR_CYCLE, result)
+
+
+class TestSandwich:
+    def test_triangle_sandwich(self):
+        under = approximate(TRIANGLE, TW1)
+        over = syntactic_overapproximate(TRIANGLE, TW1)
+        assert sandwich(TRIANGLE, TW1, under, over)
+
+    def test_sandwich_rejects_wrong_order(self):
+        under = approximate(TRIANGLE, TW1)
+        over = syntactic_overapproximate(TRIANGLE, TW1)
+        assert not sandwich(TRIANGLE, TW1, over, under)
+
+    def test_sandwich_brackets_answers(self):
+        from repro.evaluation import evaluate
+        from repro.workloads import random_digraph_db
+
+        under = approximate(FOUR_CYCLE, TW1)
+        over = syntactic_overapproximate(FOUR_CYCLE, TW1)
+        assert sandwich(FOUR_CYCLE, TW1, under, over)
+        for seed in range(4):
+            db = random_digraph_db(12, 40, seed=seed)
+            lo = bool(evaluate(under, db))
+            mid = bool(evaluate(FOUR_CYCLE, db, method="treewidth"))
+            hi = bool(evaluate(over, db))
+            assert (not lo or mid) and (not mid or hi)

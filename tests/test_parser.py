@@ -1,0 +1,81 @@
+"""Tests for the rule-notation parser."""
+
+import pytest
+
+from repro.cq import Atom, CQParseError, parse_query
+
+
+class TestParse:
+    def test_simple(self):
+        q = parse_query("Q(x, y) :- E(x, y), E(y, z)")
+        assert q.head == ("x", "y")
+        assert q.atoms == (Atom("E", ("x", "y")), Atom("E", ("y", "z")))
+
+    def test_boolean(self):
+        q = parse_query("Q() :- E(x, x)")
+        assert q.is_boolean
+
+    def test_trailing_period(self):
+        q = parse_query("Q(x) :- E(x, y).")
+        assert q.head == ("x",)
+
+    def test_whitespace_tolerance(self):
+        q = parse_query("  Q( x )  :-   E( x , y ) ,E(y,z)  ")
+        assert q.num_atoms == 2
+
+    def test_primes_in_variables(self):
+        q = parse_query("Q() :- E(x, z'), E(y, u')")
+        assert Atom("E", ("x", "z'")) in q.atoms
+
+    def test_arrow_separator(self):
+        q = parse_query("Q(x) <- E(x, y)")
+        assert q.head == ("x",)
+
+    def test_higher_arity(self):
+        q = parse_query("Q() :- R(x, u, y), R(y, v, z), R(z, w, x)")
+        assert q.num_atoms == 3
+        assert q.vocabulary["R"] == 3
+
+    def test_paper_intro_query(self):
+        q = parse_query("Q2() :- E(x, y), E(y, z), E(z, u), E(x, z)")
+        assert q.num_joins == 3
+
+
+class TestParseErrors:
+    def test_missing_separator(self):
+        with pytest.raises(CQParseError):
+            parse_query("Q(x) E(x, y)")
+
+    def test_bad_head(self):
+        with pytest.raises(CQParseError):
+            parse_query("Q x :- E(x, y)")
+
+    def test_empty_body(self):
+        with pytest.raises(CQParseError):
+            parse_query("Q() :- ")
+
+    def test_nullary_atom(self):
+        with pytest.raises(CQParseError):
+            parse_query("Q() :- E()")
+
+    def test_garbage_between_atoms(self):
+        with pytest.raises(CQParseError):
+            parse_query("Q() :- E(x, y) E(y, z)")
+
+    def test_bad_variable(self):
+        with pytest.raises(CQParseError):
+            parse_query("Q() :- E(x, 1y)")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Q() :- E(x, y), E(y, z), E(z, x)",
+            "Q(x, y) :- E(x, y), E(y, x), E(x, x)",
+            "Q() :- R(x1, x2, x3), R(x3, x4, x5), R(x5, x6, x1)",
+        ],
+    )
+    def test_str_parse_round_trip(self, text):
+        q = parse_query(text)
+        assert parse_query(str(q)) == q

@@ -1,0 +1,78 @@
+"""Tests for the k-consistency (existential pebble game) procedure."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cq import Structure
+from repro.homomorphism import homomorphism_exists
+from repro.homomorphism.pebble import k_consistency, pebble_refutes
+from repro.hypergraphs import treewidth_exact
+from tests.test_properties import digraphs
+
+
+def directed_cycle(n: int) -> Structure:
+    return Structure({"E": [(i, (i + 1) % n) for i in range(n)]})
+
+
+def directed_path(n: int) -> Structure:
+    return Structure({"E": [(i, i + 1) for i in range(n)]})
+
+
+class TestSoundness:
+    """k-consistency may only say NO when no homomorphism exists."""
+
+    @given(digraphs(max_nodes=4, max_edges=6), digraphs(max_nodes=4, max_edges=6))
+    @settings(max_examples=30, deadline=None)
+    def test_never_refutes_existing_hom(self, source, target):
+        if homomorphism_exists(source, target):
+            assert k_consistency(source, target, 2)
+
+    def test_refutes_cycle_into_path(self):
+        assert pebble_refutes(directed_cycle(3), directed_path(5), 2)
+
+    def test_refutes_long_path_into_short(self):
+        assert pebble_refutes(directed_path(4), directed_path(2), 1)
+
+    def test_accepts_identity(self):
+        g = directed_cycle(4)
+        assert k_consistency(g, g, 2)
+
+
+class TestCompleteness:
+    """For sources of treewidth ≤ k, survival implies a homomorphism."""
+
+    @given(digraphs(max_nodes=4, max_edges=5), digraphs(max_nodes=4, max_edges=6))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_for_low_treewidth_sources(self, source, target):
+        from repro.core import primal_graph_of_structure
+
+        width = treewidth_exact(primal_graph_of_structure(source))
+        k = max(width, 1)
+        if k <= 2:
+            assert k_consistency(source, target, k) == homomorphism_exists(
+                source, target
+            )
+
+    def test_incomplete_at_low_k_for_cliques(self):
+        # The classical gap: K3 into K2 sym — 1-consistency cannot refute
+        # 2-coloring of the triangle, but no homomorphism exists.
+        k3 = Structure({"E": [(i, j) for i in range(3) for j in range(3) if i != j]})
+        k2 = Structure({"E": [(0, 1), (1, 0)]})
+        assert not homomorphism_exists(k3, k2)
+        assert k_consistency(k3, k2, 1)      # relaxation too weak
+        assert pebble_refutes(k3, k2, 2)     # 2-consistency refutes
+
+
+class TestInterface:
+    def test_pins(self):
+        p2 = directed_path(2)
+        assert k_consistency(p2, p2, 1, pin={0: 0})
+        assert not k_consistency(p2, p2, 1, pin={0: 2})
+
+    def test_empty_source(self):
+        empty = Structure({"E": []}, vocabulary={"E": 2})
+        assert k_consistency(empty, directed_path(1), 1)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            k_consistency(directed_path(1), directed_path(1), 0)

@@ -1,0 +1,56 @@
+"""Tests for the empirical quality measurement (Section 7 direction)."""
+
+from repro.core import (
+    TW1,
+    approximate,
+    disagreement,
+    random_database_stream,
+)
+from repro.cq import parse_query
+from repro.workloads import random_digraph_db
+
+
+TRIANGLE = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+
+
+def stream(count: int, nodes: int = 12, edges: int = 40):
+    return random_database_stream(
+        lambda seed: random_digraph_db(nodes, edges, seed=seed), count
+    )
+
+
+class TestQualityReport:
+    def test_underapproximation_is_sound(self):
+        approx = approximate(TRIANGLE, TW1)
+        report = disagreement(TRIANGLE, approx, stream(8))
+        assert report.samples == 8
+        assert report.is_sound
+        assert report.wrong_answers == 0
+        assert 0.0 <= report.recall <= 1.0
+        assert 0.0 <= report.agreement_rate <= 1.0
+
+    def test_identical_queries_agree_everywhere(self):
+        report = disagreement(TRIANGLE, TRIANGLE, stream(5))
+        assert report.agreement_rate == 1.0
+        assert report.recall == 1.0
+        assert report.missed_answers == 0
+
+    def test_overapproximation_detected_as_unsound_direction(self):
+        # Swapping roles: the triangle "approximating" the loop query has
+        # wrong answers whenever a triangle exists without a loop.
+        loop = parse_query("Q() :- E(x, x)")
+        report = disagreement(loop, TRIANGLE, stream(10, nodes=8, edges=30))
+        # the triangle query is not contained in the loop query, so on some
+        # database it answers true while the loop query answers false.
+        assert not report.is_sound or report.agreement_rate == 1.0
+
+    def test_non_boolean_quality(self):
+        query = parse_query("Q(x) :- E(x, y), E(y, z), E(z, x)")
+        approx = approximate(query, TW1)
+        report = disagreement(query, approx, stream(6))
+        assert report.is_sound
+
+    def test_empty_stream(self):
+        report = disagreement(TRIANGLE, TRIANGLE, [])
+        assert report.samples == 0
+        assert report.agreement_rate == 1.0

@@ -1,0 +1,141 @@
+"""Tests for the ConjunctiveQuery datatype."""
+
+import pytest
+
+from repro.cq import Atom, ConjunctiveQuery, Structure, Tableau
+
+
+def triangle_query() -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        (), [Atom("E", ("x", "y")), Atom("E", ("y", "z")), Atom("E", ("z", "x"))]
+    )
+
+
+class TestAtom:
+    def test_str(self):
+        assert str(Atom("E", ("x", "y"))) == "E(x, y)"
+
+    def test_variables(self):
+        assert Atom("R", ("x", "y", "x")).variables == frozenset({"x", "y"})
+
+    def test_rejects_nullary(self):
+        with pytest.raises(ValueError):
+            Atom("R", ())
+
+
+class TestConstruction:
+    def test_atoms_from_tuples(self):
+        q = ConjunctiveQuery(("x",), [("E", ("x", "y"))])
+        assert q.atoms == (Atom("E", ("x", "y")),)
+
+    def test_rejects_empty_body(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery((), [])
+
+    def test_rejects_unsafe_head(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery(("u",), [Atom("E", ("x", "y"))])
+
+    def test_rejects_inconsistent_arity(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery((), [Atom("E", ("x", "y")), Atom("E", ("x", "y", "z"))])
+
+    def test_head_may_repeat_variables(self):
+        q = ConjunctiveQuery(("x", "x"), [Atom("E", ("x", "y"))])
+        assert q.head == ("x", "x")
+
+
+class TestProperties:
+    def test_counts(self):
+        q = triangle_query()
+        assert q.num_atoms == 3
+        assert q.num_joins == 2
+        assert q.num_variables == 3
+        assert q.is_boolean
+
+    def test_variables_in_first_occurrence_order(self):
+        assert triangle_query().variables == ("x", "y", "z")
+
+    def test_existential_variables(self):
+        q = ConjunctiveQuery(("x",), [Atom("E", ("x", "y"))])
+        assert q.existential_variables == ("y",)
+
+    def test_vocabulary(self):
+        assert dict(triangle_query().vocabulary) == {"E": 2}
+
+    def test_str_round_trips_structure(self):
+        assert str(triangle_query()) == "Q() :- E(x, y), E(y, z), E(z, x)"
+
+    def test_equality_ignores_atom_order(self):
+        q1 = ConjunctiveQuery((), [Atom("E", ("x", "y")), Atom("E", ("y", "x"))])
+        q2 = ConjunctiveQuery((), [Atom("E", ("y", "x")), Atom("E", ("x", "y"))])
+        assert q1 == q2
+        assert hash(q1) == hash(q2)
+
+
+class TestTableau:
+    def test_tableau_structure(self):
+        tableau = triangle_query().tableau()
+        assert tableau.structure.tuples("E") == frozenset(
+            {("x", "y"), ("y", "z"), ("z", "x")}
+        )
+        assert tableau.distinguished == ()
+
+    def test_tableau_distinguished(self):
+        q = ConjunctiveQuery(("x", "y"), [Atom("E", ("x", "y"))])
+        assert q.tableau().distinguished == ("x", "y")
+
+    def test_from_tableau_round_trip(self):
+        q = triangle_query()
+        assert ConjunctiveQuery.from_tableau(q.tableau()) == q
+
+    def test_from_tableau_relabels_non_strings(self):
+        structure = Structure({"E": [(1, 2)]})
+        q = ConjunctiveQuery.from_tableau(Tableau(structure, (1,)))
+        assert q.num_atoms == 1
+        assert len(q.head) == 1
+
+    def test_from_tableau_rejects_isolated_elements(self):
+        structure = Structure({"E": [("x", "y")]}, domain=["x", "y", "lonely"])
+        with pytest.raises(ValueError):
+            ConjunctiveQuery.from_tableau(Tableau(structure))
+
+    def test_duplicate_atoms_collapse_in_tableau(self):
+        q = ConjunctiveQuery((), [Atom("E", ("x", "y")), Atom("E", ("x", "y"))])
+        assert q.tableau().structure.total_tuples == 1
+
+
+class TestGraphAndHypergraph:
+    def test_gaifman_graph_of_triangle(self):
+        graph = triangle_query().graph()
+        assert set(graph.nodes) == {"x", "y", "z"}
+        assert graph.number_of_edges() == 3
+
+    def test_gaifman_graph_ignores_loops(self):
+        q = ConjunctiveQuery((), [Atom("E", ("x", "x")), Atom("E", ("x", "y"))])
+        graph = q.graph()
+        assert graph.number_of_edges() == 1
+
+    def test_higher_arity_atom_creates_clique(self):
+        q = ConjunctiveQuery((), [Atom("R", ("x", "y", "z"))])
+        assert q.graph().number_of_edges() == 3
+
+    def test_hyperedges(self):
+        q = ConjunctiveQuery((), [Atom("R", ("x", "y", "z")), Atom("E", ("x", "x"))])
+        assert frozenset({"x", "y", "z"}) in q.hyperedges()
+        assert frozenset({"x"}) in q.hyperedges()
+
+
+class TestRenaming:
+    def test_rename(self):
+        q = triangle_query().rename({"x": "a"})
+        assert Atom("E", ("a", "y")) in q.atoms
+
+    def test_rename_apart(self):
+        q1 = triangle_query()
+        q2 = triangle_query().rename_apart(q1)
+        assert set(q1.variables).isdisjoint(q2.variables)
+
+    def test_atoms_of(self):
+        q = triangle_query()
+        assert len(list(q.atoms_of("x"))) == 2

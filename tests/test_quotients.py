@@ -1,0 +1,97 @@
+"""Tests for quotient/extension candidate enumeration."""
+
+from repro.cq import Structure, Tableau, parse_query
+from repro.core import (
+    iter_extended_tableaux,
+    iter_extension_atoms,
+    iter_quotient_tableaux,
+    quotient_count,
+)
+from repro.homomorphism import hom_le
+from repro.util import bell_number
+
+
+TRIANGLE = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+
+
+class TestQuotients:
+    def test_count(self):
+        tableau = TRIANGLE.tableau()
+        quotients = list(iter_quotient_tableaux(tableau))
+        assert len(quotients) == bell_number(3) == quotient_count(tableau)
+
+    def test_identity_included(self):
+        tableau = TRIANGLE.tableau()
+        assert any(q.structure == tableau.structure for q in iter_quotient_tableaux(tableau))
+
+    def test_every_quotient_is_hom_image(self):
+        tableau = TRIANGLE.tableau()
+        for quotient in iter_quotient_tableaux(tableau):
+            assert hom_le(tableau, quotient)
+
+    def test_distinguished_mapped(self):
+        q = parse_query("Q(x, y) :- E(x, y), E(y, x)")
+        for quotient in iter_quotient_tableaux(q.tableau()):
+            assert len(quotient.distinguished) == 2
+            assert all(
+                d in quotient.structure.domain for d in quotient.distinguished
+            )
+
+    def test_full_merge_present(self):
+        tableau = TRIANGLE.tableau()
+        smallest = min(
+            (q for q in iter_quotient_tableaux(tableau)),
+            key=lambda t: len(t.structure.domain),
+        )
+        assert len(smallest.structure.domain) == 1
+        assert smallest.structure.tuples("E")  # the loop
+
+
+class TestExtensionAtoms:
+    def test_extension_atoms_cover_pairs(self):
+        structure = Structure({"R": [("a", "b", "c")]})
+        atoms = list(iter_extension_atoms(structure, allow_fresh=False))
+        assert atoms
+        assert all(name == "R" for name, _ in atoms)
+        # the existing fact is not re-proposed
+        assert ("R", ("a", "b", "c")) not in atoms
+
+    def test_fresh_markers(self):
+        structure = Structure({"R": [("a", "b", "c")]})
+        atoms = list(iter_extension_atoms(structure, allow_fresh=True))
+        assert any(
+            any(isinstance(v, tuple) and v[0] == "fresh" for v in row)
+            for _, row in atoms
+        )
+
+    def test_min_cover_respected(self):
+        structure = Structure({"R": [("a", "b", "c")]})
+        for _, row in iter_extension_atoms(structure, allow_fresh=True):
+            concrete = [v for v in row if not (isinstance(v, tuple) and v[0] == "fresh")]
+            assert len(set(concrete)) >= 2
+
+
+class TestExtendedTableaux:
+    def test_zero_extras_is_quotients(self):
+        tableau = TRIANGLE.tableau()
+        plain = list(iter_quotient_tableaux(tableau))
+        extended = list(iter_extended_tableaux(tableau, max_extra_atoms=0))
+        assert len(plain) == len(extended)
+
+    def test_extensions_still_above_query(self):
+        q = parse_query("Q() :- R(x, y, z)")
+        tableau = q.tableau()
+        for candidate in iter_extended_tableaux(tableau, max_extra_atoms=1):
+            assert hom_le(tableau, candidate)
+
+    def test_extension_adds_facts(self):
+        q = parse_query("Q() :- R(x, y, z)")
+        tableau = q.tableau()
+        sizes = {c.structure.total_tuples for c in iter_extended_tableaux(tableau, max_extra_atoms=1)}
+        assert 2 in sizes  # some candidate gained an atom
+
+    def test_fresh_elements_named_apart(self):
+        q = parse_query("Q() :- R(x, y, z)")
+        for candidate in iter_extended_tableaux(q.tableau(), max_extra_atoms=1):
+            for element in candidate.structure.domain:
+                assert not (isinstance(element, tuple) and element and element[0] == "fresh")

@@ -1,0 +1,163 @@
+"""Tests for strong treewidth approximations (Section 5.3)."""
+
+import pytest
+
+from repro.cq import is_contained_in, is_minimal, parse_query
+from repro.core import (
+    ApproximationConfig,
+    graph_is_complete,
+    has_maximum_treewidth,
+    is_almost_triangle,
+    is_potential_strong_tw_approximation,
+    is_strong_tw_approximation,
+    prop_513_query,
+    prop_514_pair,
+    prop_515_pair,
+)
+from repro.hypergraphs import treewidth_of_query
+
+
+class TestPredicates:
+    def test_max_treewidth(self):
+        triangle = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+        assert has_maximum_treewidth(triangle)
+        path = parse_query("Q() :- E(x, y), E(y, z)")
+        assert not has_maximum_treewidth(path)
+
+    def test_potential_strong_approximation(self):
+        assert is_potential_strong_tw_approximation(
+            parse_query("Q() :- R(x, y, y), R(y, x, y)")
+        )
+        assert not is_potential_strong_tw_approximation(
+            parse_query("Q() :- R(x, y, z)")
+        )
+        assert not is_potential_strong_tw_approximation(
+            parse_query("Q(x) :- R(x, x, x)")
+        )
+
+    def test_graph_vocabulary_trivializes(self):
+        # For m = 2 a strong treewidth approximation is equivalent to the
+        # trivial query: a complete graph on ≥ 3 nodes is not bipartite.
+        from repro.core import TW1, all_approximations, is_trivial_approximation
+        from repro.cq import trivial_clique_query
+
+        k3 = trivial_clique_query(3)
+        for result in all_approximations(k3, TW1):
+            assert is_trivial_approximation(result)
+
+
+class TestProposition513:
+    def test_construction_produces_complete_graph(self):
+        q_prime = parse_query("Q() :- R(x, y, y), R(y, x, x)")
+        for n in (4, 5):
+            q = prop_513_query(q_prime, n)
+            assert q.num_variables == n
+            assert graph_is_complete(q)
+
+    def test_atom_bound(self):
+        q_prime = parse_query("Q() :- R(x, y, y), R(y, x, x)")
+        n = 5
+        q = prop_513_query(q_prime, n)
+        assert q.num_atoms <= q_prime.num_atoms + n * (n - 1) // 2 - 1
+
+    def test_q_prime_contained(self):
+        q_prime = parse_query("Q() :- R(x, y, y), R(y, x, x)")
+        q = prop_513_query(q_prime, 4)
+        assert is_contained_in(q_prime, q)
+
+    @pytest.mark.slow
+    def test_is_strong_approximation(self):
+        q_prime = parse_query("Q() :- R(x, y, y), R(y, x, x)")
+        q = prop_513_query(q_prime, 4)
+        assert is_strong_tw_approximation(q, q_prime, ApproximationConfig(exact_limit=8, max_extra_atoms=0))
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            prop_513_query(parse_query("Q() :- R(x, y, z)"), 5)
+        with pytest.raises(ValueError):
+            prop_513_query(parse_query("Q() :- R(x, y, y)"), 3)  # n ≤ m
+
+    def test_case_two_construction(self):
+        # No variable occurs exactly twice: the p >= 3 case of the proof.
+        q_prime = parse_query("Q() :- R(x, y, y, y), R(y, x, x, x)")
+        for n in (5, 6):
+            q = prop_513_query(q_prime, n)
+            assert q.num_variables == n
+            assert graph_is_complete(q)
+            assert is_contained_in(q_prime, q)
+
+    @pytest.mark.slow
+    def test_case_two_is_strong_approximation(self):
+        q_prime = parse_query("Q() :- R(x, y, y, y), R(y, x, x, x)")
+        q = prop_513_query(q_prime, 5)
+        assert is_strong_tw_approximation(
+            q, q_prime, ApproximationConfig(exact_limit=8, max_extra_atoms=0)
+        )
+
+
+class TestProposition514:
+    def test_pair_shapes_for_k3(self):
+        q, q_prime = prop_514_pair(3)
+        assert q.num_joins == q_prime.num_joins == 2
+        assert graph_is_complete(q)
+        assert len(q_prime.variables) == 2
+
+    def test_both_minimized(self):
+        q, q_prime = prop_514_pair(3)
+        assert is_minimal(q)
+        assert is_minimal(q_prime)
+
+    def test_containment(self):
+        q, q_prime = prop_514_pair(3)
+        assert is_contained_in(q_prime, q)
+
+    @pytest.mark.slow
+    def test_strong_approximation_same_joins(self):
+        q, q_prime = prop_514_pair(3)
+        assert is_strong_tw_approximation(
+            q, q_prime, ApproximationConfig(exact_limit=8, max_extra_atoms=0)
+        )
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            prop_514_pair(2)
+
+
+class TestProposition515:
+    def test_tableau_is_almost_triangle(self):
+        q, _ = prop_515_pair()
+        assert is_almost_triangle(q.tableau().structure)
+
+    def test_non_examples_of_almost_triangle(self):
+        from repro.cq import Structure
+
+        assert not is_almost_triangle(Structure({"R": [(1, 2, 3)]}))
+        assert not is_almost_triangle(
+            Structure({"R": [(4, 1, 2), (4, 2, 3), (4, 3, 3)]})
+        )
+        assert is_almost_triangle(
+            Structure({"R": [(4, 1, 2), (4, 2, 3), (4, 3, 1)]})
+        )
+
+    def test_query_has_maximum_treewidth_3(self):
+        q, _ = prop_515_pair()
+        assert q.num_variables == 4
+        assert treewidth_of_query(q) == 3
+        assert has_maximum_treewidth(q)
+
+    def test_query_minimized(self):
+        q, q_prime = prop_515_pair()
+        assert is_minimal(q)
+        assert is_minimal(q_prime)
+
+    def test_same_joins_and_containment(self):
+        q, q_prime = prop_515_pair()
+        assert q.num_joins == q_prime.num_joins
+        assert is_contained_in(q_prime, q)
+
+    @pytest.mark.slow
+    def test_strong_approximation(self):
+        q, q_prime = prop_515_pair()
+        assert is_strong_tw_approximation(
+            q, q_prime, ApproximationConfig(exact_limit=8, max_extra_atoms=0)
+        )

@@ -1,0 +1,133 @@
+"""Tests for relational structures and vocabularies."""
+
+import pytest
+
+from repro.cq import Structure, Vocabulary
+
+
+def triangle() -> Structure:
+    return Structure({"E": [(1, 2), (2, 3), (3, 1)]})
+
+
+class TestVocabulary:
+    def test_arities(self):
+        vocabulary = Vocabulary({"E": 2, "R": 3})
+        assert vocabulary["E"] == 2
+        assert vocabulary["R"] == 3
+        assert vocabulary.max_arity == 3
+        assert len(vocabulary) == 2
+
+    def test_rejects_bad_arity(self):
+        with pytest.raises(ValueError):
+            Vocabulary({"E": 0})
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            Vocabulary({"": 2})
+
+    def test_merge(self):
+        merged = Vocabulary({"E": 2}).merge(Vocabulary({"R": 3}))
+        assert dict(merged) == {"E": 2, "R": 3}
+
+    def test_merge_conflict(self):
+        with pytest.raises(ValueError):
+            Vocabulary({"E": 2}).merge(Vocabulary({"E": 3}))
+
+    def test_equality_and_hash(self):
+        assert Vocabulary({"E": 2}) == Vocabulary({"E": 2})
+        assert hash(Vocabulary({"E": 2})) == hash(Vocabulary({"E": 2}))
+
+
+class TestStructureBasics:
+    def test_active_domain(self):
+        s = triangle()
+        assert s.domain == frozenset({1, 2, 3})
+        assert s.total_tuples == 3
+        assert len(s) == 3
+
+    def test_explicit_domain_keeps_isolated_elements(self):
+        s = Structure({"E": [(1, 2)]}, domain=[1, 2, 9])
+        assert 9 in s.domain
+
+    def test_inferred_vocabulary(self):
+        s = Structure({"R": [(1, 2, 3)]})
+        assert s.arity("R") == 3
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Structure({"E": [(1, 2), (1, 2, 3)]})
+
+    def test_explicit_vocabulary_for_empty_relation(self):
+        s = Structure({"E": []}, vocabulary={"E": 2})
+        assert s.arity("E") == 2
+        assert s.tuples("E") == frozenset()
+
+    def test_equality_and_hash(self):
+        assert triangle() == triangle()
+        assert hash(triangle()) == hash(triangle())
+        assert triangle() != Structure({"E": [(1, 2)]})
+
+    def test_facts_iteration_is_deterministic(self):
+        assert list(triangle().facts()) == list(triangle().facts())
+        assert len(list(triangle().facts())) == 3
+
+
+class TestStructureContainment:
+    def test_containment(self):
+        small = Structure({"E": [(1, 2)]})
+        assert small.is_contained_in(triangle())
+        assert not triangle().is_contained_in(small)
+
+    def test_strict_containment(self):
+        small = Structure({"E": [(1, 2)]})
+        assert small.is_strictly_contained_in(triangle())
+        assert not triangle().is_strictly_contained_in(triangle())
+
+
+class TestStructureConstructions:
+    def test_induced(self):
+        induced = triangle().induced({1, 2})
+        assert induced.tuples("E") == frozenset({(1, 2)})
+        assert induced.domain == frozenset({1, 2})
+
+    def test_without(self):
+        assert triangle().without(3).tuples("E") == frozenset({(1, 2)})
+
+    def test_rename_injective(self):
+        renamed = triangle().rename({1: "a", 2: "b", 3: "c"})
+        assert renamed.tuples("E") == frozenset({("a", "b"), ("b", "c"), ("c", "a")})
+
+    def test_quotient_collapses(self):
+        quotient = triangle().rename({1: 1, 2: 1, 3: 3})
+        assert quotient.tuples("E") == frozenset({(1, 1), (1, 3), (3, 1)})
+        assert quotient.domain == frozenset({1, 3})
+
+    def test_rename_with_callable(self):
+        renamed = triangle().rename(lambda x: x * 10)
+        assert renamed.domain == frozenset({10, 20, 30})
+
+    def test_add_facts(self):
+        extended = triangle().add_facts([("E", (1, 1))])
+        assert (1, 1) in extended.tuples("E")
+        assert extended.total_tuples == 4
+
+    def test_remove_facts_keeps_domain(self):
+        trimmed = triangle().remove_facts([("E", (1, 2))])
+        assert trimmed.total_tuples == 2
+        assert trimmed.domain == frozenset({1, 2, 3})
+
+    def test_union(self):
+        union = Structure({"E": [(1, 2)]}).union(Structure({"R": [(2, 3, 4)]}))
+        assert union.tuples("E") == frozenset({(1, 2)})
+        assert union.tuples("R") == frozenset({(2, 3, 4)})
+
+    def test_disjoint_union_is_disjoint(self):
+        combined, left, right = triangle().disjoint_union(triangle())
+        assert combined.total_tuples == 6
+        assert len(combined) == 6
+        assert set(left.values()).isdisjoint(right.values())
+
+    def test_relabel_canonically(self):
+        relabeled, mapping = triangle().relabel_canonically()
+        assert relabeled.domain == frozenset({"v0", "v1", "v2"})
+        assert len(mapping) == 3

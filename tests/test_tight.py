@@ -1,0 +1,70 @@
+"""Tests for tight approximations (Proposition 5.6)."""
+
+import pytest
+
+from repro.cq import is_contained_in, parse_query, path_query
+from repro.core import (
+    TW1,
+    ApproximationConfig,
+    gap_witness,
+    has_gap,
+    is_tight_approximation,
+    tight_pair,
+)
+from repro.graphs import digraph_hom_exists
+from repro.graphs.gadgets import tight_g_k
+from repro.graphs.oriented_paths import directed_path
+
+
+class TestGadgetGk:
+    def test_gk_maps_into_path(self):
+        # Property 1 of the proof: G_k → P_{k+1}.
+        for k in (3, 4, 5):
+            assert digraph_hom_exists(tight_g_k(k), directed_path(k + 1).structure)
+
+    def test_gk_not_into_shorter_path(self):
+        assert not digraph_hom_exists(tight_g_k(3), directed_path(3).structure)
+
+    def test_gk_shape(self):
+        g = tight_g_k(4)
+        assert len(g.domain) == 10
+        assert g.total_tuples == 2 * 4 + 3
+
+
+class TestGapChecking:
+    def test_gap_between_g3_and_p4(self):
+        # Property 2: nothing lies strictly between G_3 and P_4.
+        query, approx = tight_pair(1)  # tableaux G_3 and P_4
+        assert is_contained_in(approx, query)
+        assert has_gap(approx, query)
+
+    def test_no_gap_when_something_between(self):
+        # P5 ⊂ P4 ⊂ Q2-ish chain: between P5 and P3 sits P4.
+        low, high = path_query(5), path_query(3)
+        assert is_contained_in(low, high)
+        witness = gap_witness(low, high)
+        assert witness is not None
+
+    def test_gap_requires_containment(self):
+        with pytest.raises(ValueError):
+            gap_witness(path_query(2), path_query(3))
+
+    def test_exact_limit_guard(self):
+        q = parse_query(
+            "Q() :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,f), E(f,g), E(g,h), E(h,a)"
+        )
+        with pytest.raises(ValueError):
+            gap_witness(path_query(1), q, ApproximationConfig(exact_limit=4))
+
+
+class TestTightPair:
+    @pytest.mark.slow
+    def test_p4_is_tight_acyclic_approximation_of_g3(self):
+        query, approx = tight_pair(1)
+        assert is_tight_approximation(
+            query, approx, TW1, ApproximationConfig(exact_limit=10)
+        )
+
+    def test_tight_pair_validation(self):
+        with pytest.raises(ValueError):
+            tight_pair(0)

@@ -1,0 +1,130 @@
+"""Tests for the shared tree-join skeleton and evaluation edge cases."""
+
+import networkx as nx
+import pytest
+
+from repro.cq import Structure, parse_query
+from repro.evaluation import (
+    Bindings,
+    EvalStats,
+    atom_bindings,
+    hom_evaluate,
+    hypertree_evaluate,
+    tree_join_evaluate,
+    treewidth_evaluate,
+    yannakakis_boolean,
+    yannakakis_evaluate,
+)
+from repro.cq.query import Atom
+
+
+def db() -> Structure:
+    return Structure({"E": [(1, 2), (2, 3), (3, 4), (2, 5)], "L": [(2,), (3,)]})
+
+
+class TestTreeJoin:
+    def test_single_node_tree(self):
+        tree = nx.Graph()
+        tree.add_node(0)
+        bindings = {0: Bindings(("x",), frozenset({(1,), (2,)}))}
+        assert tree_join_evaluate(tree, bindings, ("x",)) == frozenset({(1,), (2,)})
+
+    def test_empty_tree_boolean(self):
+        assert tree_join_evaluate(nx.Graph(), {}, ()) == frozenset({()})
+
+    def test_mismatched_nodes_rejected(self):
+        tree = nx.Graph()
+        tree.add_node(0)
+        with pytest.raises(ValueError):
+            tree_join_evaluate(tree, {}, ())
+
+    def test_uncovered_head_rejected(self):
+        tree = nx.Graph()
+        tree.add_node(0)
+        bindings = {0: Bindings(("x",), frozenset({(1,)}))}
+        with pytest.raises(ValueError):
+            tree_join_evaluate(tree, bindings, ("zzz",))
+
+    def test_two_node_join(self):
+        tree = nx.Graph([(0, 1)])
+        bindings = {
+            0: Bindings(("x", "y"), frozenset({(1, 2), (9, 9)})),
+            1: Bindings(("y", "z"), frozenset({(2, 3)})),
+        }
+        assert tree_join_evaluate(tree, bindings, ("x", "z")) == frozenset({(1, 3)})
+
+    def test_empty_relation_shortcircuits(self):
+        tree = nx.Graph([(0, 1)])
+        bindings = {
+            0: Bindings(("x",), frozenset({(1,)})),
+            1: Bindings(("x",), frozenset()),
+        }
+        assert tree_join_evaluate(tree, bindings, ("x",)) == frozenset()
+
+
+class TestYannakakis:
+    def test_mixed_vocabulary_acyclic(self):
+        q = parse_query("Q(x) :- E(x, y), L(y)")
+        assert yannakakis_evaluate(q, db()) == hom_evaluate(q, db())
+
+    def test_boolean_interface(self):
+        q = parse_query("Q() :- E(x, y), L(y)")
+        assert yannakakis_boolean(q, db()) is True
+        with pytest.raises(ValueError):
+            yannakakis_boolean(parse_query("Q(x) :- E(x, y)"), db())
+
+    def test_star_join(self):
+        q = parse_query("Q(y) :- E(x, y), E(y, z), L(y)")
+        assert yannakakis_evaluate(q, db()) == hom_evaluate(q, db())
+
+    def test_stats_filled(self):
+        stats = EvalStats()
+        q = parse_query("Q() :- E(x, y), E(y, z)")
+        yannakakis_evaluate(q, db(), stats)
+        assert stats.tuples_scanned > 0
+        assert stats.semijoins > 0
+
+
+class TestTreewidthEvaluate:
+    def test_explicit_width(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+        assert treewidth_evaluate(q, db(), k=2) == hom_evaluate(q, db())
+
+    def test_width_too_small(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+        with pytest.raises(ValueError):
+            treewidth_evaluate(q, db(), k=1)
+
+    def test_empty_candidates_early_exit(self):
+        q = parse_query("Q() :- E(x, y), R(x, x, x)")
+        assert treewidth_evaluate(q, db()) == frozenset()
+
+
+class TestHypertreeEvaluate:
+    def test_explicit_width(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+        assert hypertree_evaluate(q, db(), k=2) == hom_evaluate(q, db())
+
+    def test_width_too_small(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+        with pytest.raises(ValueError):
+            hypertree_evaluate(q, db(), k=1)
+
+    def test_generalized_variant(self):
+        q = parse_query("Q(x) :- E(x, y), E(y, z)")
+        assert hypertree_evaluate(q, db(), generalized=True) == hom_evaluate(q, db())
+
+
+class TestStats:
+    def test_merge(self):
+        a, b = EvalStats(tuples_scanned=5, joins=1), EvalStats(tuples_scanned=7, semijoins=2)
+        b.saw_intermediate(42)
+        a.merge(b)
+        assert a.tuples_scanned == 12
+        assert a.joins == 1 and a.semijoins == 2
+        assert a.intermediate_max == 42
+
+    def test_atom_bindings_counts(self):
+        stats = EvalStats()
+        atom_bindings(db(), Atom("E", ("x", "y")), stats)
+        assert stats.tuples_scanned == 4

@@ -1,0 +1,131 @@
+"""Tests for treewidth computation and tree decompositions."""
+
+import networkx as nx
+import pytest
+
+from repro.cq import parse_query
+from repro.hypergraphs import (
+    Hypergraph,
+    decomposition_from_elimination,
+    query_treewidth_at_most,
+    tree_decomposition,
+    treewidth_at_most,
+    treewidth_exact,
+    treewidth_of_query,
+    treewidth_upper_bound,
+)
+
+
+class TestTreewidthExact:
+    def test_tree(self):
+        tree = nx.random_labeled_tree(12, seed=4)
+        assert treewidth_exact(tree) == 1
+
+    def test_cycle(self):
+        assert treewidth_exact(nx.cycle_graph(7)) == 2
+
+    def test_clique(self):
+        assert treewidth_exact(nx.complete_graph(6)) == 5
+
+    def test_grid(self):
+        # tw of the 3xN grid is 3.
+        assert treewidth_exact(nx.grid_2d_graph(3, 4)) == 3
+
+    def test_single_vertex(self):
+        g = nx.Graph()
+        g.add_node(0)
+        assert treewidth_exact(g) == 0
+
+    def test_empty(self):
+        assert treewidth_exact(nx.Graph()) == -1
+
+    def test_loops_ignored(self):
+        g = nx.cycle_graph(5)
+        g.add_edge(0, 0)
+        assert treewidth_exact(g) == 2
+
+    def test_disconnected(self):
+        g = nx.disjoint_union(nx.complete_graph(4), nx.path_graph(5))
+        assert treewidth_exact(g) == 3
+
+
+class TestDecision:
+    def test_decision_matches_exact(self):
+        for graph in [
+            nx.cycle_graph(6),
+            nx.complete_graph(5),
+            nx.petersen_graph(),
+            nx.path_graph(8),
+        ]:
+            width = treewidth_exact(graph)
+            assert treewidth_at_most(graph, width)
+            assert not treewidth_at_most(graph, width - 1)
+
+    def test_negative_k(self):
+        assert not treewidth_at_most(nx.path_graph(2), -1)
+        assert treewidth_at_most(nx.Graph(), -1)
+
+    def test_upper_bound_is_bound(self):
+        g = nx.petersen_graph()
+        assert treewidth_upper_bound(g) >= treewidth_exact(g) == 4
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize(
+        "graph",
+        [nx.cycle_graph(6), nx.complete_graph(4), nx.grid_2d_graph(3, 3), nx.path_graph(6)],
+    )
+    def test_produced_decomposition_is_valid(self, graph):
+        width = treewidth_exact(graph)
+        decomposition = tree_decomposition(graph, width)
+        assert decomposition is not None
+        assert decomposition.width == width
+        hypergraph = Hypergraph([set(edge) for edge in graph.edges])
+        assert decomposition.is_valid(hypergraph)
+
+    def test_decomposition_none_when_too_narrow(self):
+        assert tree_decomposition(nx.complete_graph(4), 2) is None
+
+    def test_disconnected_graph_decomposes_to_tree(self):
+        g = nx.disjoint_union(nx.path_graph(3), nx.path_graph(3))
+        decomposition = tree_decomposition(g, 1)
+        assert decomposition is not None
+        assert nx.is_tree(decomposition.tree)
+
+    def test_elimination_order_validation(self):
+        with pytest.raises(ValueError):
+            decomposition_from_elimination(nx.path_graph(3), [0, 1])
+
+    def test_validate_reports_problems(self):
+        from repro.hypergraphs import TreeDecomposition
+
+        bags = {0: frozenset({"a"}), 1: frozenset({"b"})}
+        tree = nx.Graph([(0, 1)])
+        bad = TreeDecomposition(tree, bags)
+        problems = bad.validate(Hypergraph([{"a", "b"}]))
+        assert problems  # the edge {a, b} is in no bag
+
+
+class TestQueryTreewidth:
+    def test_triangle_query(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+        assert treewidth_of_query(q) == 2
+        assert query_treewidth_at_most(q, 2)
+        assert not query_treewidth_at_most(q, 1)
+
+    def test_path_query(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, u)")
+        assert treewidth_of_query(q) == 1
+
+    def test_loop_only_query(self):
+        q = parse_query("Q() :- E(x, x)")
+        assert treewidth_of_query(q) == 0
+        assert query_treewidth_at_most(q, 1)
+
+    def test_higher_arity_atom(self):
+        q = parse_query("Q() :- R(x, y, z)")
+        assert treewidth_of_query(q) == 2
+
+    def test_four_cycle(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, u), E(u, x)")
+        assert treewidth_of_query(q) == 2

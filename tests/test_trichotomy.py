@@ -1,0 +1,168 @@
+"""Tests for the structure theorems of Section 5 (5.1, 5.3, 5.8, 5.10, 5.11)."""
+
+import pytest
+
+from repro.cq import (
+    are_equivalent,
+    loop_query,
+    minimize,
+    parse_query,
+    trivial_bipartite_query,
+    trivial_clique_query,
+)
+from repro.core import (
+    TW1,
+    TreewidthClass,
+    TrichotomyCase,
+    acyclic_approximations_all_have_loops,
+    all_approximations,
+    classify_boolean_graph_query,
+    has_nontrivial_tw_approximation,
+    is_trivial_approximation,
+    level_path_query,
+    promised_acyclic_approximation,
+    tw_approximations_all_have_loops,
+)
+from repro.graphs.gadgets import intro_q1, intro_q2
+
+
+# The paper's three canonical examples, one per trichotomy case.
+TRIANGLE = intro_q1()                       # not bipartite
+UNBALANCED = parse_query(                   # bipartite but not balanced (Q3)
+    "Q() :- E(x, y), E(y, z), E(z, u), E(x, u)"
+)
+BALANCED = intro_q2()                       # bipartite and balanced
+
+
+class TestClassification:
+    def test_cases(self):
+        assert classify_boolean_graph_query(TRIANGLE) is TrichotomyCase.NOT_BIPARTITE
+        assert (
+            classify_boolean_graph_query(UNBALANCED)
+            is TrichotomyCase.BIPARTITE_UNBALANCED
+        )
+        assert (
+            classify_boolean_graph_query(BALANCED)
+            is TrichotomyCase.BIPARTITE_BALANCED
+        )
+
+    def test_rejects_non_boolean(self):
+        with pytest.raises(ValueError):
+            classify_boolean_graph_query(parse_query("Q(x) :- E(x, y)"))
+
+    def test_rejects_non_graph(self):
+        with pytest.raises(ValueError):
+            classify_boolean_graph_query(parse_query("Q() :- R(x, y, z)"))
+
+
+class TestTheorem51:
+    def test_not_bipartite_case_verified_by_search(self):
+        results = all_approximations(TRIANGLE, TW1)
+        assert len(results) == 1
+        assert are_equivalent(results[0], loop_query())
+        assert is_trivial_approximation(results[0])
+
+    def test_bipartite_unbalanced_case_verified_by_search(self):
+        results = all_approximations(UNBALANCED, TW1)
+        assert len(results) == 1
+        assert are_equivalent(results[0], trivial_bipartite_query())
+
+    def test_balanced_case_nontrivial(self):
+        for result in all_approximations(BALANCED, TW1):
+            assert not is_trivial_approximation(result)
+            # No two subgoals E(x,y), E(y,x): the tableau of the minimized
+            # approximation has no 2-cycle.
+            minimized = minimize(result)
+            edges = minimized.tableau().structure.tuples("E")
+            assert not any((v, u) in edges for u, v in edges if u != v)
+
+    def test_promised_approximations(self):
+        assert are_equivalent(promised_acyclic_approximation(TRIANGLE), loop_query())
+        assert are_equivalent(
+            promised_acyclic_approximation(UNBALANCED), trivial_bipartite_query()
+        )
+        assert promised_acyclic_approximation(BALANCED) is None
+
+    def test_promised_approximation_of_acyclic_query(self):
+        q = parse_query("Q() :- E(x, y), E(y, z)")
+        assert promised_acyclic_approximation(q) == q
+
+
+class TestCorollary53:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            TRIANGLE,
+            UNBALANCED,
+            BALANCED,
+            parse_query("Q() :- E(x, y), E(y, z), E(z, x), E(u, x), E(u, z)"),
+        ],
+    )
+    def test_acyclic_approximations_of_cyclic_queries_reduce_joins(self, query):
+        minimized_query = minimize(query)
+        for result in all_approximations(query, TW1):
+            assert minimize(result).num_joins < minimized_query.num_joins
+
+
+class TestTheorem58:
+    def test_non_bipartite_forces_loops(self):
+        q = parse_query("Q(x, y) :- E(x, y), E(y, z), E(z, x)")
+        assert acyclic_approximations_all_have_loops(q)
+        # The paper's example approximation with a loop subgoal:
+        approx = parse_query("Q(x, y) :- E(x, y), E(y, x), E(x, x)")
+        from repro.core import is_approximation
+
+        assert is_approximation(q, approx, TW1)
+
+    def test_bipartite_allows_loop_free(self):
+        q = parse_query("Q(x) :- E(x, y), E(y, z), E(z, u), E(x, u)")
+        assert not acyclic_approximations_all_have_loops(q)
+        results = all_approximations(q, TW1)
+        assert any(
+            not any(u == v for u, v in r.tableau().structure.tuples("E"))
+            for r in results
+        )
+
+
+class TestTheorem510AndCorollary511:
+    def test_triangle_both_ways_is_3_chromatic(self):
+        k3 = trivial_clique_query(3)
+        # 3-colorable: has a nontrivial TW(2)-approximation (itself).
+        assert has_nontrivial_tw_approximation(k3, 2)
+        assert not tw_approximations_all_have_loops(k3, 2)
+
+    def test_k4_not_3_colorable(self):
+        k4 = trivial_clique_query(4)
+        assert not has_nontrivial_tw_approximation(k4, 2)
+        assert tw_approximations_all_have_loops(k4, 2)
+        # Verified by search: every TW(2)-approximation of K4 is trivial.
+        for result in all_approximations(k4, TreewidthClass(2)):
+            assert is_trivial_approximation(result)
+
+    def test_corollary_511_matches_search_for_triangle(self):
+        # The triangle is 2-colorability-wise odd: not bipartite, so its
+        # TW(1)-approximations are trivial — and it IS 3-colorable, so its
+        # TW(2)-approximations are not.
+        assert not has_nontrivial_tw_approximation(TRIANGLE, 1)
+        assert has_nontrivial_tw_approximation(TRIANGLE, 2)
+        for result in all_approximations(TRIANGLE, TreewidthClass(2)):
+            assert not is_trivial_approximation(result)
+
+
+class TestLevelPath:
+    def test_level_path_contains_query(self):
+        from repro.cq import is_contained_in
+
+        path = level_path_query(BALANCED)
+        assert is_contained_in(BALANCED, path) is False
+        # Direction: the path query is contained in Q2?  No — the level map
+        # sends T_Q2 into the path, so the PATH query is contained in Q2.
+        assert is_contained_in(path, BALANCED)
+
+    def test_level_path_height(self):
+        path = level_path_query(BALANCED)
+        assert path.num_atoms == 4  # Q2 has height 4
+
+    def test_level_path_requires_balanced(self):
+        with pytest.raises(ValueError):
+            level_path_query(TRIANGLE)

@@ -1,0 +1,71 @@
+"""Cross-validation of the width notions on random hypergraphs.
+
+Known relationships give strong oracle-free checks of the det-k-decomp
+style solver and the GHW search:
+
+* ``ghw(H) ≤ htw(H)`` (every hypertree decomposition is generalized);
+* ``htw(H) = 1  ⟺  H acyclic  ⟺  ghw(H) = 1``;
+* every produced decomposition validates against its definition;
+* ``htw(H) ≤ |E|`` trivially (guard everything at one node... per cover).
+"""
+
+from hypothesis import given, settings
+
+from repro.hypergraphs import (
+    generalized_hypertree_decomposition,
+    generalized_hypertree_width,
+    hypertree_decomposition,
+    hypertree_width,
+    is_acyclic,
+)
+from tests.test_properties import hypergraphs
+
+
+class TestWidthRelationships:
+    @given(hypergraphs(max_vertices=6, max_edges=5))
+    @settings(max_examples=40, deadline=None)
+    def test_ghw_at_most_htw(self, h):
+        assert generalized_hypertree_width(h) <= hypertree_width(h)
+
+    @given(hypergraphs(max_vertices=6, max_edges=5))
+    @settings(max_examples=40, deadline=None)
+    def test_width_one_iff_acyclic(self, h):
+        acyclic = is_acyclic(h)
+        assert (hypertree_width(h) == 1) == acyclic
+        assert (generalized_hypertree_width(h) == 1) == acyclic
+
+    @given(hypergraphs(max_vertices=6, max_edges=5))
+    @settings(max_examples=40, deadline=None)
+    def test_htw_bounded_by_edge_count(self, h):
+        assert hypertree_width(h) <= max(len(h.edges), 1)
+
+
+class TestDecompositionValidity:
+    @given(hypergraphs(max_vertices=6, max_edges=5))
+    @settings(max_examples=30, deadline=None)
+    def test_htw_decomposition_validates(self, h):
+        width = hypertree_width(h)
+        decomposition = hypertree_decomposition(h, width)
+        assert decomposition is not None
+        assert decomposition.width <= width
+        assert decomposition.is_valid(h, special_condition=True), (
+            decomposition.validate(h)
+        )
+
+    @given(hypergraphs(max_vertices=6, max_edges=5))
+    @settings(max_examples=25, deadline=None)
+    def test_ghw_decomposition_validates(self, h):
+        width = generalized_hypertree_width(h)
+        decomposition = generalized_hypertree_decomposition(h, width)
+        assert decomposition is not None
+        assert decomposition.width <= width
+        assert decomposition.is_valid(h, special_condition=False), (
+            decomposition.validate(h, special_condition=False)
+        )
+
+    @given(hypergraphs(max_vertices=5, max_edges=4))
+    @settings(max_examples=25, deadline=None)
+    def test_below_width_infeasible(self, h):
+        width = hypertree_width(h)
+        if width > 1:
+            assert hypertree_decomposition(h, width - 1) is None

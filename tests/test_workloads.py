@@ -1,0 +1,149 @@
+"""Tests for workload generators and the paper-family aggregator."""
+
+import pytest
+
+from repro.cq import ConjunctiveQuery
+from repro.hypergraphs import is_acyclic_query
+from repro.workloads import (
+    cycle_with_chords,
+    grid_query,
+    path_heavy_db,
+    random_cq,
+    random_database,
+    random_digraph_db,
+    random_graph_query,
+    social_network_db,
+    union_with_pattern,
+)
+
+
+class TestRandomGraphQuery:
+    def test_every_variable_used(self):
+        for seed in range(5):
+            q = random_graph_query(6, 9, seed=seed)
+            assert q.num_variables == 6
+            assert q.num_atoms == 9
+
+    def test_deterministic_with_seed(self):
+        assert random_graph_query(5, 7, seed=3) == random_graph_query(5, 7, seed=3)
+
+    def test_head_size(self):
+        q = random_graph_query(5, 7, seed=1, head_size=2)
+        assert len(q.head) == 2
+
+    def test_connected_tableau(self):
+        import networkx as nx
+
+        q = random_graph_query(7, 9, seed=5)
+        assert nx.is_connected(q.graph())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_graph_query(1, 5)
+        with pytest.raises(ValueError):
+            random_graph_query(5, 2)
+
+
+class TestRandomCq:
+    def test_shape(self):
+        q = random_cq({"R": 3, "S": 2}, 5, 4, seed=0)
+        assert isinstance(q, ConjunctiveQuery)
+        assert q.num_variables == 5
+        assert q.num_atoms == 4
+
+    def test_all_variables_covered(self):
+        for seed in range(8):
+            q = random_cq({"R": 3}, 6, 3, seed=seed)
+            assert q.num_variables == 6
+
+    def test_impossible_budget(self):
+        with pytest.raises(ValueError):
+            random_cq({"S": 2}, 10, 2, seed=0)
+
+
+class TestStructuredQueries:
+    def test_cycle_with_chords(self):
+        q = cycle_with_chords(5, [(0, 2)])
+        assert q.num_atoms == 6
+        assert not is_acyclic_query(q)
+
+    def test_grid_query_balanced_bipartite(self):
+        from repro.core import TrichotomyCase, classify_boolean_graph_query
+
+        q = grid_query(2, 3)
+        assert classify_boolean_graph_query(q) is TrichotomyCase.BIPARTITE_BALANCED
+
+    def test_grid_treewidth(self):
+        from repro.hypergraphs import treewidth_of_query
+
+        assert treewidth_of_query(grid_query(2, 4)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cycle_with_chords(2)
+        with pytest.raises(ValueError):
+            grid_query(1, 1)
+
+
+class TestRandomData:
+    def test_digraph_db(self):
+        db = random_digraph_db(20, 50, seed=1)
+        assert len(db.domain) == 20
+        assert db.total_tuples <= 50
+        assert not any(u == v for u, v in db.tuples("E"))
+
+    def test_digraph_db_loops(self):
+        db = random_digraph_db(5, 30, seed=1, loops=True)
+        assert any(u == v for u, v in db.tuples("E"))
+
+    def test_random_database_vocab(self):
+        db = random_database({"R": 3, "S": 2}, 8, 20, seed=2)
+        assert db.arity("R") == 3
+        assert len(db.tuples("S")) <= 20
+
+    def test_social_network(self):
+        db = social_network_db(50, avg_degree=3, seed=4)
+        assert len(db.domain) == 50
+        assert db.total_tuples > 0
+
+    def test_path_heavy(self):
+        db = path_heavy_db(30, seed=5)
+        assert (0, 1) in db.tuples("E")
+
+    def test_union_with_pattern(self):
+        from repro.cq import parse_query
+
+        db = random_digraph_db(10, 20, seed=6)
+        pattern = parse_query("Q() :- E(x, y), E(y, z), E(z, x)").tableau().structure
+        planted = union_with_pattern(db, pattern)
+        from repro.evaluation import evaluate
+
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+        assert evaluate(q, planted)
+
+
+class TestFamilies:
+    def test_prop_44_family(self):
+        from repro.workloads.families import prop_44_approximations, prop_44_query
+
+        query = prop_44_query(1)
+        approximations = prop_44_approximations(1)
+        assert len(approximations) == 2
+        assert query.num_variables == 28
+
+    def test_theorem_51_examples_classify(self):
+        from repro.core import classify_boolean_graph_query
+        from repro.workloads.families import theorem_51_examples
+
+        examples = theorem_51_examples()
+        cases = {classify_boolean_graph_query(q).name for q in examples.values()}
+        assert len(cases) == 3
+
+    def test_example_66_bundle(self):
+        from repro.workloads.families import (
+            example_66_approximations,
+            example_66_query,
+        )
+
+        assert example_66_query().num_atoms == 3
+        assert len(example_66_approximations()) == 3
