@@ -1,0 +1,340 @@
+"""EXP HOM-ENGINE — old-vs-new wall time for the homomorphism hot path.
+
+Compares the indexed, memoizing :class:`~repro.homomorphism.engine.HomEngine`
+against a faithful replica of the seed implementation (per-call linear
+rescans, deep-copied domains at every branch, no memoization, no candidate
+dedup) on the workloads the engine was built for:
+
+* ``approximation_frontier`` on Figure-1-style graph-class queries — the
+  Bell-number enumeration of Corollary 4.3, where the engine's canonical
+  dedup shrinks the candidate stream and the ``hom_le`` memo absorbs the
+  frontier's quadratic order churn;
+* raw homomorphism search (find/count) on random structure pairs.
+
+Writes the machine-readable ``BENCH_hom_engine.json`` at the repository root
+so the perf trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.core import TW1, TreewidthClass, approximation_frontier
+from repro.core.quotients import iter_quotient_tableaux
+from repro.cq.tableau import Tableau, pin_for
+from repro.homomorphism.engine import HomEngine
+from repro.util.partitions import bell_number
+from repro.workloads import cycle_with_chords, random_graph_query
+from paperfmt import table, write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_hom_engine.json"
+
+Element = Hashable
+
+
+# --------------------------------------------------------------------------
+# Legacy implementation: a faithful copy of the seed backtracker (v0), kept
+# here so the benchmark keeps measuring the same baseline as the engine
+# evolves.  Linear rescans of whole relations per support computation,
+# deep-copied candidate domains at every branch, no caching of any kind.
+# --------------------------------------------------------------------------
+
+
+def _legacy_supports(row, target_rows, domains):
+    out = []
+    for candidate in target_rows:
+        seen = {}
+        for src, dst in zip(row, candidate):
+            if dst not in domains[src]:
+                break
+            if seen.setdefault(src, dst) != dst:
+                break
+        else:
+            out.append(candidate)
+    return out
+
+
+def _legacy_propagate(facts, target_rows, domains, queue, facts_of):
+    while queue:
+        fact_index = queue.pop()
+        name, row = facts[fact_index]
+        support = _legacy_supports(row, target_rows.get(name, ()), domains)
+        if not support:
+            return False
+        for position, variable in enumerate(row):
+            projected = {candidate[position] for candidate in support}
+            if not domains[variable] <= projected:
+                domains[variable] &= projected
+                if not domains[variable]:
+                    return False
+                queue.update(facts_of.get(variable, ()))
+    return True
+
+
+def legacy_iter_homomorphisms(
+    source,
+    target,
+    *,
+    pin: Mapping[Element, Element] | None = None,
+    candidates: Mapping[Element, Iterable[Element]] | None = None,
+) -> Iterator[dict]:
+    facts = [(name, row) for name, row in source.facts()]
+    target_rows = {name: tuple(rows) for name, rows in target.relations.items()}
+    facts_of: dict[Element, list[int]] = {}
+    for index, (_, row) in enumerate(facts):
+        for value in set(row):
+            facts_of.setdefault(value, []).append(index)
+
+    domains: dict[Element, set[Element]] = {}
+    for element in source.domain:
+        if candidates is not None and element in candidates:
+            domains[element] = set(candidates[element]) & set(target.domain)
+        else:
+            domains[element] = set(target.domain)
+    if pin:
+        for element, image in pin.items():
+            if element not in domains:
+                raise ValueError(f"pinned element {element!r} not in source domain")
+            domains[element] &= {image}
+    if any(not values for values in domains.values()):
+        return
+    if not _legacy_propagate(facts, target_rows, domains, set(range(len(facts))), facts_of):
+        return
+
+    order_hint = sorted(domains, key=repr)
+
+    def search(domains):
+        unassigned = [v for v in order_hint if len(domains[v]) > 1]
+        if not unassigned:
+            yield {v: next(iter(values)) for v, values in domains.items()}
+            return
+        variable = min(unassigned, key=lambda v: len(domains[v]))
+        for value in sorted(domains[variable], key=repr):
+            branched = {v: set(values) for v, values in domains.items()}
+            branched[variable] = {value}
+            queue = set(facts_of.get(variable, ()))
+            if _legacy_propagate(facts, target_rows, branched, queue, facts_of):
+                yield from search(branched)
+
+    yield from search(domains)
+
+
+def legacy_find_homomorphism(source, target, *, pin=None, candidates=None):
+    for hom in legacy_iter_homomorphisms(source, target, pin=pin, candidates=candidates):
+        return hom
+    return None
+
+
+def legacy_count_homomorphisms(source, target, *, pin=None, candidates=None):
+    return sum(1 for _ in legacy_iter_homomorphisms(source, target, pin=pin, candidates=candidates))
+
+
+def legacy_hom_le(source: Tableau, target: Tableau) -> bool:
+    pin = pin_for(source, target)
+    if pin is None:
+        return False
+    return legacy_find_homomorphism(source.structure, target.structure, pin=pin) is not None
+
+
+def legacy_approximation_frontier(query, cls) -> list[Tableau]:
+    """The seed frontier: raw (undeduplicated) candidate stream, fresh
+    search for every order query."""
+    frontier: list[Tableau] = []
+    for candidate in iter_quotient_tableaux(query.tableau(), dedup=False):
+        if not cls.contains_tableau(candidate):
+            continue
+        if any(legacy_hom_le(member, candidate) for member in frontier):
+            continue
+        frontier = [m for m in frontier if not legacy_hom_le(candidate, m)]
+        frontier.append(candidate)
+    return frontier
+
+
+# --------------------------------------------------------------------------
+# Workloads
+# --------------------------------------------------------------------------
+
+
+def frontier_workloads():
+    # C7/TW1 is the headline: a 7-variable graph-class query where the
+    # candidate stream shrinks 877 → 75 and the class checks follow suit.
+    return [
+        ("C5+chord/TW1", cycle_with_chords(5, [(0, 2)]), TreewidthClass(1)),
+        ("C6+chord/TW1", cycle_with_chords(6, [(0, 3)]), TreewidthClass(1)),
+        ("C7/TW1", cycle_with_chords(7), TreewidthClass(1)),
+        ("C7/TW2", cycle_with_chords(7), TreewidthClass(2)),
+        ("C7+chord/TW2", cycle_with_chords(7, [(0, 3)]), TreewidthClass(2)),
+        ("rand(7,9)/TW1", random_graph_query(7, 9, seed=2), TreewidthClass(1)),
+    ]
+
+
+def search_workloads():
+    pairs = []
+    for seed in range(6):
+        source = random_graph_query(6, 8, seed=seed).tableau().structure
+        target = random_graph_query(5, 9, seed=seed + 50).tableau().structure
+        pairs.append((f"rand {seed}", source, target))
+    return pairs
+
+
+def _time(fn, repeats: int = 3) -> tuple[float, object]:
+    """Median wall time of ``fn`` over ``repeats`` runs, plus its result."""
+    times, result = [], None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), result
+
+
+def _fresh_engine() -> HomEngine:
+    # A private engine per measurement so no state leaks across workloads;
+    # memo/index reuse *within* one frontier construction is the point.
+    return HomEngine()
+
+
+def run_frontier_comparison() -> list[dict]:
+    results = []
+    for name, query, cls in frontier_workloads():
+        tableau = query.tableau()
+        n = len(tableau.structure.domain)
+        raw = bell_number(n)
+        deduped = sum(1 for _ in iter_quotient_tableaux(tableau, dedup=True))
+
+        legacy_s, legacy_frontier = _time(
+            lambda q=query, c=cls: legacy_approximation_frontier(q, c)
+        )
+
+        def engine_run(q=query, c=cls):
+            import repro.homomorphism.engine as engine_module
+
+            saved = engine_module.DEFAULT_ENGINE
+            engine_module.DEFAULT_ENGINE = _fresh_engine()
+            try:
+                return approximation_frontier(q, c)
+            finally:
+                engine_module.DEFAULT_ENGINE = saved
+
+        engine_s, engine_frontier = _time(engine_run)
+        assert len(legacy_frontier) == len(engine_frontier), name
+        results.append(
+            {
+                "workload": f"frontier {name}",
+                "variables": n,
+                "candidates_raw": raw,
+                "candidates_deduped": deduped,
+                "frontier_size": len(engine_frontier),
+                "legacy_s": round(legacy_s, 4),
+                "engine_s": round(engine_s, 4),
+                "speedup": round(legacy_s / engine_s, 2) if engine_s else float("inf"),
+            }
+        )
+    return results
+
+
+def run_search_comparison() -> list[dict]:
+    results = []
+    for name, source, target in search_workloads():
+        legacy_s, legacy_count = _time(
+            lambda s=source, t=target: legacy_count_homomorphisms(s, t), repeats=5
+        )
+        engine = _fresh_engine()
+        engine_s, engine_count = _time(
+            lambda s=source, t=target: engine.count_homomorphisms(s, t), repeats=5
+        )
+        assert legacy_count == engine_count, name
+        results.append(
+            {
+                "workload": f"count {name}",
+                "homs": engine_count,
+                "legacy_s": round(legacy_s, 5),
+                "engine_s": round(engine_s, 5),
+                "speedup": round(legacy_s / engine_s, 2) if engine_s else float("inf"),
+            }
+        )
+    return results
+
+
+def run_all() -> dict:
+    frontier = run_frontier_comparison()
+    search = run_search_comparison()
+    seven_var = [
+        r for r in frontier if r["variables"] == 7 and r["workload"].startswith("frontier C7/")
+    ]
+    return {
+        "benchmark": "hom_engine",
+        "description": "seed (linear-scan, copying, uncached) vs HomEngine "
+        "(indexed, trailing, memoized, canonical dedup)",
+        "workloads": frontier + search,
+        "headline": {
+            "name": seven_var[0]["workload"] if seven_var else None,
+            "speedup": seven_var[0]["speedup"] if seven_var else None,
+            "target_speedup": 3.0,
+        },
+    }
+
+
+def emit_json(payload: dict) -> None:
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+HEADERS = ["workload", "legacy", "engine", "speedup", "candidates"]
+
+
+def _report_rows(payload: dict) -> list[list[object]]:
+    rows = []
+    for entry in payload["workloads"]:
+        shrink = (
+            f"{entry['candidates_raw']}→{entry['candidates_deduped']}"
+            if "candidates_raw" in entry
+            else "-"
+        )
+        rows.append(
+            [
+                entry["workload"],
+                f"{entry['legacy_s'] * 1e3:.1f}ms",
+                f"{entry['engine_s'] * 1e3:.1f}ms",
+                f"{entry['speedup']:.1f}x",
+                shrink,
+            ]
+        )
+    return rows
+
+
+def bench_hom_engine_frontier_7var(benchmark):
+    query = cycle_with_chords(7)
+    results = benchmark(lambda: approximation_frontier(query, TW1))
+    assert results
+
+
+def bench_hom_engine_report(benchmark):
+    def report():
+        payload = run_all()
+        emit_json(payload)
+        assert payload["headline"]["speedup"] >= payload["headline"]["target_speedup"], (
+            "engine must be ≥3x faster than the seed on the 7-variable frontier"
+        )
+        return table(HEADERS, _report_rows(payload))
+
+    body = benchmark.pedantic(report, rounds=1, iterations=1)
+    write_report(
+        "hom_engine",
+        "Homomorphism engine: old-vs-new hot-path wall time",
+        body,
+    )
+
+
+if __name__ == "__main__":
+    payload = run_all()
+    emit_json(payload)
+    print(table(HEADERS, _report_rows(payload)))
+    headline = payload["headline"]
+    print(
+        f"\nheadline: {headline['name']} speedup {headline['speedup']}x "
+        f"(target ≥ {headline['target_speedup']}x); wrote {JSON_PATH.name}"
+    )

@@ -36,7 +36,7 @@ from repro.core.quotients import (
     iter_quotient_tableaux,
 )
 from repro.homomorphism.cores import core_tableau
-from repro.homomorphism.orders import hom_le
+from repro.homomorphism.engine import default_engine
 from repro.util.partitions import partition_to_mapping
 
 
@@ -45,12 +45,15 @@ class ApproximationConfig:
     """Knobs of the approximation search.
 
     ``exact_limit`` is the largest number of tableau elements for which the
-    exact (Bell-number) enumeration runs; ``max_extra_atoms``/``allow_fresh``
+    exact (Bell-number) enumeration runs — the indexed, memoizing
+    homomorphism engine plus canonical-form deduplication of the candidate
+    stream keep 9-variable enumerations (Bell(9) = 21147 partitions)
+    practical, hence the default of 9; ``max_extra_atoms``/``allow_fresh``
     control the hypergraph extension space of Claim 6.2; the greedy descent
     stops after ``greedy_rounds`` consecutive unimproved samples.
     """
 
-    exact_limit: int = 8
+    exact_limit: int = 9
     max_extra_atoms: int = 1
     allow_fresh: bool = True
     greedy_rounds: int = 300
@@ -65,15 +68,22 @@ def candidate_tableaux(
     cls: QueryClass,
     config: ApproximationConfig = DEFAULT_CONFIG,
 ) -> Iterable[Tableau]:
-    """The bounded witness space for ``Q`` and ``C`` (class members only)."""
+    """The bounded witness space for ``Q`` and ``C`` (class members only).
+
+    Candidates are deduplicated by canonical form before the (expensive)
+    class-membership test: distinct partitions routinely produce isomorphic
+    quotients, and class membership and the downstream frontier are
+    isomorphism-invariant, so the dedup is lossless up to equivalence.
+    """
     tableau = query.tableau()
     if cls.kind == "graph":
-        source = iter_quotient_tableaux(tableau)
+        source = iter_quotient_tableaux(tableau, dedup=True)
     else:
         source = iter_extended_tableaux(
             tableau,
             max_extra_atoms=config.max_extra_atoms,
             allow_fresh=config.allow_fresh,
+            dedup=True,
         )
     for candidate in source:
         if cls.contains_tableau(candidate):
@@ -92,11 +102,12 @@ def approximation_frontier(
     maps into.  By transitivity of → the surviving set is exactly the set of
     minimal candidates up to homomorphic equivalence.
     """
+    engine = default_engine()
     frontier: list[Tableau] = []
     for candidate in candidate_tableaux(query, cls, config):
-        if any(hom_le(member, candidate) for member in frontier):
+        if any(engine.hom_le(member, candidate) for member in frontier):
             continue
-        frontier = [m for m in frontier if not hom_le(candidate, m)]
+        frontier = [m for m in frontier if not engine.hom_le(candidate, m)]
         frontier.append(candidate)
     return frontier
 
@@ -152,6 +163,7 @@ def greedy_approximate(
     if cls.contains_tableau(tableau):
         return minimize(query)
 
+    engine = default_engine()
     rng = random.Random(config.seed)
     elements = sorted(tableau.structure.domain, key=repr)
 
@@ -195,10 +207,12 @@ def greedy_approximate(
         else:
             candidate_partition = random_partition()
         candidate = _quotient_by(tableau, candidate_partition)
-        if (
-            cls.contains_tableau(candidate)
-            and hom_le(candidate, current)
-            and not hom_le(current, candidate)
+        # The engine's strictness check front-loads the cheap refutations:
+        # signature fast paths and canonical-key equality (isomorphic ⇒ not
+        # strict) usually decide without any search, and repeated samples hit
+        # the hom_le memo, so most rounds never pay for two full searches.
+        if engine.strictly_below(candidate, current) and cls.contains_tableau(
+            candidate
         ):
             current, current_partition = candidate, candidate_partition
             failures = 0

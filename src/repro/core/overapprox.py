@@ -26,6 +26,7 @@ import itertools
 from repro.cq.containment import is_contained_in
 from repro.cq.query import ConjunctiveQuery
 from repro.core.classes import QueryClass
+from repro.homomorphism.engine import default_engine
 
 
 def _subset_queries(query: ConjunctiveQuery) -> list[ConjunctiveQuery]:
@@ -54,16 +55,25 @@ def syntactic_overapproximations(
     if cls.contains_query(query):
         return [query]
     members = [q for q in _subset_queries(query) if cls.contains_query(q)]
-    minimal: list[ConjunctiveQuery] = []
-    for candidate in members:
-        if any(is_contained_in(other, candidate) and not is_contained_in(candidate, other)
-               for other in members):
+    # ``q ⊆ q'`` ⇔ ``T_q' → T_q``; compute each tableau once and compare
+    # through the engine, whose memoized hom_le absorbs the quadratic number
+    # of order queries among the (often heavily overlapping) subset queries.
+    engine = default_engine()
+    tableaux = [q.tableau() for q in members]
+    minimal: list[tuple[ConjunctiveQuery, object]] = []
+    for candidate, candidate_tab in zip(members, tableaux):
+        if any(
+            engine.strictly_below(candidate_tab, other_tab)
+            for other_tab in tableaux
+        ):
             continue
-        if any(is_contained_in(candidate, kept) and is_contained_in(kept, candidate)
-               for kept in minimal):
+        if any(
+            engine.hom_equivalent(candidate_tab, kept_tab)
+            for _, kept_tab in minimal
+        ):
             continue
-        minimal.append(candidate)
-    return minimal
+        minimal.append((candidate, candidate_tab))
+    return [candidate for candidate, _ in minimal]
 
 
 def syntactic_overapproximate(

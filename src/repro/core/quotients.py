@@ -11,6 +11,24 @@ quotients by *adding* bounded extension atoms (possibly with fresh padding
 variables; see Example 6.6's third approximation, which has more atoms than
 the query it approximates).  ``iter_extended_tableaux`` enumerates quotients
 together with bounded sets of extension atoms.
+
+Both enumerators accept ``dedup=True``: candidates are then deduplicated by
+canonical form (:func:`repro.homomorphism.signatures.canonical_key`).
+Distinct partitions of a symmetric tableau routinely produce isomorphic
+quotients (a directed ``n``-cycle has ``Bell(n)`` partitions but far fewer
+quotients up to isomorphism), and every downstream consumer —
+class-membership tests, the frontier's ``hom_le`` churn, core computation —
+is isomorphism-invariant, so deduplication changes nothing up to homomorphic
+equivalence while shrinking the candidate stream several-fold.
+
+The dedup is **best-effort, sound for pruning only**: every isomorphism
+class is always represented in the output, but duplicates can still appear —
+canonization is abandoned mid-stream when an early prefix shows the base is
+too asymmetric to profit (see ``_ADAPTIVE_PREFIX``), and structures beyond
+the canonizer's effort caps pass through unkeyed.  Callers must not use
+``dedup=True`` to *count* isomorphism classes.  The default stays
+``dedup=False``: the raw stream is in bijection with set partitions, which
+``quotient_count`` and several callers rely on.
 """
 
 from __future__ import annotations
@@ -20,20 +38,187 @@ from typing import Iterator
 
 from repro.cq.structure import Structure
 from repro.cq.tableau import Tableau
+from repro.homomorphism.engine import default_engine
+from repro.homomorphism.signatures import canonical_key_indexed
 from repro.util.naming import fresh_names
 from repro.util.partitions import bell_number, partition_to_mapping, set_partitions
 
 
-def iter_quotient_tableaux(tableau: Tableau) -> Iterator[Tableau]:
+#: Adaptive dedup cutoff: after canonizing this many partitions, dedup stays
+#: on only if at least this fraction were duplicates (isomorphic to an
+#: earlier candidate).  Canonization costs roughly half of what a duplicate
+#: saves downstream (class check + quotient construction), so a duplicate
+#: rate around one half is the break-even point.
+_ADAPTIVE_PREFIX = 160
+_ADAPTIVE_MIN_DUP_RATE = 0.5
+
+
+def _automorphism_inverses(
+    tableau: Tableau,
+    elements: list,
+    index_of: dict,
+    *,
+    cap: int = 512,
+) -> list[list[int]] | None:
+    """Non-identity automorphisms of the base tableau, as inverse index
+    permutations (distinguished elements fixed point-wise).
+
+    Bijective endomorphisms of a finite structure are automorphisms, so the
+    engine's endomorphism enumeration suffices; if more than ``cap``
+    endomorphisms are scanned the search is abandoned and ``None`` disables
+    orbit pruning (rare — the bases here have a handful of endomorphisms).
+    """
+    structure = tableau.structure
+    pin = {element: element for element in tableau.distinguished}
+    n = len(elements)
+    inverses: list[list[int]] = []
+    scanned = 0
+    for endo in default_engine().iter_homomorphisms(structure, structure, pin=pin):
+        scanned += 1
+        if scanned > cap:
+            return None
+        if len(set(endo.values())) != n:
+            continue
+        inverse = [0] * n
+        is_identity = True
+        for i, element in enumerate(elements):
+            j = index_of[endo[element]]
+            inverse[j] = i
+            if j != i:
+                is_identity = False
+        if not is_identity:
+            inverses.append(inverse)
+    return inverses
+
+
+def _orbit_minimal(code: list[int], n: int, inverses: list[list[int]]) -> bool:
+    """Whether the partition's growth string is lex-minimal in its orbit.
+
+    Applying an automorphism ``σ`` to a partition yields an isomorphic
+    quotient, so only the lex-minimal restricted-growth string per orbit
+    needs canonization — the rest are skipped outright.
+    """
+    for inverse in inverses:
+        relabel: dict[int, int] = {}
+        for j in range(n):
+            label = relabel.setdefault(code[inverse[j]], len(relabel))
+            if label != code[j]:
+                if label < code[j]:
+                    return False
+                break
+    return True
+
+
+class _CanonicalSeen:
+    """Tracks canonical forms; tableaux without a computable form pass through."""
+
+    def __init__(self) -> None:
+        self._seen: set[tuple] = set()
+
+    def first_sighting(self, tableau: Tableau) -> bool:
+        # The engine's canonical-form cache is shared with the hom_le memo
+        # keys, so keys computed here are reused by the frontier's order
+        # queries on the surviving candidates.
+        key = default_engine().canonical_key(tableau)
+        if key is None:
+            return True
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        return True
+
+
+def iter_quotient_tableaux(
+    tableau: Tableau, *, dedup: bool = False
+) -> Iterator[Tableau]:
     """All quotients of a tableau, one per set partition of its domain.
 
     The identity quotient (the tableau itself) is included.  The number of
-    quotients is ``bell_number(|domain|)``.
+    quotients is ``bell_number(|domain|)``; with ``dedup=True`` isomorphic
+    quotients are pruned (best-effort — see the module docstring: the
+    adaptive cutoff can re-admit duplicates on asymmetric bases), which can
+    leave far fewer.
+
+    The dedup path canonizes straight off the partition — facts mapped to
+    integer block ids, no ``Structure`` built — so duplicated quotients cost
+    one canonical-form computation and nothing else.
     """
     elements = sorted(tableau.structure.domain, key=repr)
+    if not dedup:
+        for partition in set_partitions(elements):
+            yield tableau.rename(partition_to_mapping(partition))
+        return
+
+    structure = tableau.structure
+    index_of = {element: index for index, element in enumerate(elements)}
+    names = sorted(name for name, rows in structure.relations.items() if rows)
+    base_facts = [
+        (relation_id, tuple(index_of[value] for value in row))
+        for relation_id, name in enumerate(names)
+        for row in structure.relations[name]
+    ]
+    covered = {value for _, row in base_facts for value in row}
+    covered.update(index_of[d] for d in tableau.distinguished)
+    if len(covered) < len(elements):
+        # Isolated elements (possible only with an explicitly enlarged
+        # domain) would defeat the integer fast path's refinement; fall back
+        # to tableau-level canonical forms, which handle them.
+        seen = _CanonicalSeen()
+        for partition in set_partitions(elements):
+            quotient = tableau.rename(partition_to_mapping(partition))
+            if seen.first_sighting(quotient):
+                yield quotient
+        return
+
+    distinguished_idx = tuple(index_of[d] for d in tableau.distinguished)
+    automorphisms = _automorphism_inverses(tableau, elements, index_of)
+    seen_keys: set[tuple] = set()
+    n_elements = len(elements)
+    code = [0] * n_elements
+    # Deduplication pays for itself only when enough partitions actually
+    # collapse onto already-seen isomorphism classes (the canonization of a
+    # unique candidate is pure overhead).  Track the duplicate rate over an
+    # early prefix and fall back to plain enumeration when the base tableau
+    # turns out to be too asymmetric for dedup to win.
+    checked = duplicates = 0
+    dedup_active, decided = True, False
     for partition in set_partitions(elements):
-        mapping = partition_to_mapping(partition)
-        yield tableau.rename(mapping)
+        if len(partition) == n_elements:
+            # The identity quotient: the only partition with |domain| blocks,
+            # and isomorphism preserves block count, so it cannot duplicate
+            # (or be duplicated by) anything — skip the canonization.
+            yield tableau.rename(partition_to_mapping(partition))
+            continue
+        if not decided and checked >= _ADAPTIVE_PREFIX:
+            decided = True
+            dedup_active = duplicates >= checked * _ADAPTIVE_MIN_DUP_RATE
+        if not dedup_active:
+            yield tableau.rename(partition_to_mapping(partition))
+            continue
+        for block_id, block in enumerate(partition):
+            for element in block:
+                code[index_of[element]] = block_id
+        checked += 1
+        if automorphisms and not _orbit_minimal(code, n_elements, automorphisms):
+            duplicates += 1
+            continue
+        mapped_facts = sorted(
+            {
+                (relation_id, tuple(code[value] for value in row))
+                for relation_id, row in base_facts
+            }
+        )
+        key = canonical_key_indexed(
+            len(partition),
+            mapped_facts,
+            tuple(code[value] for value in distinguished_idx),
+        )
+        if key is not None:
+            if key in seen_keys:
+                duplicates += 1
+                continue
+            seen_keys.add(key)
+        yield tableau.rename(partition_to_mapping(partition))
 
 
 def quotient_count(tableau: Tableau) -> int:
@@ -98,6 +283,7 @@ def iter_extended_tableaux(
     *,
     max_extra_atoms: int = 1,
     allow_fresh: bool = True,
+    dedup: bool = False,
 ) -> Iterator[Tableau]:
     """Quotients plus up to ``max_extra_atoms`` extension atoms each.
 
@@ -105,9 +291,17 @@ def iter_extended_tableaux(
     truncated by ``max_extra_atoms``: the paper's bound on extension tuples
     is polynomial in ``|Q|``, and the enumeration cost grows steeply, so the
     cap is an explicit knob.  With ``max_extra_atoms=0`` this degenerates to
-    plain quotients.
+    plain quotients.  ``dedup=True`` prunes isomorphic candidates (again
+    best-effort), both at the quotient level — skipping a duplicated
+    quotient skips its whole extension family, which is isomorphic to the
+    kept copy's — and among the extended tableaux themselves.  An extended
+    candidate that happens to be isomorphic to a plain quotient is not
+    cross-checked (the two streams keep separate key sets, sparing every
+    quotient a second canonization); such coincidences are harmless
+    downstream.
     """
-    for quotient in iter_quotient_tableaux(tableau):
+    seen = _CanonicalSeen() if dedup else None
+    for quotient in iter_quotient_tableaux(tableau, dedup=dedup):
         yield quotient
         if max_extra_atoms <= 0:
             continue
@@ -116,4 +310,6 @@ def iter_extended_tableaux(
         )
         for count in range(1, max_extra_atoms + 1):
             for extras in itertools.combinations(extension_pool, count):
-                yield _with_extensions(quotient, extras)
+                extended = _with_extensions(quotient, extras)
+                if seen is None or seen.first_sighting(extended):
+                    yield extended

@@ -3,13 +3,26 @@
 ``Q ⊆ Q'`` (every answer of ``Q`` is an answer of ``Q'`` on every database)
 holds if and only if there is a homomorphism of tableaux
 ``(T_Q', x̄') → (T_Q, x̄)``.  Both directions of the preorder — and hence
-equivalence and strict containment — reduce to homomorphism search.
+equivalence and strict containment — reduce to homomorphism search, routed
+through the shared :class:`~repro.homomorphism.engine.HomEngine`: boolean
+verdicts (``is_contained_in`` and friends) hit the engine's memoized,
+signature-accelerated ``hom_le``, while ``containment_witness`` runs the
+search to produce an actual witness mapping.
 """
 
 from __future__ import annotations
 
 from repro.cq.query import ConjunctiveQuery
+from repro.homomorphism.engine import default_engine
 from repro.homomorphism.orders import tableau_hom
+
+
+def _check_arities(sub: ConjunctiveQuery, sup: ConjunctiveQuery) -> None:
+    if len(sub.head) != len(sup.head):
+        raise ValueError(
+            "containment requires equal head arities, got "
+            f"{len(sub.head)} and {len(sup.head)}"
+        )
 
 
 def containment_witness(sub: ConjunctiveQuery, sup: ConjunctiveQuery) -> dict | None:
@@ -19,24 +32,23 @@ def containment_witness(sub: ConjunctiveQuery, sup: ConjunctiveQuery) -> dict | 
     the queries have different numbers of free variables (containment is only
     defined between queries of equal arity).
     """
-    if len(sub.head) != len(sup.head):
-        raise ValueError(
-            "containment requires equal head arities, got "
-            f"{len(sub.head)} and {len(sup.head)}"
-        )
+    _check_arities(sub, sup)
     return tableau_hom(sup.tableau(), sub.tableau())
 
 
 def is_contained_in(sub: ConjunctiveQuery, sup: ConjunctiveQuery) -> bool:
     """Whether ``sub ⊆ sup`` holds on all databases."""
-    return containment_witness(sub, sup) is not None
+    _check_arities(sub, sup)
+    return default_engine().hom_le(sup.tableau(), sub.tableau())
 
 
 def are_equivalent(a: ConjunctiveQuery, b: ConjunctiveQuery) -> bool:
     """Whether ``a ≡ b`` (mutual containment)."""
-    return is_contained_in(a, b) and is_contained_in(b, a)
+    _check_arities(a, b)
+    return default_engine().hom_equivalent(a.tableau(), b.tableau())
 
 
 def is_strictly_contained_in(sub: ConjunctiveQuery, sup: ConjunctiveQuery) -> bool:
     """Whether ``sub ⊂ sup``: containment holds but equivalence does not."""
-    return is_contained_in(sub, sup) and not is_contained_in(sup, sub)
+    _check_arities(sub, sup)
+    return default_engine().strictly_below(sup.tableau(), sub.tableau())

@@ -80,11 +80,15 @@ def backtracking_evaluate(
 
 def hom_evaluate(query: ConjunctiveQuery, db: Structure) -> Answer:
     """Reference semantics: answers are images of the distinguished tuple
-    under homomorphisms ``T_Q → D``."""
-    from repro.homomorphism.search import iter_homomorphisms
+    under homomorphisms ``T_Q → D``.
+
+    Runs through the shared homomorphism engine, so repeated evaluations
+    against the same database reuse its inverted tuple indexes.
+    """
+    from repro.homomorphism.engine import default_engine
 
     tableau = query.tableau()
     return frozenset(
         tuple(hom[v] for v in tableau.distinguished)
-        for hom in iter_homomorphisms(tableau.structure, db)
+        for hom in default_engine().iter_homomorphisms(tableau.structure, db)
     )

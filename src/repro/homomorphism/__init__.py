@@ -1,5 +1,11 @@
 """Homomorphisms, cores and the homomorphism preorder."""
 
+from repro.homomorphism.engine import DEFAULT_ENGINE, HomEngine, default_engine
+from repro.homomorphism.signatures import (
+    canonical_key,
+    refutes_hom,
+    structure_signature,
+)
 from repro.homomorphism.search import (
     count_homomorphisms,
     find_homomorphism,
@@ -23,10 +29,16 @@ from repro.homomorphism.orders import (
 )
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "HomEngine",
     "bounded_treewidth_homomorphism",
     "bounded_tw_hom_exists",
+    "canonical_key",
     "containment_via_treewidth",
     "core",
+    "default_engine",
+    "refutes_hom",
+    "structure_signature",
     "core_tableau",
     "count_homomorphisms",
     "find_homomorphism",

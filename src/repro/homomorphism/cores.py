@@ -7,6 +7,14 @@ tableau of its minimized equivalent (Chandra & Merlin).
 
 For tableaux, endomorphisms must fix the distinguished tuple point-wise, so
 the distinguished elements are pinned during the search.
+
+The endomorphism searches run through the shared
+:class:`~repro.homomorphism.engine.HomEngine` (indexed targets, trailing
+propagation, signature refutation); the algorithm is the classical
+element-avoidance loop: a structure is a core exactly when no single element
+can be avoided, and replacing the structure by the image of a found
+endomorphism strictly shrinks it, so the loop terminates in at most ``|D|``
+rounds.
 """
 
 from __future__ import annotations
@@ -15,13 +23,9 @@ from typing import Hashable
 
 from repro.cq.structure import Structure
 from repro.cq.tableau import Tableau
-from repro.homomorphism.search import find_homomorphism, image
+from repro.homomorphism.engine import default_engine
 
 Element = Hashable
-
-
-def _identity_pin(pinned: tuple[Element, ...]) -> dict[Element, Element]:
-    return {element: element for element in pinned}
 
 
 def core(
@@ -33,49 +37,18 @@ def core(
     considered (they always survive into the core).  Returns the core as a
     substructure of the input, together with the composed retraction map from
     the original domain onto the core's domain.
-
-    The algorithm repeatedly looks for an endomorphism avoiding some element;
-    a structure is a core exactly when no single element can be avoided, and
-    replacing the structure by the image of a found endomorphism strictly
-    shrinks it, so the loop terminates in at most ``|D|`` rounds.
     """
-    pin = _identity_pin(pinned)
-    current = structure
-    retraction: dict[Element, Element] = {value: value for value in structure.domain}
-
-    shrunk = True
-    while shrunk:
-        shrunk = False
-        removable = sorted(current.domain - set(pinned), key=repr)
-        for element in removable:
-            endo = find_homomorphism(current, current.without(element), pin=pin)
-            if endo is None:
-                continue
-            current = image(current, endo)
-            retraction = {
-                origin: endo[target] for origin, target in retraction.items()
-            }
-            shrunk = True
-            break
-    return current, retraction
+    return default_engine().core(structure, pinned=pinned)
 
 
 def is_core(structure: Structure, *, pinned: tuple[Element, ...] = ()) -> bool:
     """Whether no endomorphism avoids any element (fixing ``pinned``)."""
-    pin = _identity_pin(pinned)
-    for element in sorted(structure.domain - set(pinned), key=repr):
-        if find_homomorphism(structure, structure.without(element), pin=pin):
-            return False
-    return True
+    return default_engine().is_core(structure, pinned=pinned)
 
 
 def core_tableau(tableau: Tableau) -> Tableau:
     """The core of a tableau (the tableau of the minimized query)."""
-    cored, retraction = core(
-        tableau.structure, pinned=tuple(dict.fromkeys(tableau.distinguished))
-    )
-    distinguished = tuple(retraction[x] for x in tableau.distinguished)
-    return Tableau(cored, distinguished)
+    return default_engine().core_tableau(tableau)
 
 
 def retract_exists(structure: Structure, sub_domain: frozenset[Element]) -> bool:
@@ -86,4 +59,4 @@ def retract_exists(structure: Structure, sub_domain: frozenset[Element]) -> bool
     """
     target = structure.induced(sub_domain)
     pin = {element: element for element in sub_domain if element in structure.domain}
-    return find_homomorphism(structure, target, pin=pin) is not None
+    return default_engine().find_homomorphism(structure, target, pin=pin) is not None

@@ -5,12 +5,18 @@ of homomorphisms between their tableaux (``Q ⊆ Q' ⇔ T_Q' → T_Q``).  This
 module provides the tableau side: ``hom_le``, strictness (the paper's ``⥮``
 symbol, rendered ``upslope`` in the text: ``D ⥮ D'`` iff ``D → D'`` but not
 ``D' → D``), and homomorphic equivalence.
+
+All order queries delegate to the shared
+:class:`~repro.homomorphism.engine.HomEngine`, which memoizes verdicts under
+canonical tableau forms and refutes most negatives via signature fast paths —
+the approximation frontier issues the same comparisons over and over, so the
+memo is what keeps Corollary 4.3's enumeration tractable.
 """
 
 from __future__ import annotations
 
-from repro.cq.tableau import Tableau, pin_for
-from repro.homomorphism.search import find_homomorphism
+from repro.cq.tableau import Tableau
+from repro.homomorphism.engine import default_engine
 
 
 def tableau_hom(source: Tableau, target: Tableau) -> dict | None:
@@ -19,22 +25,19 @@ def tableau_hom(source: Tableau, target: Tableau) -> dict | None:
     The distinguished tuple of the source must be mapped position-wise onto
     the distinguished tuple of the target.
     """
-    pin = pin_for(source, target)
-    if pin is None:
-        return None
-    return find_homomorphism(source.structure, target.structure, pin=pin)
+    return default_engine().tableau_hom(source, target)
 
 
 def hom_le(source: Tableau, target: Tableau) -> bool:
     """Whether ``source → target`` in the homomorphism preorder."""
-    return tableau_hom(source, target) is not None
+    return default_engine().hom_le(source, target)
 
 
 def hom_equivalent(a: Tableau, b: Tableau) -> bool:
     """Homomorphic equivalence: both directions hold (same core)."""
-    return hom_le(a, b) and hom_le(b, a)
+    return default_engine().hom_equivalent(a, b)
 
 
 def strictly_below(a: Tableau, b: Tableau) -> bool:
     """The paper's strict order: ``a → b`` holds but ``b → a`` does not."""
-    return hom_le(a, b) and not hom_le(b, a)
+    return default_engine().strictly_below(a, b)

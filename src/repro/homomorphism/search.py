@@ -2,96 +2,32 @@
 
 A homomorphism ``h : D1 → D2`` maps every fact of ``D1`` to a fact of ``D2``
 (Section 2 of the paper).  Finding one is an NP-complete constraint
-satisfaction problem; this module implements a backtracking solver with
+satisfaction problem; the search itself lives in
+:class:`repro.homomorphism.engine.HomEngine`, which combines
 
-* per-fact generalized arc consistency (the projection of each source fact's
-  support set prunes the candidate sets of its variables),
+* per-fact generalized arc consistency over inverted target indexes,
+* trailing (undo-based) propagation instead of per-branch domain copies,
 * minimum-remaining-values variable ordering,
+* signature fast paths that refute most non-homomorphisms without search,
 * optional externally supplied candidate sets (used to inject the
   level-preservation filter of Lemma 4.5 for balanced digraphs), and
 * optional pinning of elements (used for distinguished tuples of tableaux).
 
-All higher-level operations of the library — CQ containment, cores,
-approximation orderings, even query evaluation — reduce to this search.
+The functions here are thin wrappers over the shared
+:data:`~repro.homomorphism.engine.DEFAULT_ENGINE`; all higher-level
+operations of the library — CQ containment, cores, approximation orderings,
+even query evaluation — reduce to them.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Hashable, Iterable, Iterator, Mapping
 
 from repro.cq.structure import Structure
+from repro.homomorphism.engine import default_engine
 
 Element = Hashable
 Assignment = dict[Element, Element]
-
-
-@lru_cache(maxsize=512)
-def _target_index(target: Structure) -> dict[str, tuple[tuple, ...]]:
-    """Tuples of each target relation, materialized once per structure."""
-    return {name: tuple(rows) for name, rows in target.relations.items()}
-
-
-def _source_facts(source: Structure) -> list[tuple[str, tuple]]:
-    return [(name, row) for name, row in source.facts()]
-
-
-def _facts_by_element(facts: list[tuple[str, tuple]]) -> dict[Element, list[int]]:
-    by_element: dict[Element, list[int]] = {}
-    for index, (_, row) in enumerate(facts):
-        for value in set(row):
-            by_element.setdefault(value, []).append(index)
-    return by_element
-
-
-def _supports(
-    row: tuple,
-    target_rows: Iterable[tuple],
-    domains: Mapping[Element, set[Element]],
-) -> list[tuple]:
-    """Target tuples compatible with the current candidate sets for ``row``.
-
-    Compatibility requires position-wise membership in the candidate sets and
-    consistency on repeated variables (the equality pattern of ``row``).
-    """
-    out = []
-    for candidate in target_rows:
-        seen: dict[Element, Element] = {}
-        for src, dst in zip(row, candidate):
-            if dst not in domains[src]:
-                break
-            if seen.setdefault(src, dst) != dst:
-                break
-        else:
-            out.append(candidate)
-    return out
-
-
-def _propagate(
-    facts: list[tuple[str, tuple]],
-    target_rows: Mapping[str, tuple[tuple, ...]],
-    domains: dict[Element, set[Element]],
-    queue: set[int],
-    facts_of: Mapping[Element, list[int]],
-) -> bool:
-    """Generalized arc consistency over the facts in ``queue``.
-
-    Shrinks ``domains`` in place; returns ``False`` on a wipe-out.
-    """
-    while queue:
-        fact_index = queue.pop()
-        name, row = facts[fact_index]
-        support = _supports(row, target_rows.get(name, ()), domains)
-        if not support:
-            return False
-        for position, variable in enumerate(row):
-            projected = {candidate[position] for candidate in support}
-            if not domains[variable] <= projected:
-                domains[variable] &= projected
-                if not domains[variable]:
-                    return False
-                queue.update(facts_of.get(variable, ()))
-    return True
 
 
 def iter_homomorphisms(
@@ -106,42 +42,9 @@ def iter_homomorphisms(
     ``pin`` forces specific images; ``candidates`` restricts the search to the
     given candidate sets (a sound filter supplied by the caller).
     """
-    facts = _source_facts(source)
-    target_rows = _target_index(target)
-    facts_of = _facts_by_element(facts)
-
-    domains: dict[Element, set[Element]] = {}
-    for element in source.domain:
-        if candidates is not None and element in candidates:
-            domains[element] = set(candidates[element]) & set(target.domain)
-        else:
-            domains[element] = set(target.domain)
-    if pin:
-        for element, image in pin.items():
-            if element not in domains:
-                raise ValueError(f"pinned element {element!r} not in source domain")
-            domains[element] &= {image}
-    if any(not values for values in domains.values()):
-        return
-    if not _propagate(facts, target_rows, domains, set(range(len(facts))), facts_of):
-        return
-
-    order_hint = sorted(domains, key=repr)
-
-    def search(domains: dict[Element, set[Element]]) -> Iterator[Assignment]:
-        unassigned = [v for v in order_hint if len(domains[v]) > 1]
-        if not unassigned:
-            yield {v: next(iter(values)) for v, values in domains.items()}
-            return
-        variable = min(unassigned, key=lambda v: len(domains[v]))
-        for value in sorted(domains[variable], key=repr):
-            branched = {v: set(values) for v, values in domains.items()}
-            branched[variable] = {value}
-            queue = set(facts_of.get(variable, ()))
-            if _propagate(facts, target_rows, branched, queue, facts_of):
-                yield from search(branched)
-
-    yield from search(domains)
+    return default_engine().iter_homomorphisms(
+        source, target, pin=pin, candidates=candidates
+    )
 
 
 def find_homomorphism(
@@ -152,9 +55,9 @@ def find_homomorphism(
     candidates: Mapping[Element, Iterable[Element]] | None = None,
 ) -> Assignment | None:
     """One homomorphism from ``source`` to ``target``, or ``None``."""
-    for hom in iter_homomorphisms(source, target, pin=pin, candidates=candidates):
-        return hom
-    return None
+    return default_engine().find_homomorphism(
+        source, target, pin=pin, candidates=candidates
+    )
 
 
 def homomorphism_exists(
@@ -165,7 +68,9 @@ def homomorphism_exists(
     candidates: Mapping[Element, Iterable[Element]] | None = None,
 ) -> bool:
     """Whether ``source → target`` holds."""
-    return find_homomorphism(source, target, pin=pin, candidates=candidates) is not None
+    return default_engine().homomorphism_exists(
+        source, target, pin=pin, candidates=candidates
+    )
 
 
 def count_homomorphisms(
@@ -176,7 +81,9 @@ def count_homomorphisms(
     candidates: Mapping[Element, Iterable[Element]] | None = None,
 ) -> int:
     """Number of homomorphisms from ``source`` to ``target``."""
-    return sum(1 for _ in iter_homomorphisms(source, target, pin=pin, candidates=candidates))
+    return default_engine().count_homomorphisms(
+        source, target, pin=pin, candidates=candidates
+    )
 
 
 def image(source: Structure, hom: Mapping[Element, Element]) -> Structure:

@@ -1,0 +1,307 @@
+"""Structural signatures and canonical forms for the homomorphism engine.
+
+Two families of invariants make the engine fast:
+
+* **Refutation signatures** (:func:`structure_signature`, :func:`refutes_hom`)
+  are cheap *necessary* conditions for the existence of a homomorphism
+  ``D1 → D2``.  If the signature check refutes, no homomorphism exists and the
+  backtracking search is skipped entirely.  The conditions are
+
+  - vocabulary fact counts: a relation with facts in the source must have
+    facts in the target (every source fact needs an image);
+  - equality patterns: the image of a fact equates at least the positions the
+    fact equates, so every source equality pattern must be coarsened by some
+    target tuple of the same relation;
+  - slot profiles: ``h(x)`` must occur in every ``(relation, position)`` slot
+    that ``x`` occurs in, so every source profile must be dominated by some
+    target element's profile (and pinned pairs are checked point-wise).
+
+  All three are sound under ``pin``/``candidates`` restrictions: they refute
+  the existence of *any* homomorphism, a fortiori of a restricted one.
+
+* **Canonical forms** (:func:`canonical_key`) are complete isomorphism
+  invariants of tableaux, computed by color refinement with
+  individualization (the classical canonical-labelling scheme, practical at
+  tableau sizes).  Equal keys mean isomorphic tableaux; the engine uses them
+  to memoize ``hom_le`` across isomorphic arguments, and the quotient
+  enumerator uses them to emit each isomorphism class once (Theorem 4.1's
+  witness space is closed under isomorphism, so deduplication is lossless up
+  to equivalence).  Highly symmetric structures whose refinement tree exceeds
+  ``branch_budget`` return ``None`` — the budget depends only on the
+  isomorphism class, so isomorphic structures agree on whether they canonize,
+  and a ``None`` simply disables the optimization for that structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.cq.structure import Structure
+
+Element = Hashable
+SlotProfile = frozenset[tuple[str, int]]
+
+
+def equality_pattern(row: Sequence) -> tuple[int, ...]:
+    """The equality type of a tuple: first-occurrence codes, ``(a,b,a) → (0,1,0)``."""
+    codes: dict = {}
+    return tuple(codes.setdefault(value, len(codes)) for value in row)
+
+
+def pattern_coarsens(fine: Sequence[int], coarse: Sequence[int]) -> bool:
+    """Whether every equality of ``fine`` also holds in ``coarse``.
+
+    A homomorphism maps a fact with pattern ``fine`` onto a fact whose pattern
+    must equate at least the positions ``fine`` equates (repeated variables
+    have one image).
+    """
+    image: dict[int, int] = {}
+    for f, c in zip(fine, coarse):
+        if image.setdefault(f, c) != c:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class StructureSignature:
+    """The refutation invariants of one structure (see module docstring)."""
+
+    fact_counts: Mapping[str, int]
+    patterns: Mapping[str, frozenset[tuple[int, ...]]]
+    profiles: Mapping[Element, SlotProfile]
+    profile_set: frozenset[SlotProfile]
+
+
+def structure_signature(structure: Structure) -> StructureSignature:
+    """Compute the signature of ``structure`` in one pass over its facts."""
+    counts: dict[str, int] = {}
+    patterns: dict[str, frozenset[tuple[int, ...]]] = {}
+    profiles: dict[Element, set[tuple[str, int]]] = {
+        element: set() for element in structure.domain
+    }
+    for name, rows in structure.relations.items():
+        if not rows:
+            continue
+        counts[name] = len(rows)
+        pats = set()
+        for row in rows:
+            pats.add(equality_pattern(row))
+            for position, value in enumerate(row):
+                profiles[value].add((name, position))
+        patterns[name] = frozenset(pats)
+    frozen = {element: frozenset(slots) for element, slots in profiles.items()}
+    return StructureSignature(counts, patterns, frozen, frozenset(frozen.values()))
+
+
+def refutes_hom(
+    source: StructureSignature,
+    target: StructureSignature,
+    pin: Mapping[Element, Element] | None = None,
+) -> bool:
+    """``True`` only if **no** homomorphism source → target can exist."""
+    if source.profiles and not target.profiles:
+        return True
+    for name, source_patterns in source.patterns.items():
+        target_patterns = target.patterns.get(name)
+        if not target_patterns:
+            return True
+        for pattern in source_patterns:
+            if not any(pattern_coarsens(pattern, t) for t in target_patterns):
+                return True
+    for profile in source.profile_set:
+        if profile and not any(profile <= t for t in target.profile_set):
+            return True
+    if pin:
+        for element, image in pin.items():
+            source_profile = source.profiles.get(element)
+            if source_profile is None:
+                continue  # unknown pinned element; the search raises on it
+            target_profile = target.profiles.get(image)
+            if target_profile is None or not source_profile <= target_profile:
+                return True
+    return False
+
+
+def canonical_key_indexed(
+    n: int,
+    facts: Sequence[tuple[int, tuple[int, ...]]],
+    distinguished: tuple[int, ...],
+    *,
+    branch_budget: int = 3000,
+) -> tuple | None:
+    """Canonical form of an integer-labelled tableau (the hot inner core).
+
+    ``n`` elements named ``0..n-1``; ``facts`` are ``(relation_id, row)``
+    pairs (relation ids must be assigned consistently by the caller — e.g.
+    by sorted relation name — for keys to be comparable across structures);
+    ``distinguished`` is a tuple of element indices.  Color refinement with
+    individualization: the encode step serializes the full structure under a
+    discrete coloring, so equal keys imply isomorphic tableaux regardless of
+    refinement strength.  Returns ``None`` if the individualization tree
+    exceeds ``branch_budget`` refinement steps (an isomorphism-invariant
+    condition, so isomorphic inputs agree on whether they canonize).
+    """
+    budget = branch_budget
+
+    # Position-wise incidence, computed once: element -> [(fact_id, position)].
+    incidence: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    for fact_id, (_, row) in enumerate(facts):
+        for position, element in enumerate(row):
+            incidence[element].append((fact_id, position))
+
+    rows_by_relation: dict[int, list[tuple[int, ...]]] = {}
+    for relation, row in facts:
+        rows_by_relation.setdefault(relation, []).append(row)
+    relation_groups = sorted(rows_by_relation.items())
+
+    def refine(colors: list[int], classes: int) -> tuple[list[int], int] | None:
+        nonlocal budget
+        while classes < n:
+            if budget <= 0:
+                return None
+            budget -= 1
+            fact_keys = [
+                (relation, tuple(colors[v] for v in row)) for relation, row in facts
+            ]
+            # Interning fact keys as sorted ranks (an isomorphism-invariant
+            # order, since the keys are built from canonical colors) keeps
+            # the per-element sort below on small integer tuples.
+            fact_ranks = {
+                key: rank for rank, key in enumerate(sorted(set(fact_keys)))
+            }
+            keys = [
+                (
+                    colors[element],
+                    tuple(
+                        sorted(
+                            (fact_ranks[fact_keys[fact_id]], position)
+                            for fact_id, position in incidence[element]
+                        )
+                    ),
+                )
+                for element in range(n)
+            ]
+            ranks = {key: rank for rank, key in enumerate(sorted(set(keys)))}
+            if len(ranks) == classes:
+                break
+            colors = [ranks[key] for key in keys]
+            classes = len(ranks)
+        return colors, classes
+
+    def encode(colors: list[int]) -> tuple:
+        return (
+            n,
+            tuple(
+                (relation, tuple(sorted(tuple(colors[v] for v in row) for row in rows)))
+                for relation, rows in relation_groups
+            ),
+            tuple(colors[d] for d in distinguished),
+        )
+
+    def search(colors: list[int], classes: int) -> tuple | None:
+        refined = refine(colors, classes)
+        if refined is None:
+            return None
+        colors, classes = refined
+        if classes == n:
+            return encode(colors)
+        cells: dict[int, list[int]] = {}
+        for element in range(n):
+            cells.setdefault(colors[element], []).append(element)
+        cell = cells[min(c for c, members in cells.items() if len(members) > 1)]
+        best: tuple | None = None
+        for element in cell:
+            branched = list(colors)
+            branched[element] = n  # a color no refined class uses
+            candidate = search(branched, classes + 1)
+            if candidate is None:
+                return None
+            if best is None or candidate < best:
+                best = candidate
+        return best
+
+    if n == 0:
+        return (0, (), ())
+    dist_positions: list[tuple[int, ...]] = [() for _ in range(n)]
+    for position, element in enumerate(distinguished):
+        dist_positions[element] += (position,)
+    # Initial colors: distinguished positions plus the slot profile (which
+    # (relation, position) pairs the element occupies, with multiplicity) —
+    # an isomorphism-invariant start that usually leaves refinement little
+    # to do on asymmetric structures.
+    initial_keys = [
+        (
+            dist_positions[element],
+            tuple(
+                sorted(
+                    (facts[fact_id][0], position)
+                    for fact_id, position in incidence[element]
+                )
+            ),
+        )
+        for element in range(n)
+    ]
+    initial_ranks = {key: rank for rank, key in enumerate(sorted(set(initial_keys)))}
+    return search(
+        [initial_ranks[key] for key in initial_keys], len(initial_ranks)
+    )
+
+
+def canonical_key(
+    structure: Structure,
+    distinguished: tuple[Element, ...] = (),
+    *,
+    max_domain: int = 16,
+    branch_budget: int = 3000,
+) -> tuple | None:
+    """A canonical encoding of ``(structure, distinguished)`` up to isomorphism.
+
+    Equal keys ⇔ isomorphic tableaux (an isomorphism must match distinguished
+    tuples position-wise).  Returns ``None`` when the domain exceeds
+    ``max_domain`` or the individualization tree exceeds ``branch_budget``
+    refinement steps — both conditions are isomorphism-invariant, so ``None``
+    is consistent across an isomorphism class and callers can safely treat it
+    as "no key available".
+
+    Elements with no incident fact and no distinguished position are
+    interchangeable, so they are left out of the refinement (their count is
+    part of the key); everything else is relabelled to integers and handed to
+    :func:`canonical_key_indexed`.
+    """
+    if len(structure.domain) > max_domain:
+        return None
+
+    names = sorted(name for name, rows in structure.relations.items() if rows)
+    relation_ids = {name: index for index, name in enumerate(names)}
+    active: dict[Element, int] = {}
+    for element in distinguished:
+        active.setdefault(element, len(active))
+    for name in names:
+        for row in structure.relations[name]:
+            for element in row:
+                active.setdefault(element, len(active))
+    free_count = len(structure.domain) - len(active)
+
+    facts = [
+        (relation_ids[name], tuple(active[element] for element in row))
+        for name in names
+        for row in structure.relations[name]
+    ]
+    key = canonical_key_indexed(
+        len(active),
+        facts,
+        tuple(active[element] for element in distinguished),
+        branch_budget=branch_budget,
+    )
+    if key is None:
+        return None
+    # Tie the integer relation ids back to names so keys are comparable
+    # across structures with different vocabularies.
+    n, relations, dist = key
+    return (
+        n,
+        free_count,
+        tuple((names[relation], rows) for relation, rows in relations),
+        dist,
+    )

@@ -1,0 +1,249 @@
+"""Differential tests: the engine against brute-force reference semantics.
+
+The brute force enumerates *every* total map from source domain to target
+domain and filters — exponential, but exact, and entirely independent of the
+engine's indexes, propagation, signatures, and memoization.  On randomized
+structure pairs (from ``workloads/random_queries``) the engine must agree on
+``find_homomorphism``, ``count_homomorphisms``, ``hom_le``, and ``core``,
+including the ``pin``/``candidates`` edge cases.
+"""
+
+import itertools
+
+import pytest
+
+from repro.cq import Structure, Tableau
+from repro.cq.tableau import pin_for
+from repro.homomorphism import (
+    HomEngine,
+    core,
+    count_homomorphisms,
+    find_homomorphism,
+    hom_le,
+    is_homomorphism,
+    iter_homomorphisms,
+)
+from repro.homomorphism.signatures import canonical_key
+from repro.workloads import random_graph_query
+
+
+def brute_homomorphisms(source, target, *, pin=None, candidates=None):
+    """All homomorphisms by exhaustive enumeration of total maps."""
+    src = sorted(source.domain, key=repr)
+    tgt = sorted(target.domain, key=repr)
+    if not src:
+        return [{}]
+    out = []
+    for images in itertools.product(tgt, repeat=len(src)):
+        mapping = dict(zip(src, images))
+        if pin is not None and any(
+            mapping.get(element) != image for element, image in pin.items()
+        ):
+            continue
+        if candidates is not None and any(
+            element in mapping and mapping[element] not in set(values)
+            for element, values in candidates.items()
+        ):
+            continue
+        if all(
+            tuple(mapping[v] for v in row) in target.tuples(name)
+            for name, row in source.facts()
+        ):
+            out.append(mapping)
+    return out
+
+
+def brute_is_core(structure, pinned=()):
+    pin = {element: element for element in pinned}
+    for element in sorted(structure.domain - set(pinned), key=repr):
+        if brute_homomorphisms(structure, structure.without(element), pin=pin):
+            return False
+    return True
+
+
+def random_pairs():
+    """Small random source/target structures (brute force stays feasible)."""
+    pairs = []
+    for seed in range(8):
+        source = random_graph_query(4, 4, seed=seed).tableau().structure
+        target = random_graph_query(4, 6, seed=seed + 100).tableau().structure
+        pairs.append((seed, source, target))
+    return pairs
+
+
+class TestSearchAgainstBruteForce:
+    @pytest.mark.parametrize("seed,source,target", random_pairs())
+    def test_count_matches(self, seed, source, target):
+        expected = len(brute_homomorphisms(source, target))
+        assert count_homomorphisms(source, target) == expected
+
+    @pytest.mark.parametrize("seed,source,target", random_pairs())
+    def test_found_hom_is_valid_and_existence_agrees(self, seed, source, target):
+        hom = find_homomorphism(source, target)
+        brute = brute_homomorphisms(source, target)
+        assert (hom is not None) == bool(brute)
+        if hom is not None:
+            assert is_homomorphism(source, target, hom)
+
+    @pytest.mark.parametrize("seed,source,target", random_pairs())
+    def test_enumeration_is_exact(self, seed, source, target):
+        engine_homs = {
+            tuple(sorted(h.items(), key=repr))
+            for h in iter_homomorphisms(source, target)
+        }
+        brute_homs = {
+            tuple(sorted(h.items(), key=repr))
+            for h in brute_homomorphisms(source, target)
+        }
+        assert engine_homs == brute_homs
+
+    @pytest.mark.parametrize("seed,source,target", random_pairs())
+    def test_pin_matches(self, seed, source, target):
+        pinned = sorted(source.domain, key=repr)[0]
+        for image in sorted(target.domain, key=repr):
+            pin = {pinned: image}
+            expected = len(brute_homomorphisms(source, target, pin=pin))
+            assert count_homomorphisms(source, target, pin=pin) == expected
+
+    @pytest.mark.parametrize("seed,source,target", random_pairs()[:4])
+    def test_candidates_matches(self, seed, source, target):
+        elements = sorted(source.domain, key=repr)
+        values = sorted(target.domain, key=repr)
+        candidates = {elements[0]: values[::2], elements[1]: values[:2]}
+        expected = len(
+            brute_homomorphisms(source, target, candidates=candidates)
+        )
+        assert (
+            count_homomorphisms(source, target, candidates=candidates) == expected
+        )
+
+
+class TestEdgeCases:
+    def test_empty_candidate_set(self):
+        g = Structure({"E": [(0, 1)]})
+        assert count_homomorphisms(g, g, candidates={0: []}) == 0
+
+    def test_candidates_outside_target_domain(self):
+        g = Structure({"E": [(0, 1)]})
+        assert count_homomorphisms(g, g, candidates={0: ["nowhere"]}) == 0
+
+    def test_pin_to_element_outside_target(self):
+        g = Structure({"E": [(0, 1)]})
+        assert find_homomorphism(g, g, pin={0: 99}) is None
+
+    def test_pin_unknown_source_element_raises(self):
+        g = Structure({"E": [(0, 1)]})
+        with pytest.raises(ValueError):
+            find_homomorphism(g, g, pin={42: 0})
+
+    def test_empty_source_still_one_hom(self):
+        empty = Structure({"E": []}, vocabulary={"E": 2})
+        target = Structure({"E": [(0, 1)]})
+        assert count_homomorphisms(empty, target) == 1
+
+    def test_pin_and_candidates_combined(self):
+        target = Structure({"E": [(0, 1), (2, 3)]})
+        path = Structure({"E": [("a", "b")]})
+        homs = list(
+            iter_homomorphisms(path, target, pin={"a": 2}, candidates={"b": [3]})
+        )
+        assert homs == [{"a": 2, "b": 3}]
+
+
+class TestHomLeAgainstBruteForce:
+    def tableau_pairs(self):
+        pairs = []
+        for seed in range(6):
+            a = random_graph_query(4, 4, seed=seed, head_size=2).tableau()
+            b = random_graph_query(3, 4, seed=seed + 60, head_size=2).tableau()
+            pairs.append((a, b))
+        return pairs
+
+    def test_hom_le_matches_brute(self):
+        for a, b in self.tableau_pairs():
+            for source, target in ((a, b), (b, a), (a, a)):
+                pin = pin_for(source, target)
+                expected = pin is not None and bool(
+                    brute_homomorphisms(
+                        source.structure, target.structure, pin=pin
+                    )
+                )
+                assert hom_le(source, target) == expected
+
+    def test_memoized_verdict_is_stable(self):
+        engine = HomEngine()
+        for a, b in self.tableau_pairs():
+            first = engine.hom_le(a, b)
+            assert engine.hom_le(a, b) == first  # memo hit
+            assert hom_le(a, b) == first  # shared default engine agrees
+
+
+class TestCoreAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_core_properties(self, seed):
+        structure = random_graph_query(5, 6, seed=seed).tableau().structure
+        cored, retraction = core(structure)
+        # The retraction is a homomorphism onto the core fixing it point-wise.
+        assert is_homomorphism(structure, cored, retraction)
+        assert cored.domain <= structure.domain
+        assert all(retraction[element] == element for element in cored.domain)
+        # The result is a genuine core (brute-force check).
+        assert brute_is_core(cored)
+        # And it is homomorphically equivalent to the input.
+        assert brute_homomorphisms(cored, structure)
+        assert brute_homomorphisms(structure, cored)
+
+    def test_pinned_core_keeps_pinned_elements(self):
+        structure = random_graph_query(5, 6, seed=3).tableau().structure
+        pinned = tuple(sorted(structure.domain, key=repr)[:2])
+        cored, retraction = core(structure, pinned=pinned)
+        assert set(pinned) <= cored.domain
+        assert all(retraction[element] == element for element in pinned)
+        assert brute_is_core(cored, pinned=pinned)
+
+
+class TestCanonicalKey:
+    def test_isomorphic_structures_same_key(self):
+        for seed in range(6):
+            t = random_graph_query(5, 7, seed=seed, head_size=1).tableau()
+            relabeled = t.rename(
+                {
+                    element: ("renamed", element)
+                    for element in t.structure.domain
+                }
+            )
+            assert canonical_key(
+                t.structure, t.distinguished
+            ) == canonical_key(relabeled.structure, relabeled.distinguished)
+
+    def test_distinguished_tuple_matters(self):
+        t = random_graph_query(4, 5, seed=1, head_size=2).tableau()
+        boolean = Tableau(t.structure, ())
+        assert canonical_key(t.structure, t.distinguished) != canonical_key(
+            boolean.structure, boolean.distinguished
+        )
+
+    def test_non_isomorphic_different_key(self):
+        path = Structure({"E": [(0, 1), (1, 2)]})
+        cycle = Structure({"E": [(0, 1), (1, 2), (2, 0)]})
+        assert canonical_key(path) != canonical_key(cycle)
+
+
+class TestBoundedCaches:
+    def test_index_cache_is_bounded(self):
+        engine = HomEngine(index_cache_size=2)
+        targets = [Structure({"E": [(0, i + 1)]}) for i in range(5)]
+        source = Structure({"E": [("a", "b")]})
+        for target in targets:
+            engine.find_homomorphism(source, target)
+        assert len(engine._indexes) <= 2
+
+    def test_memo_cache_is_bounded(self):
+        engine = HomEngine(memo_size=4)
+        tableaux = [
+            random_graph_query(3, 3, seed=s).tableau() for s in range(8)
+        ]
+        for a in tableaux:
+            for b in tableaux:
+                engine.hom_le(a, b)
+        assert len(engine._hom_le_memo) <= 4

@@ -1,0 +1,68 @@
+"""Hot-path performance guardrails.
+
+The exact approximation algorithm (Corollary 4.3) funnels Bell-many
+candidates through class membership and homomorphism-order checks; the
+homomorphism engine keeps that tractable (indexed search, canonical dedup,
+memoized ``hom_le``).  These smoke tests pin a *generous* wall-clock ceiling
+on fixed workloads so a future regression on the hot path fails loudly
+instead of silently making every benchmark and caller crawl.
+
+The ceilings are ~20x the current wall time on an unloaded machine — they
+should only trip on algorithmic regressions, not machine noise.
+"""
+
+import time
+
+import pytest
+
+from repro.core import TreewidthClass, all_approximations, approximation_frontier
+from repro.cq import is_contained_in
+from repro.workloads import cycle_with_chords, random_graph_query
+
+
+def elapsed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+class TestPerfSmoke:
+    def test_seven_variable_frontier_under_ceiling(self):
+        # Bell(7) = 877 raw candidates; the engine must keep the whole
+        # frontier construction well under this ceiling (currently ~0.03s).
+        query = cycle_with_chords(7)
+        seconds, frontier = elapsed(
+            lambda: approximation_frontier(query, TreewidthClass(1))
+        )
+        assert frontier, "the 7-variable frontier must not be empty"
+        assert seconds < 10.0, f"7-variable frontier took {seconds:.1f}s"
+
+    def test_seven_variable_all_approximations_correct_and_fast(self):
+        query = cycle_with_chords(7)
+        seconds, results = elapsed(
+            lambda: all_approximations(query, TreewidthClass(1))
+        )
+        assert results
+        assert all(is_contained_in(r, query) for r in results)
+        assert seconds < 15.0, f"7-variable all_approximations took {seconds:.1f}s"
+
+    def test_dense_random_frontier_under_ceiling(self):
+        # An asymmetric base where dedup adaptively disables itself: the
+        # engine must never be pathologically slower than plain enumeration.
+        query = random_graph_query(7, 9, seed=2)
+        seconds, frontier = elapsed(
+            lambda: approximation_frontier(query, TreewidthClass(1))
+        )
+        assert frontier
+        assert seconds < 20.0, f"random 7-variable frontier took {seconds:.1f}s"
+
+    @pytest.mark.slow
+    def test_eight_variable_frontier_under_ceiling(self):
+        # Bell(8) = 4140 raw candidates — beyond the seed's practical reach,
+        # in range for the engine (and for exact_limit=9's intent).
+        query = cycle_with_chords(8)
+        seconds, frontier = elapsed(
+            lambda: approximation_frontier(query, TreewidthClass(1))
+        )
+        assert frontier
+        assert seconds < 60.0, f"8-variable frontier took {seconds:.1f}s"

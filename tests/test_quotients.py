@@ -2,13 +2,17 @@
 
 from repro.cq import Structure, Tableau, parse_query
 from repro.core import (
+    TW1,
+    all_approximations,
     iter_extended_tableaux,
     iter_extension_atoms,
     iter_quotient_tableaux,
     quotient_count,
 )
-from repro.homomorphism import hom_le
+from repro.homomorphism import hom_equivalent, hom_le
+from repro.homomorphism.signatures import canonical_key
 from repro.util import bell_number
+from repro.workloads import cycle_with_chords
 
 
 TRIANGLE = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
@@ -45,6 +49,77 @@ class TestQuotients:
         )
         assert len(smallest.structure.domain) == 1
         assert smallest.structure.tuples("E")  # the loop
+
+
+class TestCanonicalDedup:
+    def test_symmetric_query_stream_shrinks(self):
+        # On a symmetric query, distinct partitions collapse onto isomorphic
+        # quotients; the deduplicated stream must be strictly smaller than
+        # the Bell number of raw partitions.
+        for query in (TRIANGLE, cycle_with_chords(5), cycle_with_chords(6)):
+            tableau = query.tableau()
+            n = len(tableau.structure.domain)
+            deduped = list(iter_quotient_tableaux(tableau, dedup=True))
+            assert len(deduped) < bell_number(n)
+
+    def test_dedup_covers_every_isomorphism_class(self):
+        tableau = cycle_with_chords(5).tableau()
+        raw_keys = {
+            canonical_key(q.structure, q.distinguished)
+            for q in iter_quotient_tableaux(tableau)
+        }
+        deduped = list(iter_quotient_tableaux(tableau, dedup=True))
+        deduped_keys = {
+            canonical_key(q.structure, q.distinguished) for q in deduped
+        }
+        assert deduped_keys == raw_keys
+        assert len(deduped) == len(deduped_keys)  # one per class, exactly
+
+    def test_dedup_default_off(self):
+        tableau = TRIANGLE.tableau()
+        assert len(list(iter_quotient_tableaux(tableau))) == bell_number(3)
+
+    def test_all_approximations_unchanged_up_to_equivalence(self):
+        # The frontier built from the deduplicated stream must match the one
+        # built from the raw stream up to homomorphic equivalence.
+        for query in (TRIANGLE, cycle_with_chords(5), cycle_with_chords(6)):
+            results = all_approximations(query, TW1)
+            tableau = query.tableau()
+            raw_frontier = []
+            for candidate in iter_quotient_tableaux(tableau):
+                if not TW1.contains_tableau(candidate):
+                    continue
+                if any(hom_le(m, candidate) for m in raw_frontier):
+                    continue
+                raw_frontier = [
+                    m for m in raw_frontier if not hom_le(candidate, m)
+                ]
+                raw_frontier.append(candidate)
+            assert len(results) == len(raw_frontier)
+            for result in results:
+                assert any(
+                    hom_equivalent(result.tableau(), member)
+                    for member in raw_frontier
+                )
+
+    def test_extended_dedup_still_covers_example(self):
+        q = parse_query("Q() :- R(x, y, z)")
+        tableau = q.tableau()
+        raw = list(iter_extended_tableaux(tableau, max_extra_atoms=1))
+        deduped = list(
+            iter_extended_tableaux(tableau, max_extra_atoms=1, dedup=True)
+        )
+        assert len(deduped) <= len(raw)
+        # Every raw candidate has an isomorphic (hence equivalent)
+        # representative in the deduplicated stream.
+        deduped_keys = {
+            canonical_key(c.structure, c.distinguished) for c in deduped
+        }
+        for candidate in raw:
+            assert (
+                canonical_key(candidate.structure, candidate.distinguished)
+                in deduped_keys
+            )
 
 
 class TestExtensionAtoms:
