@@ -13,7 +13,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from repro.cq import is_contained_in, minimize, parse_query
 from repro.core import (
@@ -58,9 +60,25 @@ def _build_parser() -> argparse.ArgumentParser:
     approx.add_argument("--all", action="store_true", help="list C-APPR_min(Q)")
     approx.add_argument("--method", choices=["auto", "exact", "greedy"], default="auto")
     approx.add_argument("--exact-limit", type=int, default=8)
+    approx.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for the exact pipeline (-1 = all CPUs, 1 = serial)",
+    )
+    approx.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (approximations, class, method, timing)",
+    )
 
     classify = sub.add_parser("classify", help="Theorem 5.1 trichotomy case")
     classify.add_argument("query")
+    classify.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (case, query, timing)",
+    )
 
     mini = sub.add_parser("minimize", help="Chandra-Merlin minimization")
     mini.add_argument("query")
@@ -88,17 +106,54 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "approximate":
         query = parse_query(args.query)
-        config = ApproximationConfig(exact_limit=args.exact_limit)
+        config = ApproximationConfig(
+            exact_limit=args.exact_limit, workers=args.workers
+        )
+        started = time.perf_counter()
         if args.all:
-            for result in all_approximations(query, args.cls, config):
-                print(result)
+            results = all_approximations(query, args.cls, config)
         else:
-            print(approximate(query, args.cls, method=args.method, config=config))
+            results = [
+                approximate(query, args.cls, method=args.method, config=config)
+            ]
+        elapsed = time.perf_counter() - started
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "command": "approximate",
+                        "query": args.query,
+                        "class": args.cls.name,
+                        "method": args.method,
+                        "workers": args.workers,
+                        "all": args.all,
+                        "approximations": [str(result) for result in results],
+                        "seconds": round(elapsed, 6),
+                    }
+                )
+            )
+        else:
+            for result in results:
+                print(result)
         return 0
 
     if args.command == "classify":
+        started = time.perf_counter()
         case = classify_boolean_graph_query(parse_query(args.query))
-        print(case.value)
+        elapsed = time.perf_counter() - started
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "command": "classify",
+                        "query": args.query,
+                        "case": case.value,
+                        "seconds": round(elapsed, 6),
+                    }
+                )
+            )
+        else:
+            print(case.value)
         return 0
 
     if args.command == "minimize":

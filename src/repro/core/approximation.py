@@ -31,6 +31,7 @@ from repro.cq.minimize import minimize
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.tableau import Tableau
 from repro.core.classes import QueryClass
+from repro.core.pipeline import run_pipeline
 from repro.core.quotients import (
     iter_extended_tableaux,
     iter_quotient_tableaux,
@@ -50,14 +51,29 @@ class ApproximationConfig:
     stream keep 9-variable enumerations (Bell(9) = 21147 partitions)
     practical, hence the default of 9; ``max_extra_atoms``/``allow_fresh``
     control the hypergraph extension space of Claim 6.2; the greedy descent
-    stops after ``greedy_rounds`` consecutive unimproved samples.
+    stops after ``greedy_rounds`` consecutive unimproved samples, and its
+    start-point search after ``greedy_start_rounds`` (defaulting to
+    ``greedy_rounds`` when ``None``).
+
+    ``workers``/``parallel``/``batch_size`` drive the staged pipeline behind
+    the exact enumeration (:mod:`repro.core.pipeline`): ``workers > 1``
+    spreads the work over a process pool, with ``parallel="checks"``
+    (default; bit-identical results for any worker count) dispatching
+    class-membership checks and ``parallel="shards"`` splitting the
+    candidate stream itself by partition prefix (results equal up to
+    homomorphic equivalence).  ``workers=-1`` means "all CPUs".  The greedy
+    descent is inherently sequential and ignores the parallel knobs.
     """
 
     exact_limit: int = 9
     max_extra_atoms: int = 1
     allow_fresh: bool = True
     greedy_rounds: int = 300
+    greedy_start_rounds: int | None = None
     seed: int = 17
+    workers: int = 1
+    parallel: str = "checks"
+    batch_size: int = 128
 
 
 DEFAULT_CONFIG = ApproximationConfig()
@@ -74,6 +90,10 @@ def candidate_tableaux(
     class-membership test: distinct partitions routinely produce isomorphic
     quotients, and class membership and the downstream frontier are
     isomorphism-invariant, so the dedup is lossless up to equivalence.
+
+    This is the serial reference stream; the frontier construction itself
+    goes through :mod:`repro.core.pipeline`, which additionally memoizes
+    membership verdicts and can spread stages over a process pool.
     """
     tableau = query.tableau()
     if cls.kind == "graph":
@@ -94,6 +114,8 @@ def approximation_frontier(
     query: ConjunctiveQuery,
     cls: QueryClass,
     config: ApproximationConfig = DEFAULT_CONFIG,
+    *,
+    tableau: Tableau | None = None,
 ) -> list[Tableau]:
     """The →-minimal candidate tableaux, maintained as an online frontier.
 
@@ -101,21 +123,33 @@ def approximation_frontier(
     dominated or equivalent); otherwise it evicts every frontier member it
     maps into.  By transitivity of → the surviving set is exactly the set of
     minimal candidates up to homomorphic equivalence.
+
+    Runs as the staged pipeline of :mod:`repro.core.pipeline`; with
+    ``config.workers > 1`` the stages spread over a process pool (see
+    :class:`ApproximationConfig` for the strategy knob and determinism
+    guarantees).  ``tableau`` lets callers that already materialized
+    ``query.tableau()`` avoid rebuilding it.
     """
-    engine = default_engine()
-    frontier: list[Tableau] = []
-    for candidate in candidate_tableaux(query, cls, config):
-        if any(engine.hom_le(member, candidate) for member in frontier):
-            continue
-        frontier = [m for m in frontier if not engine.hom_le(candidate, m)]
-        frontier.append(candidate)
-    return frontier
+    if tableau is None:
+        tableau = query.tableau()
+    result = run_pipeline(
+        tableau,
+        cls,
+        workers=config.workers,
+        parallel=config.parallel,
+        batch_size=config.batch_size,
+        max_extra_atoms=config.max_extra_atoms,
+        allow_fresh=config.allow_fresh,
+    )
+    return result.frontier
 
 
 def all_approximations(
     query: ConjunctiveQuery,
     cls: QueryClass,
     config: ApproximationConfig = DEFAULT_CONFIG,
+    *,
+    tableau: Tableau | None = None,
 ) -> list[ConjunctiveQuery]:
     """The set ``C-APPR_min(Q)``: minimized, pairwise non-equivalent.
 
@@ -126,7 +160,8 @@ def all_approximations(
     large).  Raises ``ValueError`` beyond ``exact_limit`` — use
     :func:`approximate` with the greedy method there.
     """
-    tableau = query.tableau()
+    if tableau is None:
+        tableau = query.tableau()
     if len(tableau.structure.domain) > config.exact_limit:
         raise ValueError(
             f"query has {len(tableau.structure.domain)} variables; "
@@ -135,7 +170,7 @@ def all_approximations(
     if cls.contains_tableau(tableau):
         return [minimize(query)]
 
-    frontier = approximation_frontier(query, cls, config)
+    frontier = approximation_frontier(query, cls, config, tableau=tableau)
     return [
         ConjunctiveQuery.from_tableau(core_tableau(t), prefix="a")
         for t in frontier
@@ -150,16 +185,21 @@ def greedy_approximate(
     query: ConjunctiveQuery,
     cls: QueryClass,
     config: ApproximationConfig = DEFAULT_CONFIG,
+    *,
+    tableau: Tableau | None = None,
 ) -> ConjunctiveQuery:
     """Randomized descent through quotients: sound, best-effort minimal.
 
-    The result is always a class member contained in ``Q``.  Starting from
-    the coarsest class-member quotient, the search repeatedly samples
-    quotients (random refinements of the current kernel and fully random
-    partitions), accepting any candidate strictly lower in the →-order, and
-    stops after ``greedy_rounds`` consecutive failures.
+    The result is always a class member contained in ``Q``.  The search has
+    two phases with separate budgets: the *start-point search* samples
+    quotients (coarsest first) until it finds any class member, giving up
+    after ``greedy_start_rounds`` misses; the *descent* then repeatedly
+    samples quotients (random refinements of the current kernel and fully
+    random partitions), accepting any candidate strictly lower in the
+    →-order, and stops after ``greedy_rounds`` consecutive failures.
     """
-    tableau = query.tableau()
+    if tableau is None:
+        tableau = query.tableau()
     if cls.contains_tableau(tableau):
         return minimize(query)
 
@@ -186,18 +226,30 @@ def greedy_approximate(
         blocks.extend([block[:cut], block[cut:]])
         return tuple(tuple(b) for b in blocks)
 
-    # Find a class-member starting point: the coarsest quotient first.
+    # Phase 1 — start-point search: the coarsest quotient first, then random
+    # samples, on its own budget so a hard-to-hit class cannot silently eat
+    # the rounds meant for the descent phase.
+    start_budget = (
+        config.greedy_start_rounds
+        if config.greedy_start_rounds is not None
+        else config.greedy_rounds
+    )
+    samples_left = start_budget
     current_partition = (tuple(elements),)
     current = _quotient_by(tableau, current_partition)
-    budget = config.greedy_rounds
     while not cls.contains_tableau(current):
-        if budget <= 0:
+        if samples_left <= 0:
             raise ValueError(
-                f"could not find any {cls.name} quotient of the query"
+                f"greedy start-point search found no {cls.name} quotient of "
+                f"the query in {start_budget} samples, so the descent phase "
+                f"never began — raise greedy_start_rounds (or greedy_rounds) "
+                f"or verify the query has any {cls.name} quotient at all"
             )
-        budget -= 1
+        samples_left -= 1
         current_partition = random_partition()
         current = _quotient_by(tableau, current_partition)
+
+    # Phase 2 — descent, on the greedy_rounds budget.
 
     failures = 0
     while failures < config.greedy_rounds:
@@ -232,16 +284,18 @@ def approximate(
 
     ``method="exact"`` uses the enumeration (guaranteed approximation, caps
     apply), ``method="greedy"`` the randomized descent, and ``"auto"`` picks
-    by query size.
+    by query size.  The tableau is materialized once here and threaded
+    through whichever method runs.
     """
     if method not in {"auto", "exact", "greedy"}:
         raise ValueError(f"unknown method {method!r}")
+    tableau = query.tableau()
     if method == "auto":
-        small = len(query.tableau().structure.domain) <= config.exact_limit
+        small = len(tableau.structure.domain) <= config.exact_limit
         method = "exact" if small else "greedy"
     if method == "exact":
-        results = all_approximations(query, cls, config)
+        results = all_approximations(query, cls, config, tableau=tableau)
         if not results:
             raise ValueError(f"query has no {cls.name}-approximation candidates")
         return results[0]
-    return greedy_approximate(query, cls, config)
+    return greedy_approximate(query, cls, config, tableau=tableau)

@@ -86,7 +86,16 @@ class TreewidthClass(QueryClass):
         self.name = f"TW({k})"
 
     def contains_structure(self, structure: Structure) -> bool:
-        return treewidth_at_most(primal_graph_of_structure(structure), self.k)
+        return self.contains_graph(primal_graph_of_structure(structure))
+
+    def contains_graph(self, graph: nx.Graph) -> bool:
+        """Membership on an already-built primal graph ``G(Q)``.
+
+        Graph-based classes are determined by ``G(Q)`` alone, so callers
+        holding the graph (the pipeline's candidate stream keeps quotients
+        in integer-indexed form) can skip structure construction.
+        """
+        return treewidth_at_most(graph, self.k)
 
 
 class AcyclicClass(QueryClass):
@@ -117,7 +126,12 @@ class HypertreeClass(QueryClass):
         self.name = f"HTW({k})"
 
     def contains_structure(self, structure: Structure) -> bool:
-        return hypertree_width_at_most(hypergraph_of_structure(structure), self.k)
+        return self.contains_hypergraph(hypergraph_of_structure(structure))
+
+    def contains_hypergraph(self, hypergraph: Hypergraph) -> bool:
+        """Membership on an already-built hypergraph ``H(Q)`` (hypergraph
+        classes are determined by it alone)."""
+        return hypertree_width_at_most(hypergraph, self.k)
 
 
 class GeneralizedHypertreeClass(QueryClass):
@@ -132,9 +146,11 @@ class GeneralizedHypertreeClass(QueryClass):
         self.name = f"GHTW({k})"
 
     def contains_structure(self, structure: Structure) -> bool:
-        return generalized_hypertree_width_at_most(
-            hypergraph_of_structure(structure), self.k
-        )
+        return self.contains_hypergraph(hypergraph_of_structure(structure))
+
+    def contains_hypergraph(self, hypergraph: Hypergraph) -> bool:
+        """Membership on an already-built hypergraph ``H(Q)``."""
+        return generalized_hypertree_width_at_most(hypergraph, self.k)
 
 
 #: Convenience singletons for the most used classes.

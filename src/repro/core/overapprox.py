@@ -26,7 +26,9 @@ import itertools
 from repro.cq.containment import is_contained_in
 from repro.cq.query import ConjunctiveQuery
 from repro.core.classes import QueryClass
+from repro.core.pipeline import iter_membership
 from repro.homomorphism.engine import default_engine
+from repro.parallel import make_executor
 
 
 def _subset_queries(query: ConjunctiveQuery) -> list[ConjunctiveQuery]:
@@ -44,22 +46,38 @@ def _subset_queries(query: ConjunctiveQuery) -> list[ConjunctiveQuery]:
 
 
 def syntactic_overapproximations(
-    query: ConjunctiveQuery, cls: QueryClass
+    query: ConjunctiveQuery, cls: QueryClass, *, workers: int = 1
 ) -> list[ConjunctiveQuery]:
     """The ⊆-minimal class members among atom-subset weakenings of ``Q``.
 
     Every returned query ``Q''`` satisfies ``Q ⊆ Q''`` and ``Q'' ∈ C``, and
     no other atom-subset weakening sits strictly between.  Returns ``[Q]``
     itself (minimized) when the query is already in the class.
+
+    The class-membership filter over the (exponentially many) atom subsets
+    is the pipeline's stage 2: verdicts are memoized under the subsets'
+    primal graphs / hypergraphs, and with ``workers > 1`` the checks spread
+    over a process pool.
     """
     if cls.contains_query(query):
         return [query]
-    members = [q for q in _subset_queries(query) if cls.contains_query(q)]
+    subsets = _subset_queries(query)
+    subset_tableaux = [q.tableau() for q in subsets]
+    with make_executor(workers) as executor:
+        flags = [
+            is_member
+            for _, is_member in iter_membership(subset_tableaux, cls, executor)
+        ]
+    members = [q for q, is_member in zip(subsets, flags) if is_member]
     # ``q ⊆ q'`` ⇔ ``T_q' → T_q``; compute each tableau once and compare
     # through the engine, whose memoized hom_le absorbs the quadratic number
     # of order queries among the (often heavily overlapping) subset queries.
     engine = default_engine()
-    tableaux = [q.tableau() for q in members]
+    tableaux = [
+        tableau
+        for tableau, is_member in zip(subset_tableaux, flags)
+        if is_member
+    ]
     minimal: list[tuple[ConjunctiveQuery, object]] = []
     for candidate, candidate_tab in zip(members, tableaux):
         if any(
@@ -77,10 +95,10 @@ def syntactic_overapproximations(
 
 
 def syntactic_overapproximate(
-    query: ConjunctiveQuery, cls: QueryClass
+    query: ConjunctiveQuery, cls: QueryClass, *, workers: int = 1
 ) -> ConjunctiveQuery:
     """One syntactic overapproximation (the first minimal one)."""
-    results = syntactic_overapproximations(query, cls)
+    results = syntactic_overapproximations(query, cls, workers=workers)
     if not results:
         raise ValueError(f"no atom subset of the query falls in {cls.name}")
     return results[0]

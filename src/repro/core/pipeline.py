@@ -1,0 +1,1001 @@
+"""Staged, parallel approximation pipeline (Corollary 4.3 as a dataflow).
+
+The exact approximation algorithm is a generate → filter → reduce loop.
+This module makes the three stages explicit and independently scalable::
+
+      stage 1 — GENERATE          stage 2 — FILTER            stage 3 — REDUCE
+    ┌──────────────────────┐    ┌──────────────────────┐    ┌──────────────────────┐
+    │ iter_quotient_       │    │ class-membership     │    │ →-minimal frontier   │
+    │   tableaux /         │ →  │   checks             │ →  │ (Frontier)           │
+    │ iter_extended_       │    │ · key-memoized: for  │    │ · online dominance / │
+    │   tableaux           │    │   graph (hypergraph) │    │   eviction via       │
+    │ · canonical dedup,   │    │   classes the verdict│    │   hom_le(memo=False) │
+    │   cost-modeled       │    │   depends only on    │    │   — stream pairs     │
+    │   (DedupCostModel:   │    │   G(Q) (H(Q)), so    │    │   never repeat, so   │
+    │   measured canon vs  │    │   candidates sharing │    │   canonical memo     │
+    │   class-check cost)  │    │   a (hyper)graph     │    │   keys cost more     │
+    │ · shardable by RGS   │    │   share one check    │    │   than they save     │
+    │   partition prefix   │    │ · inline, or batched │    │ · associative merge  │
+    │   (disjoint slices   │    │   over a process pool│    │   so per-shard       │
+    │   per worker)        │    │   in compact pickled │    │   frontiers combine  │
+    │                      │    │   form, results      │    │                      │
+    │                      │    │   streamed back in   │    │                      │
+    │                      │    │   generation order   │    │                      │
+    └──────────────────────┘    └──────────────────────┘    └──────────────────────┘
+
+Two parallel strategies (``parallel=`` on ``ApproximationConfig``):
+
+``"checks"`` (default)
+    Stage 1 and stage 3 run in the driver process; stage 2's membership
+    checks are dispatched to a process pool in generation-order batches and
+    the verdict stream is consumed in the same order.  Because generation
+    order, check verdicts, and frontier updates are all identical to the
+    serial path, the output is **bit-identical** for any worker count.
+
+``"shards"``
+    The partition stream is split by restricted-growth-string prefix
+    (:func:`repro.core.quotients._shard_prefixes`); each worker runs the
+    whole three-stage loop on its slice and returns its local frontier,
+    which the driver folds together with :meth:`Frontier.merge`.  Dedup and
+    memo state are shard-local, so cross-shard duplicates survive until the
+    merge absorbs them; the merged frontier equals the serial one as a set
+    of queries *up to homomorphic equivalence* (representatives and order
+    may differ).  Use it when stage 1 itself is the bottleneck.
+
+Determinism: the serial path is bit-identical to the pre-pipeline
+implementation; ``workers=n`` under ``"checks"`` is bit-identical to
+``workers=1``.  The cost model only decides which *duplicates* are pruned,
+and every pruned candidate is isomorphic to an earlier stream element, so
+frontier results are invariant to its (timing-dependent) decisions.
+
+Engine handles are never pickled: pool workers rebuild their own
+:class:`~repro.homomorphism.engine.HomEngine` via the pid check in
+:func:`~repro.homomorphism.engine.default_engine`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.core.classes import QueryClass
+from repro.core.quotients import (
+    DedupCostModel,
+    QuotientCandidate,
+    iter_extended_tableaux,
+    iter_quotient_candidates,
+)
+from repro.cq.structure import Structure
+from repro.cq.tableau import Tableau
+from repro.homomorphism.engine import HomEngine, default_engine
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.parallel import ProcessExecutor, SerialExecutor, make_executor
+
+#: Candidates funneled into one pool task (strategy ``"checks"``).
+DEFAULT_BATCH_SIZE = 128
+
+#: Shards per worker under strategy ``"shards"`` — more shards than workers
+#: smooths imbalance between slices at the cost of per-task setup.
+_SHARDS_PER_WORKER = 2
+
+#: Stage-ordering review cadence (candidates) and switch margin.  The margin
+#: demands a decisive (2x) estimated advantage before changing the order, so
+#: borderline regimes do not flap between orders as the membership memo warms.
+_ORDER_REVIEW_EVERY = 256
+_ORDER_SWITCH_MARGIN = 0.5
+_ORDER_MIN_SAMPLES = 32
+
+
+# --------------------------------------------------------------- serialization
+
+
+def encode_tableau(tableau: Tableau) -> tuple:
+    """A compact, picklable form of a tableau.
+
+    Elements are replaced by indexes into a sorted element tuple, facts by
+    ``(relation_index, index_row)`` pairs; empty relations survive through
+    the explicit name/arity vectors.  :func:`decode_tableau` restores an
+    equal tableau (same element names — shard workers return frontier
+    members over the driver's original variable names).
+    """
+    structure = tableau.structure
+    elements = sorted(structure.domain, key=repr)
+    index = {element: i for i, element in enumerate(elements)}
+    names = tuple(sorted(structure.relations))
+    arities = tuple(structure.arity(name) for name in names)
+    facts = tuple(
+        (name_index, tuple(index[value] for value in row))
+        for name_index, name in enumerate(names)
+        for row in sorted(structure.relations[name], key=repr)
+    )
+    distinguished = tuple(index[d] for d in tableau.distinguished)
+    return (tuple(elements), names, arities, facts, distinguished)
+
+
+def decode_tableau(data: tuple) -> Tableau:
+    """Inverse of :func:`encode_tableau`."""
+    elements, names, arities, facts, distinguished = data
+    relations: dict[str, list[tuple]] = {name: [] for name in names}
+    for name_index, row in facts:
+        relations[names[name_index]].append(
+            tuple(elements[i] for i in row)
+        )
+    structure = Structure(
+        relations, vocabulary=dict(zip(names, arities)), domain=elements
+    )
+    return Tableau(structure, tuple(elements[i] for i in distinguished))
+
+
+# ------------------------------------------------------------ membership keys
+
+
+def membership_key(cls: QueryClass, structure: Structure) -> tuple | None:
+    """A key under which class membership of ``structure`` is constant.
+
+    Graph-based classes (Section 4) are by definition determined by the
+    graph ``G(Q)`` and hypergraph-based classes (Section 6) by ``H(Q)``, so
+    two candidates with equal primal graph (hypergraph) share one verdict —
+    and the candidate stream is full of such coincidences that survive
+    isomorphism dedup (e.g. quotients differing only in edge orientation,
+    or extension atoms permuting the same variable set).  Returns ``None``
+    for classes of unknown kind, which disables memoization for them.
+    """
+    kind = getattr(cls, "kind", None)
+    if kind == "hypergraph":
+        edges = frozenset(
+            frozenset(row)
+            for rows in structure.relations.values()
+            for row in rows
+        )
+        return (cls.name, structure.domain, edges)
+    if kind == "graph":
+        rows = (
+            row
+            for relation_rows in structure.relations.values()
+            for row in relation_rows
+        )
+        return (cls.name, structure.domain, frozenset(_primal_pairs(rows)))
+    return None
+
+
+def _primal_pairs(rows) -> set[tuple]:
+    """The primal-graph edge pairs of an iterable of fact rows.
+
+    One shared clique expansion (distinct row elements, all unordered
+    pairs), mirroring
+    :func:`repro.core.classes.primal_graph_of_structure`, so memo keys and
+    integer-fact checks cannot drift from the structure-level test.
+    """
+    pairs: set[tuple] = set()
+    for row in rows:
+        distinct = sorted(set(row), key=repr)
+        for i, u in enumerate(distinct):
+            for v in distinct[i + 1 :]:
+                pairs.add((u, v))
+    return pairs
+
+
+class _TableauCandidate:
+    """Adapter giving plain tableaux the stage-1 candidate interface."""
+
+    __slots__ = ("_tableau",)
+
+    block_count = None
+    codes = None
+
+    def __init__(self, tableau: Tableau) -> None:
+        self._tableau = tableau
+
+    def facts(self) -> None:
+        return None
+
+    def materialize(self) -> Tableau:
+        return self._tableau
+
+
+def candidate_check_key(cls: QueryClass, candidate) -> tuple | None:
+    """The membership-memo key of a stage-1 candidate.
+
+    Quotient candidates expose their facts over integer block ids, which
+    give a label-free key: equal integer (hyper)graphs mean isomorphic
+    (hyper)graphs, so the key collapses strictly more duplicate checks than
+    the label-exact :func:`membership_key` — while remaining disjoint from
+    it (integer vs. labelled domain components), so both can share a memo.
+    Falls back to the structure-based key for materialized candidates.
+    """
+    kind = getattr(cls, "kind", None)
+    facts = candidate.facts()
+    if facts is None:
+        return membership_key(cls, candidate.materialize().structure)
+    if kind == "hypergraph":
+        edges = frozenset(frozenset(row) for _, row in facts)
+        return (cls.name, candidate.block_count, edges)
+    if kind == "graph":
+        pairs = _primal_pairs(row for _, row in facts)
+        return (cls.name, candidate.block_count, frozenset(pairs))
+    return None
+
+
+def dominance_key(candidate) -> tuple | None:
+    """A key under which stage-1 candidates are isomorphic *as tableaux*.
+
+    Unlike :func:`candidate_check_key` this keeps the relational layout and
+    the distinguished tuple: equal keys mean the identity on block ids is an
+    isomorphism, so frontier verdicts transfer between the candidates.
+    ``None`` for candidates without an integer form.
+    """
+    facts = candidate.facts()
+    if facts is None:
+        return None
+    return (candidate.block_count, facts, candidate.distinguished)
+
+
+def _check_integer_candidate(
+    cls: QueryClass, block_count: int, facts: tuple
+) -> bool | None:
+    """Class membership straight from integer-indexed facts.
+
+    Builds the primal graph / hypergraph directly — no ``Structure``, no
+    ``Tableau`` — and asks the class's graph-level membership test.  Returns
+    ``None`` when the class offers no such entry point (the caller then
+    materializes and uses ``contains_tableau``).
+    """
+    kind = getattr(cls, "kind", None)
+    if kind == "hypergraph" and hasattr(cls, "contains_hypergraph"):
+        return bool(
+            cls.contains_hypergraph(
+                Hypergraph(
+                    (set(row) for _, row in facts),
+                    vertices=range(block_count),
+                )
+            )
+        )
+    if kind == "graph" and hasattr(cls, "contains_graph"):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(block_count))
+        graph.add_edges_from(_primal_pairs(row for _, row in facts))
+        return bool(cls.contains_graph(graph))
+    return None
+
+
+# ------------------------------------------------------------------ statistics
+
+
+@dataclass
+class PipelineStats:
+    """Counters and stage timings of one pipeline run."""
+
+    generated: int = 0
+    checks_run: int = 0
+    check_memo_hits: int = 0
+    check_seconds: float = 0.0
+    members: int = 0
+    dominance_tests: int = 0
+    dominance_memo_hits: int = 0
+    dominance_seconds: float = 0.0
+    dominated: int = 0
+    admitted: int = 0
+    evicted: int = 0
+    order_switches: int = 0
+    shards: int = 0
+
+    def absorb(self, other: "PipelineStats") -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> dict:
+        return {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
+
+
+@dataclass
+class PipelineResult:
+    """The →-minimal frontier plus the run's observability payload."""
+
+    frontier: list[Tableau]
+    stats: PipelineStats
+
+
+# -------------------------------------------------------------------- stage 2
+
+
+class MembershipTester:
+    """Stage 2 inline: key-memoized, timed class-membership checks.
+
+    Accepts stage-1 candidates (quotient candidates or adapted tableaux);
+    integer-form candidates are checked straight off their integer facts so
+    a non-member is rejected without ever materializing a ``Structure``.
+    """
+
+    def __init__(
+        self,
+        cls: QueryClass,
+        stats: PipelineStats,
+        cost_model: DedupCostModel | None = None,
+    ) -> None:
+        self._cls = cls
+        self._stats = stats
+        self._cost_model = cost_model
+        self._memo: dict[tuple, bool] = {}
+
+    def __call__(self, candidate) -> bool:
+        key = candidate_check_key(self._cls, candidate)
+        if key is not None:
+            cached = self._memo.get(key)
+            if cached is not None:
+                self._stats.check_memo_hits += 1
+                if cached:
+                    self._stats.members += 1
+                return cached
+        started = time.perf_counter()
+        facts = candidate.facts()
+        verdict = None
+        if facts is not None:
+            verdict = _check_integer_candidate(
+                self._cls, candidate.block_count, facts
+            )
+        if verdict is None:
+            verdict = bool(self._cls.contains_tableau(candidate.materialize()))
+        elapsed = time.perf_counter() - started
+        self._stats.checks_run += 1
+        self._stats.check_seconds += elapsed
+        if self._cost_model is not None:
+            self._cost_model.record_downstream(elapsed)
+        if key is not None:
+            self._memo[key] = verdict
+        if verdict:
+            self._stats.members += 1
+        return verdict
+
+
+def _check_batch(payload: tuple) -> tuple[tuple[bool, ...], tuple[float, ...]]:
+    """Pool task: class checks on a batch of compact candidate payloads.
+
+    Each entry is either ``("ints", block_count, facts)`` — integer-indexed
+    facts checked straight on the rebuilt primal graph / hypergraph — or
+    ``("tableau", encoded)`` for candidates without an integer form.
+    Returns the verdicts plus the worker-side per-check seconds, which the
+    driver feeds to its :class:`DedupCostModel` so the dedup cutoff sees
+    real check costs even when no check runs in the driver process.
+    """
+    cls, entries = payload
+    verdicts: list[bool] = []
+    seconds: list[float] = []
+    for entry in entries:
+        started = time.perf_counter()
+        if entry[0] == "ints":
+            verdict = _check_integer_candidate(cls, entry[1], entry[2])
+            if verdict is None:
+                verdict = bool(
+                    cls.contains_tableau(
+                        _integer_tableau(entry[1], entry[2])
+                    )
+                )
+        else:
+            verdict = bool(
+                cls.contains_structure(decode_tableau(entry[1]).structure)
+            )
+        verdicts.append(verdict)
+        seconds.append(time.perf_counter() - started)
+    return tuple(verdicts), tuple(seconds)
+
+
+def _integer_tableau(block_count: int, facts: tuple) -> Tableau:
+    """A tableau over ``0..block_count-1`` realizing integer-indexed facts
+    (fallback for classes without a graph-level membership test; class
+    membership is isomorphism-invariant, so the relabelling is harmless)."""
+    relations: dict[str, list[tuple]] = {}
+    for relation_id, row in facts:
+        relations.setdefault(f"R{relation_id}", []).append(row)
+    return Tableau(Structure(relations, domain=range(block_count)))
+
+
+def _candidate_payload(candidate, key: tuple | None) -> tuple:
+    """The compact pool form of one stage-1 candidate."""
+    facts = candidate.facts()
+    if facts is not None and key is not None:
+        return ("ints", candidate.block_count, facts)
+    return ("tableau", encode_tableau(candidate.materialize()))
+
+
+def _iter_membership_candidates(
+    candidates: Iterable,
+    cls: QueryClass,
+    executor: SerialExecutor | ProcessExecutor | None,
+    *,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    stats: PipelineStats,
+    cost_model: DedupCostModel | None = None,
+) -> Iterator[tuple[object, bool]]:
+    """Stage 2 over stage-1 candidates: ``(candidate, is_member)`` in order.
+
+    With a :class:`~repro.parallel.SerialExecutor` (or ``None``) checks run
+    inline; with a :class:`~repro.parallel.ProcessExecutor` they are batched
+    across the pool with bounded lookahead, results streamed back in
+    generation order, and in-flight keys are never dispatched twice
+    (batches resolve in submission order, so an earlier batch's verdict is
+    always in the memo before a later batch consumes it).  Verdicts are
+    memoized under :func:`candidate_check_key` either way.
+    """
+    if executor is None or isinstance(executor, SerialExecutor):
+        tester = MembershipTester(cls, stats, cost_model)
+        for candidate in candidates:
+            stats.generated += 1
+            yield candidate, tester(candidate)
+        return
+
+    memo: dict[tuple, bool] = {}
+    batches: list[tuple[list, list]] = []
+    # Keys dispatched but not yet resolved.  Batches are consumed in
+    # submission order, so a key sent with batch j is guaranteed resolved
+    # (in ``memo``) before any batch k > j is consumed — later batches can
+    # treat in-flight keys as known and skip the duplicate dispatch.
+    pending: set = set()
+
+    def payloads() -> Iterator[tuple]:
+        batch: list = []
+        for candidate in candidates:
+            batch.append(candidate)
+            if len(batch) >= batch_size:
+                payload = _prepare(batch)
+                if payload is not None:
+                    yield payload
+                batch = []
+        if batch:
+            payload = _prepare(batch)
+            if payload is not None:
+                yield payload
+
+    def _prepare(batch: list) -> tuple | None:
+        stats.generated += len(batch)
+        entries: list = []
+        unknown_keys: list = []
+        payload_entries: list[tuple] = []
+        for candidate in batch:
+            key = candidate_check_key(cls, candidate)
+            entries.append((candidate, key))
+            if key is not None and (key in memo or key in pending):
+                stats.check_memo_hits += 1
+                continue
+            if key is not None:
+                pending.add(key)
+            unknown_keys.append(key)
+            payload_entries.append(_candidate_payload(candidate, key))
+        batches.append((entries, unknown_keys))
+        if not payload_entries:
+            # Fully memo-resolved batch: nothing to ship.  It stays queued
+            # as a "virtual" batch and is emitted once it reaches the front
+            # of the queue — any still-pending key it references was
+            # dispatched with an earlier batch, whose result is consumed
+            # first.
+            return None
+        return (cls, tuple(payload_entries))
+
+    def _emit(entries: list, unkeyed: list[bool]) -> Iterator[tuple[object, bool]]:
+        for candidate, key in entries:
+            verdict = memo[key] if key is not None else unkeyed.pop()
+            if verdict:
+                stats.members += 1
+            yield candidate, verdict
+
+    for verdicts, seconds in executor.imap(_check_batch, payloads()):
+        # This pool result belongs to the first *dispatched* batch in the
+        # queue; virtual batches ahead of it are already fully answered by
+        # the memo.
+        while batches and not batches[0][1]:
+            entries, _ = batches.pop(0)
+            yield from _emit(entries, [])
+        entries, unknown_keys = batches.pop(0)
+        unkeyed: list[bool] = []
+        for key, verdict, elapsed in zip(unknown_keys, verdicts, seconds):
+            stats.checks_run += 1
+            stats.check_seconds += elapsed
+            if cost_model is not None:
+                cost_model.record_downstream(elapsed)
+            if key is None:
+                unkeyed.append(verdict)
+            else:
+                memo[key] = verdict
+                pending.discard(key)
+        unkeyed.reverse()
+        yield from _emit(entries, unkeyed)
+    for entries, _ in batches:
+        yield from _emit(entries, [])
+
+
+def iter_membership(
+    candidates: Iterable[Tableau],
+    cls: QueryClass,
+    executor: SerialExecutor | ProcessExecutor | None = None,
+    *,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    stats: PipelineStats | None = None,
+    cost_model: DedupCostModel | None = None,
+) -> Iterator[tuple[Tableau, bool]]:
+    """Stage 2 as a reusable stream over plain tableaux.
+
+    The public face of :func:`_iter_membership_candidates` for callers that
+    hold tableaux (e.g. the syntactic overapproximation search): yields
+    ``(tableau, is_member)`` in input order with the same memoization and
+    pooling behavior.
+    """
+    if stats is None:
+        stats = PipelineStats()
+    wrapped = (_TableauCandidate(tableau) for tableau in candidates)
+    for candidate, verdict in _iter_membership_candidates(
+        wrapped,
+        cls,
+        executor,
+        batch_size=batch_size,
+        stats=stats,
+        cost_model=cost_model,
+    ):
+        yield candidate.materialize(), verdict
+
+
+# -------------------------------------------------------------------- stage 3
+
+
+class Frontier:
+    """The →-minimal frontier, with an associative merge (stage 3).
+
+    ``add`` implements the online update: a candidate dominated by (or
+    equivalent to) a member is dropped; otherwise it evicts every member it
+    maps into and joins.  All order queries go through
+    ``hom_le(memo=False)`` — a streamed candidate meets the frontier exactly
+    once, so computing canonical memo keys for the pair would cost more than
+    the (signature-guarded) search it tries to avoid.
+
+    Dominance tests scan members in a private move-to-front order:
+    consecutive candidates are structurally close (neighbouring partitions),
+    so the member that dominated the last candidate very likely dominates
+    the next one, and front-loading it turns the typical scan into a single
+    successful search.  The scan order is pure bookkeeping — ``any`` over a
+    set of members — while :attr:`members` itself stays in admission order,
+    so results and their order are unchanged.
+
+    Candidates from one quotient stream can also carry their partition
+    ``codes`` (restricted-growth strings over the shared base).  When both
+    sides of an order query have codes, partition coarsening is a sound
+    positive fast path: if ``codes(b)`` coarsens ``codes(a)`` the quotient
+    map ``T/a → T/b`` *is* a homomorphism, deciding ``a → b`` in O(n)
+    integer comparisons with no search.  (Coarsening is sufficient, not
+    necessary — failures still fall through to the engine.)
+
+    Dominance verdicts are additionally memoized under the candidate's
+    integer-form ``key`` (see :func:`dominance_key`): candidates with equal
+    keys are isomorphic, and since the frontier only descends in the
+    →-order, a "dominated" verdict stays valid for the rest of the run — a
+    member that mapped into the candidate can only ever be replaced by
+    something lower, which maps in too.  "Not dominated" verdicts are
+    reusable only until the next admission.  On raw (dedup-off) candidate
+    streams most candidates repeat an earlier integer form, so this removes
+    the majority of dominance searches outright.
+
+    ``merge`` folds another frontier's members through ``add``; since the
+    →-minimal set is unique up to homomorphic equivalence, merging is
+    associative and commutative *up to equivalence of representatives*,
+    which is what lets per-shard frontiers combine in any grouping.
+    """
+
+    __slots__ = (
+        "members",
+        "_scan",
+        "_codes",
+        "_dominated_keys",
+        "_undominated_keys",
+        "_engine",
+        "_stats",
+    )
+
+    def __init__(
+        self,
+        members: Iterable[Tableau] = (),
+        *,
+        engine: HomEngine | None = None,
+        stats: PipelineStats | None = None,
+    ) -> None:
+        self.members: list[Tableau] = list(members)
+        self._scan: list[Tableau] = list(self.members)
+        self._codes: dict[int, tuple[int, ...]] = {}
+        self._dominated_keys: set = set()
+        self._undominated_keys: dict = {}
+        self._engine = engine if engine is not None else default_engine()
+        self._stats = stats if stats is not None else PipelineStats()
+
+    @staticmethod
+    def _coarsens(
+        fine: tuple[int, ...] | None, coarse: tuple[int, ...] | None
+    ) -> bool:
+        """Whether every block of ``fine`` lies inside a block of ``coarse``."""
+        if fine is None or coarse is None:
+            return False
+        image: dict[int, int] = {}
+        for f, c in zip(fine, coarse):
+            if image.setdefault(f, c) != c:
+                return False
+        return True
+
+    def _le(
+        self,
+        source: Tableau,
+        source_codes: tuple[int, ...] | None,
+        target: Tableau,
+        target_codes: tuple[int, ...] | None,
+    ) -> bool:
+        if self._coarsens(source_codes, target_codes):
+            return True
+        return self._engine.hom_le(source, target, memo=False)
+
+    def cached_dominance(self, key: tuple | None) -> bool | None:
+        """The memoized dominance verdict for an integer form, if still valid.
+
+        "Dominated" never expires (the frontier only descends); "not
+        dominated" is valid only while no admission happened since it was
+        recorded.  Callers can consult this before materializing a
+        candidate — a hit answers the stage-3 question with no tableau, no
+        search.
+        """
+        if key is None:
+            return None
+        # Memo hits deliberately leave `dominated`/`dominance_tests` alone:
+        # those two counters describe *searched* verdicts only, so their
+        # ratio stays a well-formed rate for the ordering cost model.
+        if key in self._dominated_keys:
+            self._stats.dominance_memo_hits += 1
+            return True
+        if self._undominated_keys.get(key) == self._stats.admitted:
+            self._stats.dominance_memo_hits += 1
+            return False
+        return None
+
+    def dominated(
+        self,
+        candidate: Tableau,
+        codes: tuple[int, ...] | None = None,
+        key: tuple | None = None,
+    ) -> bool:
+        """Whether some member maps into ``candidate``."""
+        cached = self.cached_dominance(key)
+        if cached is not None:
+            return cached
+        started = time.perf_counter()
+        verdict = False
+        member_codes = self._codes
+        for position, member in enumerate(self._scan):
+            if self._le(member, member_codes.get(id(member)), candidate, codes):
+                verdict = True
+                if position:
+                    self._scan.insert(0, self._scan.pop(position))
+                break
+        self._stats.dominance_tests += 1
+        self._stats.dominance_seconds += time.perf_counter() - started
+        if key is not None:
+            if verdict:
+                self._dominated_keys.add(key)
+            else:
+                self._undominated_keys[key] = self._stats.admitted
+        if verdict:
+            self._stats.dominated += 1
+        return verdict
+
+    def insert(
+        self, candidate: Tableau, codes: tuple[int, ...] | None = None
+    ) -> None:
+        """Admit a known-undominated class member, evicting what it beats."""
+        member_codes = self._codes
+        survivors = [
+            member
+            for member in self.members
+            if not self._le(candidate, codes, member, member_codes.get(id(member)))
+        ]
+        self._stats.evicted += len(self.members) - len(survivors)
+        self._stats.admitted += 1
+        survivors.append(candidate)
+        if len(survivors) != len(self.members) + 1:
+            kept = set(map(id, survivors))
+            self._scan = [m for m in self._scan if id(m) in kept]
+            self._codes = {
+                key: value for key, value in member_codes.items() if key in kept
+            }
+        self.members = survivors
+        self._scan.insert(0, candidate)
+        if codes is not None:
+            self._codes[id(candidate)] = codes
+
+    def add(
+        self,
+        candidate: Tableau,
+        codes: tuple[int, ...] | None = None,
+        key: tuple | None = None,
+    ) -> bool:
+        """The online frontier update; returns whether the candidate joined."""
+        if self.dominated(candidate, codes, key):
+            return False
+        self.insert(candidate, codes)
+        return True
+
+    def merge(self, members: Iterable[Tableau]) -> "Frontier":
+        """Fold another frontier (or member list) into this one."""
+        for member in members:
+            self.add(member)
+        return self
+
+
+# ----------------------------------------------------------------- the driver
+
+
+def _candidate_source(
+    tableau: Tableau,
+    cls: QueryClass,
+    *,
+    max_extra_atoms: int,
+    allow_fresh: bool,
+    cost_model: DedupCostModel | None,
+    shard: tuple[int, int] | None = None,
+) -> Iterator:
+    """Stage 1: the class-appropriate candidate stream (deduplicated).
+
+    Graph classes — and hypergraph classes with the extension space switched
+    off — consume the lazy integer-form quotient stream; extension-space
+    runs fall back to materialized tableaux (extension atoms are enumerated
+    over the quotient's structure).
+    """
+    if getattr(cls, "kind", None) == "graph" or max_extra_atoms <= 0:
+        return iter_quotient_candidates(
+            tableau, cost_model=cost_model, shard=shard
+        )
+    return (
+        _TableauCandidate(candidate)
+        for candidate in iter_extended_tableaux(
+            tableau,
+            max_extra_atoms=max_extra_atoms,
+            allow_fresh=allow_fresh,
+            dedup=True,
+            cost_model=cost_model,
+            shard=shard,
+        )
+    )
+
+
+def _order_cost_estimates(
+    stats: PipelineStats,
+) -> tuple[float, float] | None:
+    """Estimated per-candidate cost of the two stage orders.
+
+    From measured means: check-first pays a (memo-discounted) check always
+    and a dominance test for members; frontier-first pays a dominance test
+    always and a check for undominated candidates.  Checking first is right
+    when checks are cheap or the memo absorbs them; testing dominance first
+    is right when checks are expensive and the frontier converges early
+    (the typical shape for costly hypergraph classes).  ``dominated`` and
+    ``dominance_tests`` both count searched verdicts only (memo hits touch
+    neither), so the rate is well-formed.  Returns ``(check_first,
+    frontier_first)`` seconds, or ``None`` while either side lacks samples.
+    """
+    if (
+        stats.checks_run < _ORDER_MIN_SAMPLES
+        or stats.dominance_tests < _ORDER_MIN_SAMPLES
+    ):
+        return None
+    mean_check = stats.check_seconds / stats.checks_run
+    mean_dominance = stats.dominance_seconds / stats.dominance_tests
+    checked = stats.checks_run + stats.check_memo_hits
+    fresh_rate = stats.checks_run / checked if checked else 1.0
+    member_rate = stats.members / max(stats.generated, 1)
+    dominated_rate = stats.dominated / stats.dominance_tests
+    check_first = fresh_rate * mean_check + member_rate * mean_dominance
+    frontier_first = mean_dominance + (1.0 - dominated_rate) * fresh_rate * mean_check
+    return check_first, frontier_first
+
+
+def _frontier_first_pays(stats: PipelineStats) -> bool | None:
+    """Whether dominance-first is decisively cheaper (``None``: no data)."""
+    estimates = _order_cost_estimates(stats)
+    if estimates is None:
+        return None
+    check_first, frontier_first = estimates
+    return frontier_first < _ORDER_SWITCH_MARGIN * check_first
+
+
+class _OrderController:
+    """Windowed stage-ordering decisions (wraps :func:`_frontier_first_pays`).
+
+    Cumulative means lag the run's current regime — the memo's fresh-check
+    rate drops as it warms, so a decision taken on run-wide averages keeps
+    overestimating check cost and flaps.  The controller re-evaluates every
+    :data:`_ORDER_REVIEW_EVERY` candidates on the *delta* since the last
+    review, so the verdict tracks the marginal (current) cost of each order.
+    """
+
+    __slots__ = ("stats", "frontier_first", "_review_at", "_baseline", "_pending")
+
+    def __init__(self, stats: PipelineStats) -> None:
+        self.stats = stats
+        self.frontier_first = False
+        self._review_at = _ORDER_REVIEW_EVERY
+        self._baseline = PipelineStats()
+        self._pending: bool | None = None
+
+    def update(self) -> None:
+        stats = self.stats
+        if stats.generated < self._review_at:
+            return
+        self._review_at = stats.generated + _ORDER_REVIEW_EVERY
+        window = PipelineStats(
+            **{
+                name: getattr(stats, name) - getattr(self._baseline, name)
+                for name in PipelineStats.__dataclass_fields__
+            }
+        )
+        self._baseline = PipelineStats(**stats.as_dict())
+        estimates = _order_cost_estimates(window)
+        if estimates is None:
+            self._pending = None
+            return
+        check_first, frontier_first = estimates
+        # Symmetric hysteresis: the *other* order must look decisively
+        # (1/margin-fold) cheaper than the current one before switching, in
+        # either direction — borderline ratios keep the current order.
+        if self.frontier_first:
+            verdict = not check_first < _ORDER_SWITCH_MARGIN * frontier_first
+        else:
+            verdict = frontier_first < _ORDER_SWITCH_MARGIN * check_first
+        if verdict == self.frontier_first:
+            self._pending = None
+            return
+        # Two consecutive windows must agree before the order flips — one
+        # borderline window (memo warming, frontier growth) must not flap
+        # the pipeline between regimes.
+        if self._pending == verdict:
+            self.frontier_first = verdict
+            self._pending = None
+            stats.order_switches += 1
+        else:
+            self._pending = verdict
+
+
+def _reduce_inline(
+    candidates: Iterable[Tableau],
+    cls: QueryClass,
+    stats: PipelineStats,
+    cost_model: DedupCostModel | None,
+    *,
+    engine: HomEngine | None = None,
+) -> Frontier:
+    """Stages 2+3 in one process, with cost-modeled stage ordering.
+
+    Starts check-first (the historical order, and the right one while the
+    membership memo is hot); every :data:`_ORDER_REVIEW_EVERY` candidates
+    the measured stage costs decide whether dominance testing should move in
+    front of the check.  Either order yields the same frontier — a dominated
+    candidate can never join nor evict, so filtering it before or after the
+    membership test only changes which work is spent, not the result.
+    """
+    tester = MembershipTester(cls, stats, cost_model)
+    frontier = Frontier(engine=engine, stats=stats)
+    order = _OrderController(stats)
+    for candidate in candidates:
+        stats.generated += 1
+        key = dominance_key(candidate)
+        if order.frontier_first:
+            verdict = frontier.cached_dominance(key)
+            if verdict is None:
+                verdict = frontier.dominated(
+                    candidate.materialize(), candidate.codes, key
+                )
+            if not verdict and tester(candidate):
+                frontier.insert(candidate.materialize(), candidate.codes)
+        else:
+            if tester(candidate):
+                frontier.add(candidate.materialize(), candidate.codes, key)
+        order.update()
+    return frontier
+
+
+def _shard_task(payload: tuple) -> tuple[tuple[tuple, ...], dict]:
+    """Pool task (strategy ``"shards"``): the full loop on one slice."""
+    base_data, cls, shard, max_extra_atoms, allow_fresh = payload
+    base = decode_tableau(base_data)
+    stats = PipelineStats()
+    cost_model = DedupCostModel()
+    candidates = _candidate_source(
+        base,
+        cls,
+        max_extra_atoms=max_extra_atoms,
+        allow_fresh=allow_fresh,
+        cost_model=cost_model,
+        shard=shard,
+    )
+    frontier = _reduce_inline(candidates, cls, stats, cost_model)
+    return (
+        tuple(encode_tableau(member) for member in frontier.members),
+        stats.as_dict(),
+    )
+
+
+def run_pipeline(
+    tableau: Tableau,
+    cls: QueryClass,
+    *,
+    workers: int = 1,
+    parallel: str = "checks",
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    max_extra_atoms: int = 1,
+    allow_fresh: bool = True,
+) -> PipelineResult:
+    """Run the three-stage pipeline and return the →-minimal frontier.
+
+    ``workers <= 1`` runs everything inline (bit-identical to the historic
+    serial algorithm); ``parallel`` picks the scaling strategy for
+    ``workers > 1`` — see the module docstring for the two strategies and
+    their determinism guarantees.
+    """
+    if parallel not in {"checks", "shards"}:
+        raise ValueError(f"unknown parallel strategy {parallel!r}")
+    stats = PipelineStats()
+    cost_model = DedupCostModel()
+    executor = make_executor(workers)
+    try:
+        if isinstance(executor, SerialExecutor):
+            candidates = _candidate_source(
+                tableau,
+                cls,
+                max_extra_atoms=max_extra_atoms,
+                allow_fresh=allow_fresh,
+                cost_model=cost_model,
+            )
+            frontier = _reduce_inline(candidates, cls, stats, cost_model)
+            return PipelineResult(frontier.members, stats)
+
+        if parallel == "shards":
+            shard_count = executor.workers * _SHARDS_PER_WORKER
+            stats.shards = shard_count
+            base_data = encode_tableau(tableau)
+            payloads = [
+                (base_data, cls, (index, shard_count), max_extra_atoms, allow_fresh)
+                for index in range(shard_count)
+            ]
+            frontier = Frontier(stats=stats)
+            for encoded_members, shard_stats in executor.imap(
+                _shard_task, payloads
+            ):
+                stats.absorb(PipelineStats(**shard_stats))
+                frontier.merge(decode_tableau(data) for data in encoded_members)
+            return PipelineResult(frontier.members, stats)
+
+        candidates = _candidate_source(
+            tableau,
+            cls,
+            max_extra_atoms=max_extra_atoms,
+            allow_fresh=allow_fresh,
+            cost_model=cost_model,
+        )
+        # The pooled "checks" strategy is check-first by construction: the
+        # pool exists to make membership checks cheap, and dispatching them
+        # eagerly is what overlaps stage 2 with stages 1 and 3.  The
+        # cost-modeled check-vs-dominance ordering applies to the inline
+        # stages (serial runs and shard workers), where both orders execute
+        # in the same process.
+        frontier = Frontier(stats=stats)
+        for candidate, is_member in _iter_membership_candidates(
+            candidates,
+            cls,
+            executor,
+            batch_size=batch_size,
+            stats=stats,
+            cost_model=cost_model,
+        ):
+            if is_member:
+                frontier.add(
+                    candidate.materialize(),
+                    candidate.codes,
+                    dominance_key(candidate),
+                )
+        return PipelineResult(frontier.members, stats)
+    finally:
+        executor.close()

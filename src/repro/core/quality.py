@@ -16,6 +16,7 @@ from typing import Callable, Iterable
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.structure import Structure
 from repro.evaluation.engine import evaluate
+from repro.parallel import make_executor
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,20 @@ class QualityReport:
         return self.wrong_answers == 0
 
 
+def _disagreement_sample(payload: tuple) -> tuple[int, int, int, int, int]:
+    """One database's agreement counters (picklable pool task)."""
+    query, approximation, db, exact_method, approx_method = payload
+    exact = evaluate(query, db, method=exact_method)
+    approx = evaluate(approximation, db, method=approx_method)
+    return (
+        len(exact),
+        len(approx & exact),
+        len(exact - approx),
+        len(approx - exact),
+        int(exact == approx),
+    )
+
+
 def disagreement(
     query: ConjunctiveQuery,
     approximation: ConjunctiveQuery,
@@ -55,19 +70,30 @@ def disagreement(
     *,
     exact_method: str = "auto",
     approx_method: str = "auto",
+    workers: int = 1,
 ) -> QualityReport:
-    """Measure ``Q`` vs ``Q'`` over the given databases."""
+    """Measure ``Q`` vs ``Q'`` over the given databases.
+
+    Per-database evaluation pairs are independent, so with ``workers > 1``
+    they spread over the pipeline's process pool (the database stream is
+    consumed lazily with bounded lookahead); the aggregated report is
+    identical for any worker count.
+    """
     samples = exact_total = approx_total = missed = wrong = agreeing = 0
-    for db in databases:
-        samples += 1
-        exact = evaluate(query, db, method=exact_method)
-        approx = evaluate(approximation, db, method=approx_method)
-        exact_total += len(exact)
-        approx_total += len(approx & exact)
-        missed += len(exact - approx)
-        wrong += len(approx - exact)
-        if exact == approx:
-            agreeing += 1
+    payloads = (
+        (query, approximation, db, exact_method, approx_method)
+        for db in databases
+    )
+    with make_executor(workers) as executor:
+        for exact_n, agree_n, missed_n, wrong_n, same in executor.imap(
+            _disagreement_sample, payloads
+        ):
+            samples += 1
+            exact_total += exact_n
+            approx_total += agree_n
+            missed += missed_n
+            wrong += wrong_n
+            agreeing += same
     return QualityReport(
         samples=samples,
         exact_answers=exact_total,

@@ -34,23 +34,153 @@ the canonizer's effort caps pass through unkeyed.  Callers must not use
 from __future__ import annotations
 
 import itertools
-from typing import Iterator
+import time
+from typing import Iterable, Iterator
 
 from repro.cq.structure import Structure
 from repro.cq.tableau import Tableau
 from repro.homomorphism.engine import default_engine
 from repro.homomorphism.signatures import canonical_key_indexed
 from repro.util.naming import fresh_names
-from repro.util.partitions import bell_number, partition_to_mapping, set_partitions
+from repro.util.partitions import (
+    bell_number,
+    partition_to_mapping,
+    rgs_prefixes,
+    set_partitions,
+)
 
 
 #: Adaptive dedup cutoff: after canonizing this many partitions, dedup stays
 #: on only if at least this fraction were duplicates (isomorphic to an
 #: earlier candidate).  Canonization costs roughly half of what a duplicate
 #: saves downstream (class check + quotient construction), so a duplicate
-#: rate around one half is the break-even point.
+#: rate around one half is the break-even point — unless a
+#: :class:`DedupCostModel` with live measurements says otherwise.
 _ADAPTIVE_PREFIX = 160
 _ADAPTIVE_MIN_DUP_RATE = 0.5
+
+
+class DedupCostModel:
+    """Measured break-even for the adaptive dedup cutoff.
+
+    Deduplication pays one canonization per candidate to save, per pruned
+    duplicate, the downstream cost of processing that duplicate (the class
+    membership check, and the frontier work behind it).  It is profitable
+    when ``duplicate_rate * downstream_cost >= canonization_cost``, so the
+    break-even duplicate rate is ``canonization_cost / downstream_cost``.
+
+    The seed heuristic hard-coded that ratio to ``0.5``.  This model measures
+    both sides instead: the candidate generators record per-candidate
+    canonization time (:meth:`record_canonization`), and the pipeline's
+    filter stage records per-candidate class-check time
+    (:meth:`record_downstream`).  Expensive membership tests — HW(k) checks
+    get pricier with ``k``, hypergraph classes pricier than graph ones —
+    push the threshold down, keeping dedup on at much lower duplicate rates;
+    cheap checks push it toward the ceiling so a barely-duplicated stream
+    stops paying for canonization.  Until both sides have at least one
+    measurement the model answers with the seed default, so plugging it in
+    never changes behavior on workloads too small to measure.
+
+    Measurements are process-local: every pool worker builds and feeds its
+    own model, mirroring the per-worker engine handles.
+    """
+
+    __slots__ = (
+        "default_rate",
+        "floor",
+        "ceiling",
+        "_canon_seconds",
+        "_canon_count",
+        "_downstream_seconds",
+        "_downstream_count",
+    )
+
+    def __init__(
+        self,
+        *,
+        default_rate: float = _ADAPTIVE_MIN_DUP_RATE,
+        floor: float = 0.02,
+        ceiling: float = 0.9,
+    ) -> None:
+        if not 0.0 < floor <= ceiling <= 1.0:
+            raise ValueError("need 0 < floor <= ceiling <= 1")
+        self.default_rate = default_rate
+        self.floor = floor
+        self.ceiling = ceiling
+        self._canon_seconds = 0.0
+        self._canon_count = 0
+        self._downstream_seconds = 0.0
+        self._downstream_count = 0
+
+    def record_canonization(self, seconds: float) -> None:
+        self._canon_seconds += seconds
+        self._canon_count += 1
+
+    def record_downstream(self, seconds: float) -> None:
+        self._downstream_seconds += seconds
+        self._downstream_count += 1
+
+    @property
+    def canonization_cost(self) -> float | None:
+        """Mean seconds per canonized candidate (``None`` before data)."""
+        if not self._canon_count:
+            return None
+        return self._canon_seconds / self._canon_count
+
+    @property
+    def downstream_cost(self) -> float | None:
+        """Mean seconds a pruned duplicate would have cost downstream."""
+        if not self._downstream_count:
+            return None
+        return self._downstream_seconds / self._downstream_count
+
+    def min_duplicate_rate(self) -> float:
+        """The duplicate rate below which dedup should switch itself off."""
+        canon = self.canonization_cost
+        downstream = self.downstream_cost
+        if canon is None or downstream is None or downstream <= 0.0:
+            return self.default_rate
+        return min(max(canon / downstream, self.floor), self.ceiling)
+
+
+def _shard_prefixes(
+    n_elements: int, shard: tuple[int, int] | None
+) -> list[tuple[int, ...]] | None:
+    """The restricted-growth-string prefixes selecting one shard's slice.
+
+    ``shard=(index, count)`` splits the partition stream into ``count``
+    disjoint slices by fixing a prefix of the growth string: the prefix depth
+    is grown until there are at least ``4 * count`` prefixes (for balance),
+    and prefixes are dealt round-robin by lexicographic rank.  ``None`` means
+    "the whole stream" (no sharding, or a single shard).
+    """
+    if shard is None:
+        return None
+    index, count = shard
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(f"invalid shard {shard!r}")
+    if count == 1:
+        return None
+    depth = 2
+    while depth < n_elements and bell_number(depth) < 4 * count:
+        depth += 1
+    depth = min(depth, n_elements)
+    return [
+        prefix
+        for rank, prefix in enumerate(rgs_prefixes(depth))
+        if rank % count == index
+    ]
+
+
+def _partition_stream(
+    elements: list, prefixes: list[tuple[int, ...]] | None
+) -> Iterable[tuple[tuple, ...]]:
+    """All partitions of ``elements``, or one shard's disjoint slice."""
+    if prefixes is None:
+        return set_partitions(elements)
+    return itertools.chain.from_iterable(
+        set_partitions(elements, prefix=prefix) for prefix in prefixes
+    )
 
 
 def _automorphism_inverses(
@@ -128,8 +258,236 @@ class _CanonicalSeen:
         return True
 
 
+class QuotientCandidate:
+    """A quotient described without building it (the pipeline's stage-1 unit).
+
+    Carries the partition plus the quotient's facts in integer-indexed form
+    (elements replaced by block ids, relations by ids into :attr:`names`).
+    The actual :class:`~repro.cq.tableau.Tableau` is built only on demand by
+    :meth:`materialize` — class-membership checks for graph/hypergraph
+    classes need nothing beyond the integer facts, so non-members of the
+    approximation pipeline never pay for ``Structure`` construction.
+    Integer facts are themselves computed lazily (:meth:`facts`) so pure
+    tableau consumers skip them when dedup decided not to canonize.
+
+    Two candidates of the same stream with equal ``(block_count, facts(),
+    distinguished)`` are isomorphic via the induced block bijection — the
+    integer form is itself a useful (label-free) memo key for class checks.
+    """
+
+    __slots__ = (
+        "partition",
+        "codes",
+        "block_count",
+        "distinguished",
+        "_base",
+        "_base_facts",
+        "names",
+        "_facts",
+        "_tableau",
+    )
+
+    def __init__(
+        self,
+        partition: tuple[tuple, ...],
+        codes: tuple[int, ...] | None,
+        block_count: int,
+        distinguished: tuple[int, ...] | None,
+        base: Tableau,
+        base_facts: list[tuple[int, tuple[int, ...]]] | None,
+        names: tuple[str, ...],
+        *,
+        facts: tuple[tuple[int, tuple[int, ...]], ...] | None = None,
+        tableau: Tableau | None = None,
+    ) -> None:
+        self.partition = partition
+        self.codes = codes
+        self.block_count = block_count
+        self.distinguished = distinguished
+        self._base = base
+        self._base_facts = base_facts
+        self.names = names
+        self._facts = facts
+        self._tableau = tableau
+
+    def facts(self) -> tuple[tuple[int, tuple[int, ...]], ...] | None:
+        """The quotient's facts over block ids (``None`` if unavailable —
+        the isolated-element fallback path, where only the materialized
+        tableau is authoritative)."""
+        if self._facts is None and self.codes is not None:
+            code = self.codes
+            self._facts = tuple(
+                sorted(
+                    {
+                        (relation_id, tuple(code[value] for value in row))
+                        for relation_id, row in self._base_facts
+                    }
+                )
+            )
+        return self._facts
+
+    def materialize(self) -> Tableau:
+        """The quotient tableau (built once, identical to the historical
+        ``tableau.rename(partition_to_mapping(partition))``)."""
+        if self._tableau is None:
+            self._tableau = self._base.rename(
+                partition_to_mapping(self.partition)
+            )
+        return self._tableau
+
+
+def iter_quotient_candidates(
+    tableau: Tableau,
+    *,
+    cost_model: DedupCostModel | None = None,
+    shard: tuple[int, int] | None = None,
+) -> Iterator[QuotientCandidate]:
+    """The deduplicated quotient stream in lazy (unmaterialized) form.
+
+    This is the stage-1 engine behind ``iter_quotient_tableaux(dedup=True)``
+    and the approximation pipeline: one candidate per surviving partition,
+    in restricted-growth-string order, with the canonical/orbit/adaptive
+    dedup machinery of the module docstring.  A ``cost_model`` replaces the
+    fixed break-even duplicate rate with the measured canonization-to-check
+    ratio (and receives canonization timings as a side effect);
+    ``shard=(index, count)`` restricts enumeration to one of ``count``
+    disjoint partition-prefix slices (dedup state is shard-local, so
+    cross-shard duplicates survive and must be absorbed downstream).
+    """
+    elements = sorted(tableau.structure.domain, key=repr)
+    prefixes = _shard_prefixes(len(elements), shard)
+    structure = tableau.structure
+    index_of = {element: index for index, element in enumerate(elements)}
+    names = tuple(
+        sorted(name for name, rows in structure.relations.items() if rows)
+    )
+    base_facts = [
+        (relation_id, tuple(index_of[value] for value in row))
+        for relation_id, name in enumerate(names)
+        for row in structure.relations[name]
+    ]
+    covered = {value for _, row in base_facts for value in row}
+    covered.update(index_of[d] for d in tableau.distinguished)
+    n_elements = len(elements)
+    if len(covered) < n_elements:
+        # Isolated elements (possible only with an explicitly enlarged
+        # domain) would defeat the integer fast path's refinement; fall back
+        # to tableau-level canonical forms, which handle them.  Candidates
+        # on this path are pre-materialized and carry no integer facts.
+        seen = _CanonicalSeen()
+        for partition in _partition_stream(elements, prefixes):
+            quotient = tableau.rename(partition_to_mapping(partition))
+            if seen.first_sighting(quotient):
+                yield QuotientCandidate(
+                    partition,
+                    None,
+                    len(partition),
+                    None,
+                    tableau,
+                    None,
+                    names,
+                    tableau=quotient,
+                )
+        return
+
+    distinguished_idx = tuple(index_of[d] for d in tableau.distinguished)
+    automorphisms = _automorphism_inverses(tableau, elements, index_of)
+    seen_keys: set[tuple] = set()
+    code = [0] * n_elements
+    identity_facts = tuple(sorted(set(base_facts)))
+    # Deduplication pays for itself only when enough partitions actually
+    # collapse onto already-seen isomorphism classes (the canonization of a
+    # unique candidate is pure overhead).  Track the duplicate rate over an
+    # early prefix and fall back to plain enumeration when the base tableau
+    # turns out to be too asymmetric for dedup to win.
+    checked = duplicates = 0
+    dedup_active, decided = True, False
+    for partition in _partition_stream(elements, prefixes):
+        if len(partition) == n_elements:
+            # The identity quotient: the only partition with |domain| blocks,
+            # and isomorphism preserves block count, so it cannot duplicate
+            # (or be duplicated by) anything — skip the canonization.
+            yield QuotientCandidate(
+                partition,
+                tuple(range(n_elements)),
+                n_elements,
+                distinguished_idx,
+                tableau,
+                base_facts,
+                names,
+                facts=identity_facts,
+            )
+            continue
+        if not decided and checked >= _ADAPTIVE_PREFIX:
+            decided = True
+            min_rate = (
+                cost_model.min_duplicate_rate()
+                if cost_model is not None
+                else _ADAPTIVE_MIN_DUP_RATE
+            )
+            dedup_active = duplicates >= checked * min_rate
+        block_count = len(partition)
+        if not dedup_active:
+            for block_id, block in enumerate(partition):
+                for element in block:
+                    code[index_of[element]] = block_id
+            yield QuotientCandidate(
+                partition,
+                tuple(code),
+                block_count,
+                tuple(code[value] for value in distinguished_idx),
+                tableau,
+                base_facts,
+                names,
+            )
+            continue
+        started = time.perf_counter() if cost_model is not None else 0.0
+        for block_id, block in enumerate(partition):
+            for element in block:
+                code[index_of[element]] = block_id
+        checked += 1
+        if automorphisms and not _orbit_minimal(code, n_elements, automorphisms):
+            duplicates += 1
+            if cost_model is not None:
+                cost_model.record_canonization(time.perf_counter() - started)
+            continue
+        mapped_facts = tuple(
+            sorted(
+                {
+                    (relation_id, tuple(code[value] for value in row))
+                    for relation_id, row in base_facts
+                }
+            )
+        )
+        mapped_distinguished = tuple(code[value] for value in distinguished_idx)
+        key = canonical_key_indexed(
+            block_count, list(mapped_facts), mapped_distinguished
+        )
+        if cost_model is not None:
+            cost_model.record_canonization(time.perf_counter() - started)
+        if key is not None:
+            if key in seen_keys:
+                duplicates += 1
+                continue
+            seen_keys.add(key)
+        yield QuotientCandidate(
+            partition,
+            tuple(code),
+            block_count,
+            mapped_distinguished,
+            tableau,
+            base_facts,
+            names,
+            facts=mapped_facts,
+        )
+
+
 def iter_quotient_tableaux(
-    tableau: Tableau, *, dedup: bool = False
+    tableau: Tableau,
+    *,
+    dedup: bool = False,
+    cost_model: DedupCostModel | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> Iterator[Tableau]:
     """All quotients of a tableau, one per set partition of its domain.
 
@@ -139,86 +497,23 @@ def iter_quotient_tableaux(
     adaptive cutoff can re-admit duplicates on asymmetric bases), which can
     leave far fewer.
 
-    The dedup path canonizes straight off the partition — facts mapped to
-    integer block ids, no ``Structure`` built — so duplicated quotients cost
-    one canonical-form computation and nothing else.
+    The dedup path delegates to :func:`iter_quotient_candidates`, which
+    canonizes straight off the partition — facts mapped to integer block
+    ids, no ``Structure`` built — so duplicated quotients cost one
+    canonical-form computation and nothing else.  ``cost_model`` and
+    ``shard`` are documented there; both require ``dedup=True`` sharding
+    excepted (``shard`` also works on the raw stream).
     """
-    elements = sorted(tableau.structure.domain, key=repr)
     if not dedup:
-        for partition in set_partitions(elements):
+        elements = sorted(tableau.structure.domain, key=repr)
+        prefixes = _shard_prefixes(len(elements), shard)
+        for partition in _partition_stream(elements, prefixes):
             yield tableau.rename(partition_to_mapping(partition))
         return
-
-    structure = tableau.structure
-    index_of = {element: index for index, element in enumerate(elements)}
-    names = sorted(name for name, rows in structure.relations.items() if rows)
-    base_facts = [
-        (relation_id, tuple(index_of[value] for value in row))
-        for relation_id, name in enumerate(names)
-        for row in structure.relations[name]
-    ]
-    covered = {value for _, row in base_facts for value in row}
-    covered.update(index_of[d] for d in tableau.distinguished)
-    if len(covered) < len(elements):
-        # Isolated elements (possible only with an explicitly enlarged
-        # domain) would defeat the integer fast path's refinement; fall back
-        # to tableau-level canonical forms, which handle them.
-        seen = _CanonicalSeen()
-        for partition in set_partitions(elements):
-            quotient = tableau.rename(partition_to_mapping(partition))
-            if seen.first_sighting(quotient):
-                yield quotient
-        return
-
-    distinguished_idx = tuple(index_of[d] for d in tableau.distinguished)
-    automorphisms = _automorphism_inverses(tableau, elements, index_of)
-    seen_keys: set[tuple] = set()
-    n_elements = len(elements)
-    code = [0] * n_elements
-    # Deduplication pays for itself only when enough partitions actually
-    # collapse onto already-seen isomorphism classes (the canonization of a
-    # unique candidate is pure overhead).  Track the duplicate rate over an
-    # early prefix and fall back to plain enumeration when the base tableau
-    # turns out to be too asymmetric for dedup to win.
-    checked = duplicates = 0
-    dedup_active, decided = True, False
-    for partition in set_partitions(elements):
-        if len(partition) == n_elements:
-            # The identity quotient: the only partition with |domain| blocks,
-            # and isomorphism preserves block count, so it cannot duplicate
-            # (or be duplicated by) anything — skip the canonization.
-            yield tableau.rename(partition_to_mapping(partition))
-            continue
-        if not decided and checked >= _ADAPTIVE_PREFIX:
-            decided = True
-            dedup_active = duplicates >= checked * _ADAPTIVE_MIN_DUP_RATE
-        if not dedup_active:
-            yield tableau.rename(partition_to_mapping(partition))
-            continue
-        for block_id, block in enumerate(partition):
-            for element in block:
-                code[index_of[element]] = block_id
-        checked += 1
-        if automorphisms and not _orbit_minimal(code, n_elements, automorphisms):
-            duplicates += 1
-            continue
-        mapped_facts = sorted(
-            {
-                (relation_id, tuple(code[value] for value in row))
-                for relation_id, row in base_facts
-            }
-        )
-        key = canonical_key_indexed(
-            len(partition),
-            mapped_facts,
-            tuple(code[value] for value in distinguished_idx),
-        )
-        if key is not None:
-            if key in seen_keys:
-                duplicates += 1
-                continue
-            seen_keys.add(key)
-        yield tableau.rename(partition_to_mapping(partition))
+    for candidate in iter_quotient_candidates(
+        tableau, cost_model=cost_model, shard=shard
+    ):
+        yield candidate.materialize()
 
 
 def quotient_count(tableau: Tableau) -> int:
@@ -284,6 +579,8 @@ def iter_extended_tableaux(
     max_extra_atoms: int = 1,
     allow_fresh: bool = True,
     dedup: bool = False,
+    cost_model: DedupCostModel | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> Iterator[Tableau]:
     """Quotients plus up to ``max_extra_atoms`` extension atoms each.
 
@@ -298,10 +595,16 @@ def iter_extended_tableaux(
     candidate that happens to be isomorphic to a plain quotient is not
     cross-checked (the two streams keep separate key sets, sparing every
     quotient a second canonization); such coincidences are harmless
-    downstream.
+    downstream.  ``cost_model``/``shard`` mirror
+    :func:`iter_quotient_tableaux`: sharding splits at the quotient level
+    (each quotient's whole extension family stays in its shard), and the
+    cost model is additionally fed the tableau-level canonization time of
+    the extended candidates.
     """
     seen = _CanonicalSeen() if dedup else None
-    for quotient in iter_quotient_tableaux(tableau, dedup=dedup):
+    for quotient in iter_quotient_tableaux(
+        tableau, dedup=dedup, cost_model=cost_model, shard=shard
+    ):
         yield quotient
         if max_extra_atoms <= 0:
             continue
@@ -311,5 +614,12 @@ def iter_extended_tableaux(
         for count in range(1, max_extra_atoms + 1):
             for extras in itertools.combinations(extension_pool, count):
                 extended = _with_extensions(quotient, extras)
-                if seen is None or seen.first_sighting(extended):
+                if seen is None:
+                    yield extended
+                    continue
+                started = time.perf_counter() if cost_model is not None else 0.0
+                fresh_candidate = seen.first_sighting(extended)
+                if cost_model is not None:
+                    cost_model.record_canonization(time.perf_counter() - started)
+                if fresh_candidate:
                     yield extended

@@ -36,6 +36,7 @@ isolate cache behavior (e.g. in benchmarks).
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from typing import Hashable, Iterable, Iterator, Mapping
 
@@ -384,8 +385,18 @@ class HomEngine:
             return ("canon", source_key, target_key)
         return ("exact", source, target)
 
-    def hom_le(self, source: Tableau, target: Tableau) -> bool:
-        """Memoized ``source → target`` with signature/isomorphism fast paths."""
+    def hom_le(self, source: Tableau, target: Tableau, *, memo: bool = True) -> bool:
+        """Memoized ``source → target`` with signature/isomorphism fast paths.
+
+        ``memo=False`` skips the canonical-key memo entirely — no key
+        computation, no lookup, no store.  The verdict is identical; the
+        point is cost: building the memo key canonizes both tableaux, which
+        outweighs the search itself when a pair is only ever compared once.
+        The pipeline's frontier uses this for its candidate-stream dominance
+        tests (each streamed candidate meets the frontier exactly once),
+        while repeat-heavy callers (greedy descent, equivalence sweeps) keep
+        the default.
+        """
         pin = pin_for(source, target)
         if pin is None:
             return False
@@ -399,6 +410,11 @@ class HomEngine:
         ):
             self.stats["refuted"] += 1
             return False
+        if not memo:
+            return (
+                self.find_homomorphism(source.structure, target.structure, pin=pin)
+                is not None
+            )
         key = self._memo_key(source, target)
         cached = self._hom_le_memo.lookup(key)
         if cached is not None:
@@ -486,7 +502,24 @@ class HomEngine:
 #: The process-wide engine behind the module-level wrapper functions.
 DEFAULT_ENGINE = HomEngine()
 
+#: Owner of :data:`DEFAULT_ENGINE` — engines are per-process handles.
+_ENGINE_PID = os.getpid()
+
 
 def default_engine() -> HomEngine:
-    """The shared engine instance used by the thin module-level wrappers."""
+    """The shared engine instance used by the thin module-level wrappers.
+
+    Engine handles are per-process: a forked pipeline worker that inherits
+    the parent's engine would start from a snapshot of the parent's caches
+    (stale recency order, memory already near the bounds) and the two copies
+    would silently diverge.  The pid check rebuilds a fresh engine the first
+    time a new process asks for one, which is also what keeps engines out of
+    pickled task payloads — workers never receive an engine, they construct
+    their own.
+    """
+    global DEFAULT_ENGINE, _ENGINE_PID
+    pid = os.getpid()
+    if pid != _ENGINE_PID:
+        DEFAULT_ENGINE = HomEngine()
+        _ENGINE_PID = pid
     return DEFAULT_ENGINE

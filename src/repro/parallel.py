@@ -1,0 +1,123 @@
+"""Process-pool executor shim for the approximation pipeline.
+
+The pipeline's parallelizable stages (class-membership checks, per-shard
+frontier construction) funnel through one tiny interface so callers never
+touch ``concurrent.futures`` directly:
+
+* :class:`SerialExecutor` — runs tasks inline, zero overhead, used whenever
+  ``workers <= 1``.  The serial path therefore has no serialization, no
+  processes, and no behavioral difference from calling the task function in
+  a loop.
+* :class:`ProcessExecutor` — a thin wrapper over
+  ``concurrent.futures.ProcessPoolExecutor`` whose :meth:`~ProcessExecutor.
+  imap` preserves submission order while keeping a bounded number of tasks
+  in flight, so a lazy task stream overlaps generation with execution
+  without buffering the whole stream.
+
+Task functions must be picklable module-level callables and task payloads
+must be compact picklable values (the pipeline serializes tableaux to
+integer-indexed fact lists; see :mod:`repro.core.pipeline`).  Engine handles
+are never shipped to workers: each worker process rebuilds its own
+:class:`~repro.homomorphism.engine.HomEngine` on first use via the pid check
+in :func:`repro.homomorphism.engine.default_engine`.
+
+On POSIX the pool uses the ``fork`` start method explicitly — workers
+inherit the imported library (no re-import cost) but, by the pid check
+above, not the parent's engine handle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Iterator, TypeVar
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+
+
+def effective_workers(workers: int | None) -> int:
+    """Normalize a worker-count knob: ``None``/``0`` → serial, ``-1`` → all
+    CPUs, anything else is taken literally (also on machines with fewer
+    cores — oversubscription is the caller's informed choice)."""
+    if workers is None or workers == 0:
+        return 1
+    if workers < 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+class SerialExecutor:
+    """Inline execution with the executor interface (the ``workers=1`` path)."""
+
+    workers = 1
+
+    def imap(
+        self, fn: Callable[[Task], Result], tasks: Iterable[Task]
+    ) -> Iterator[Result]:
+        for task in tasks:
+            yield fn(task)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ProcessExecutor:
+    """Ordered, bounded-lookahead mapping over a process pool.
+
+    ``inflight`` bounds how many tasks are submitted ahead of the consumer;
+    the default (``workers + 2``) keeps every worker busy while the oldest
+    result is being consumed, without racing arbitrarily far ahead of
+    consumers that feed results back into the task stream (the pipeline's
+    check-memo does exactly that).
+    """
+
+    def __init__(self, workers: int, *, inflight: int | None = None) -> None:
+        if workers < 2:
+            raise ValueError("ProcessExecutor needs at least 2 workers")
+        context = (
+            multiprocessing.get_context("fork")
+            if hasattr(os, "fork")
+            else multiprocessing.get_context()
+        )
+        self.workers = workers
+        self.inflight = inflight if inflight is not None else workers + 2
+        self._pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+    def imap(
+        self, fn: Callable[[Task], Result], tasks: Iterable[Task]
+    ) -> Iterator[Result]:
+        pending: deque = deque()
+        for task in tasks:
+            pending.append(self._pool.submit(fn, task))
+            while len(pending) >= self.inflight:
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()
+
+    def close(self) -> None:
+        self._pool.shutdown()
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def make_executor(
+    workers: int | None, *, inflight: int | None = None
+) -> SerialExecutor | ProcessExecutor:
+    """The executor for a worker-count knob (serial for ``workers <= 1``)."""
+    count = effective_workers(workers)
+    if count <= 1:
+        return SerialExecutor()
+    return ProcessExecutor(count, inflight=inflight)

@@ -5,6 +5,8 @@ from repro.util.partitions import (
     canonical_partition,
     partition_to_mapping,
     refinements,
+    rgs_codes,
+    rgs_prefixes,
     set_partitions,
 )
 from repro.util.disjoint_set import DisjointSet
@@ -17,5 +19,7 @@ __all__ = [
     "fresh_names",
     "partition_to_mapping",
     "refinements",
+    "rgs_codes",
+    "rgs_prefixes",
     "set_partitions",
 ]

@@ -29,31 +29,40 @@ def bell_number(n: int) -> int:
     return row[0]
 
 
-def set_partitions(items: Sequence[Hashable]) -> Iterator[tuple[tuple[Hashable, ...], ...]]:
-    """Yield every set partition of ``items`` as a tuple of blocks.
+def rgs_codes(
+    n: int, *, prefix: Sequence[int] = ()
+) -> Iterator[tuple[int, ...]]:
+    """Restricted growth strings of length ``n`` in lexicographic order.
 
-    Partitions are produced in restricted-growth-string order; each block is a
-    tuple preserving the original order of ``items``, and blocks are ordered
-    by their first element.  The number of partitions is ``bell_number(n)``.
+    A restricted growth string satisfies ``a[0] = 0`` and
+    ``a[i] <= max(a[0..i-1]) + 1``; strings of length ``n`` are in bijection
+    with set partitions of an ``n``-element set.  With ``prefix`` the first
+    ``len(prefix)`` positions are held fixed and only the completions are
+    enumerated — this is the sharding primitive of the parallel approximation
+    pipeline: distinct prefixes enumerate disjoint slices of the partition
+    stream, and the union over all prefixes of a given depth is the full
+    stream, still in global lexicographic order when prefixes are visited in
+    lexicographic order.
     """
-    items = list(items)
-    n = len(items)
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    prefix = tuple(prefix)
+    if len(prefix) > n:
+        raise ValueError(f"prefix of length {len(prefix)} exceeds n={n}")
+    for i, code in enumerate(prefix):
+        bound = max(prefix[:i], default=-1) + 1
+        if code < 0 or code > bound:
+            raise ValueError(f"{prefix!r} is not a restricted growth string")
     if n == 0:
         yield ()
         return
-
-    # Restricted growth strings: a[0] = 0 and a[i] <= max(a[0..i-1]) + 1.
-    codes = [0] * n
+    fixed = len(prefix)
+    codes = list(prefix) + [0] * (n - fixed)
     while True:
-        block_count = max(codes) + 1
-        blocks: list[list[Hashable]] = [[] for _ in range(block_count)]
-        for item, code in zip(items, codes):
-            blocks[code].append(item)
-        yield tuple(tuple(block) for block in blocks)
-
-        # Advance to the next restricted growth string.
+        yield tuple(codes)
+        # Advance the free suffix to the next restricted growth string.
         i = n - 1
-        while i > 0:
+        while i > fixed - 1 and i > 0:
             bound = max(codes[:i]) + 1
             if codes[i] < bound:
                 codes[i] += 1
@@ -63,6 +72,48 @@ def set_partitions(items: Sequence[Hashable]) -> Iterator[tuple[tuple[Hashable, 
             i -= 1
         else:
             return
+
+
+def rgs_prefixes(depth: int) -> list[tuple[int, ...]]:
+    """All restricted growth strings of length ``depth``, lexicographically.
+
+    There are ``bell_number(depth)`` of them; they shard the partitions of
+    any set with at least ``depth`` elements into disjoint slices.
+    """
+    return list(rgs_codes(depth))
+
+
+def _blocks_of(
+    items: Sequence[Hashable], codes: Sequence[int]
+) -> tuple[tuple[Hashable, ...], ...]:
+    block_count = max(codes) + 1
+    blocks: list[list[Hashable]] = [[] for _ in range(block_count)]
+    for item, code in zip(items, codes):
+        blocks[code].append(item)
+    return tuple(tuple(block) for block in blocks)
+
+
+def set_partitions(
+    items: Sequence[Hashable], *, prefix: Sequence[int] | None = None
+) -> Iterator[tuple[tuple[Hashable, ...], ...]]:
+    """Yield every set partition of ``items`` as a tuple of blocks.
+
+    Partitions are produced in restricted-growth-string order; each block is a
+    tuple preserving the original order of ``items``, and blocks are ordered
+    by their first element.  The number of partitions is ``bell_number(n)``.
+    With ``prefix`` (a restricted growth string over the first ``len(prefix)``
+    items) only the partitions extending that prefix are produced — see
+    :func:`rgs_codes`.
+    """
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        if prefix:
+            raise ValueError("non-empty prefix for an empty item sequence")
+        yield ()
+        return
+    for codes in rgs_codes(n, prefix=prefix or ()):
+        yield _blocks_of(items, codes)
 
 
 def partition_to_mapping(

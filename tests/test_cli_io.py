@@ -90,3 +90,48 @@ class TestCli:
     def test_unknown_class(self):
         with pytest.raises(SystemExit):
             main(["approximate", "Q() :- E(x,y)", "--cls", "WAT"])
+
+
+class TestCliJson:
+    def test_approximate_json(self, capsys):
+        assert main(
+            ["approximate", "Q() :- E(x,y), E(y,z), E(z,x)", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "approximate"
+        assert payload["class"] == "TW(1)"
+        assert payload["method"] == "auto"
+        assert payload["workers"] == 1
+        assert payload["approximations"] == ["Q() :- E(x, x)"]
+        assert payload["seconds"] >= 0
+
+    def test_approximate_all_json_with_workers(self, capsys):
+        assert main(
+            [
+                "approximate",
+                "Q() :- E(x,y), E(y,z), E(z,x)",
+                "--all",
+                "--json",
+                "--workers",
+                "2",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["all"] is True
+        assert payload["workers"] == 2
+        assert payload["approximations"], "C-APPR_min(Q) must be non-empty"
+
+    def test_classify_json(self, capsys):
+        assert main(
+            ["classify", "Q() :- E(x,y), E(y,z), E(z,x)", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "classify"
+        assert payload["case"] == "not bipartite"
+        assert payload["seconds"] >= 0
+
+    def test_non_json_output_unchanged(self, capsys):
+        assert main(["approximate", "Q() :- E(x,y), E(y,z), E(z,x)"]) == 0
+        out = capsys.readouterr().out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)

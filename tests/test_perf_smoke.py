@@ -11,12 +11,19 @@ The ceilings are ~20x the current wall time on an unloaded machine — they
 should only trip on algorithmic regressions, not machine noise.
 """
 
+import os
 import time
 
 import pytest
 
-from repro.core import TreewidthClass, all_approximations, approximation_frontier
-from repro.cq import is_contained_in
+from repro.core import (
+    AcyclicClass,
+    ApproximationConfig,
+    TreewidthClass,
+    all_approximations,
+    approximation_frontier,
+)
+from repro.cq import is_contained_in, parse_query
 from repro.workloads import cycle_with_chords, random_graph_query
 
 
@@ -55,6 +62,41 @@ class TestPerfSmoke:
         )
         assert frontier
         assert seconds < 20.0, f"random 7-variable frontier took {seconds:.1f}s"
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 2,
+        reason="process-pool smoke needs at least 2 CPUs to be meaningful",
+    )
+    def test_parallel_pipeline_under_ceiling(self):
+        # Exercises the pooled stage-2 path (fork, batch serialization,
+        # ordered result streaming) inside tier-1, with a ceiling generous
+        # enough that only a real regression — a deadlocked pool, per-batch
+        # re-indexing, unbounded lookahead — can trip it.
+        query = cycle_with_chords(7)
+        config = ApproximationConfig(workers=2)
+        seconds, frontier = elapsed(
+            lambda: approximation_frontier(query, TreewidthClass(1), config)
+        )
+        assert frontier, "the pooled 7-variable frontier must not be empty"
+        assert seconds < 30.0, f"pooled 7-variable frontier took {seconds:.1f}s"
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 2,
+        reason="process-pool smoke needs at least 2 CPUs to be meaningful",
+    )
+    def test_sharded_pipeline_under_ceiling(self):
+        # Same guardrail for the shard strategy (stage 1 split by partition
+        # prefix, per-worker frontiers merged associatively) on a
+        # hypergraph-class workload.
+        query = parse_query("Q() :- R(x1, x2, x3), R(x3, x4, x5), R(x5, x6, x1)")
+        config = ApproximationConfig(
+            workers=2, parallel="shards", allow_fresh=False
+        )
+        seconds, frontier = elapsed(
+            lambda: approximation_frontier(query, AcyclicClass(), config)
+        )
+        assert frontier
+        assert seconds < 30.0, f"sharded AC frontier took {seconds:.1f}s"
 
     @pytest.mark.slow
     def test_eight_variable_frontier_under_ceiling(self):

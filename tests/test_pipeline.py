@@ -1,0 +1,362 @@
+"""Tests for the staged, parallel approximation pipeline."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    AC,
+    TW1,
+    TW2,
+    ApproximationConfig,
+    DedupCostModel,
+    Frontier,
+    HypertreeClass,
+    QueryClass,
+    all_approximations,
+    approximation_frontier,
+    decode_tableau,
+    encode_tableau,
+    greedy_approximate,
+    iter_membership,
+    membership_key,
+    run_pipeline,
+    syntactic_overapproximations,
+)
+from repro.core.pipeline import PipelineStats, _frontier_first_pays
+from repro.core.quotients import _shard_prefixes, iter_quotient_tableaux
+from repro.cq import Structure, Tableau, parse_query
+from repro.homomorphism import hom_equivalent
+from repro.util import bell_number, rgs_codes, set_partitions
+from repro.workloads import cycle_with_chords
+
+TRIANGLE = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+TERNARY = parse_query("Q() :- R(x1, x2, x3), R(x3, x4, x5), R(x5, x6, x1)")
+NO_FRESH = ApproximationConfig(allow_fresh=False)
+
+
+class TestRgsSharding:
+    def test_rgs_codes_count_and_order(self):
+        codes = list(rgs_codes(4))
+        assert len(codes) == bell_number(4)
+        assert codes == sorted(codes)
+
+    def test_prefix_enumeration_is_a_slice(self):
+        full = list(rgs_codes(5))
+        for prefix in rgs_codes(2):
+            sliced = list(rgs_codes(5, prefix=prefix))
+            assert sliced == [c for c in full if c[:2] == prefix]
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            list(rgs_codes(4, prefix=(0, 2)))  # 2 > max(0)+1
+
+    def test_shards_disjointly_cover_the_partition_stream(self):
+        items = list("abcde")
+        full = list(set_partitions(items))
+        for count in (2, 3, 4):
+            shards = []
+            for index in range(count):
+                prefixes = _shard_prefixes(len(items), (index, count))
+                shards.append(
+                    list(
+                        itertools.chain.from_iterable(
+                            set_partitions(items, prefix=p) for p in prefixes
+                        )
+                    )
+                )
+            assert sum(len(s) for s in shards) == len(full)
+            assert sorted(map(repr, itertools.chain.from_iterable(shards))) == sorted(
+                map(repr, full)
+            )
+
+    def test_sharded_quotients_cover_all_isomorphism_classes(self):
+        tableau = cycle_with_chords(5).tableau()
+        serial_keys = {
+            t.structure for t in iter_quotient_tableaux(tableau, dedup=False)
+        }
+        sharded = []
+        for index in range(3):
+            sharded.extend(
+                iter_quotient_tableaux(tableau, dedup=False, shard=(index, 3))
+            )
+        assert {t.structure for t in sharded} == serial_keys
+
+
+class TestTableauCodec:
+    def test_round_trip(self):
+        for query in (TRIANGLE, TERNARY, parse_query("Q(x, y) :- E(x, y), E(y, x)")):
+            tableau = query.tableau()
+            assert decode_tableau(encode_tableau(tableau)) == tableau
+
+    def test_round_trip_preserves_empty_relations_and_domain(self):
+        structure = Structure(
+            {"E": [(1, 2)], "F": []},
+            vocabulary={"E": 2, "F": 3},
+            domain=[1, 2, 9],
+        )
+        tableau = Tableau(structure, (1,))
+        back = decode_tableau(encode_tableau(tableau))
+        assert back == tableau
+        assert back.structure.arity("F") == 3
+        assert 9 in back.structure.domain
+
+
+class TestMembershipKey:
+    def test_graph_key_ignores_orientation(self):
+        forward = parse_query("Q() :- E(x, y), E(y, z)").tableau().structure
+        backward = parse_query("Q() :- E(y, x), E(z, y)").tableau().structure
+        assert membership_key(TW1, forward) == membership_key(TW1, backward)
+
+    def test_hypergraph_key_ignores_argument_order(self):
+        a = parse_query("Q() :- R(x, y, z)").tableau().structure
+        b = parse_query("Q() :- R(z, x, y)").tableau().structure
+        assert membership_key(AC, a) == membership_key(AC, b)
+
+    def test_distinct_domains_get_distinct_keys(self):
+        a = parse_query("Q() :- E(x, y)").tableau().structure
+        b = parse_query("Q() :- E(x, z)").tableau().structure
+        assert membership_key(TW1, a) != membership_key(TW1, b)
+
+    def test_unknown_kind_disables_memo(self):
+        class Oddball(QueryClass):
+            kind = "modal"
+            name = "ODD"
+
+            def contains_structure(self, structure):
+                return True
+
+        structure = TRIANGLE.tableau().structure
+        assert membership_key(Oddball(), structure) is None
+
+    def test_memoized_stream_matches_direct_checks(self):
+        tableau = TERNARY.tableau()
+        candidates = list(iter_quotient_tableaux(tableau, dedup=True))
+        for cls in (AC, HypertreeClass(2)):
+            direct = [cls.contains_tableau(c) for c in candidates]
+            stats = PipelineStats()
+            streamed = [
+                verdict
+                for _, verdict in iter_membership(candidates, cls, stats=stats)
+            ]
+            assert streamed == direct
+            assert stats.check_memo_hits > 0  # the memo actually engaged
+            assert stats.checks_run + stats.check_memo_hits == len(candidates)
+
+
+class TestDeterminism:
+    """`all_approximations` must not depend on the worker count or run."""
+
+    WORKLOADS = [
+        (TRIANGLE, TW1, ApproximationConfig()),
+        (cycle_with_chords(6), TW2, ApproximationConfig()),
+        (TERNARY, AC, NO_FRESH),
+        (TERNARY, HypertreeClass(2), NO_FRESH),
+    ]
+
+    @pytest.mark.parametrize("query,cls,config", WORKLOADS)
+    def test_workers_do_not_change_results(self, query, cls, config):
+        serial = all_approximations(query, cls, config)
+        parallel = all_approximations(
+            query,
+            cls,
+            ApproximationConfig(
+                allow_fresh=config.allow_fresh,
+                max_extra_atoms=config.max_extra_atoms,
+                workers=4,
+            ),
+        )
+        assert serial == parallel  # same queries, same order
+
+    def test_repeated_runs_are_stable(self):
+        first = all_approximations(cycle_with_chords(5), TW1)
+        second = all_approximations(cycle_with_chords(5), TW1)
+        assert first == second
+
+    def test_greedy_same_seed_same_result(self):
+        config = ApproximationConfig(seed=41, greedy_rounds=60)
+        first = greedy_approximate(cycle_with_chords(6), TW1, config)
+        second = greedy_approximate(cycle_with_chords(6), TW1, config)
+        assert first == second
+
+    def test_shard_strategy_equivalent_to_serial(self):
+        for query, cls, config in (
+            (cycle_with_chords(6), TW1, ApproximationConfig()),
+            (TERNARY, AC, NO_FRESH),
+        ):
+            serial = approximation_frontier(query, cls, config)
+            sharded = approximation_frontier(
+                query,
+                cls,
+                ApproximationConfig(
+                    allow_fresh=config.allow_fresh,
+                    workers=2,
+                    parallel="shards",
+                ),
+            )
+            assert len(sharded) == len(serial)
+            for member in sharded:
+                assert any(hom_equivalent(member, other) for other in serial)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            run_pipeline(
+                TRIANGLE.tableau(), TW1, workers=2, parallel="gossip"
+            )
+
+
+class TestFrontier:
+    def test_merge_of_split_streams_matches_serial(self):
+        tableau = cycle_with_chords(6).tableau()
+        members = [
+            c
+            for c in iter_quotient_tableaux(tableau, dedup=True)
+            if TW1.contains_tableau(c)
+        ]
+        serial = Frontier().merge(members)
+        for cut in (1, len(members) // 2, len(members) - 1):
+            left = Frontier().merge(members[:cut])
+            right = Frontier().merge(members[cut:])
+            combined = Frontier().merge(left.members).merge(right.members)
+            assert len(combined.members) == len(serial.members)
+            for member in combined.members:
+                assert any(
+                    hom_equivalent(member, other) for other in serial.members
+                )
+
+    def test_dominated_and_eviction(self):
+        # two_cycle → loop (collapse both variables), but not conversely, so
+        # the two-cycle is strictly lower in the →-order.
+        loop = parse_query("Q() :- E(x, x)").tableau()
+        two_cycle = parse_query("Q() :- E(x, y), E(y, x)").tableau()
+        frontier = Frontier()
+        assert frontier.add(loop)
+        assert frontier.add(two_cycle)  # not dominated: evicts the loop
+        assert frontier.members == [two_cycle]
+        assert frontier.dominated(loop)
+        assert not frontier.add(loop)
+
+
+class TestDedupCostModel:
+    def test_defaults_until_measured(self):
+        model = DedupCostModel()
+        assert model.min_duplicate_rate() == pytest.approx(0.5)
+        model.record_canonization(1e-4)
+        assert model.min_duplicate_rate() == pytest.approx(0.5)
+
+    def test_expensive_checks_lower_the_threshold(self):
+        model = DedupCostModel()
+        model.record_canonization(1e-4)
+        model.record_downstream(1e-2)  # checks 100x pricier than canonization
+        assert model.min_duplicate_rate() == pytest.approx(0.01, abs=0.011)
+        assert model.min_duplicate_rate() < 0.5
+
+    def test_cheap_checks_raise_the_threshold_to_the_ceiling(self):
+        model = DedupCostModel()
+        model.record_canonization(1e-3)
+        model.record_downstream(1e-6)
+        assert model.min_duplicate_rate() == pytest.approx(0.9)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            DedupCostModel(floor=0.5, ceiling=0.1)
+
+    def test_pipeline_runs_feed_the_model(self):
+        result = run_pipeline(TERNARY.tableau(), AC, allow_fresh=False)
+        assert result.stats.checks_run > 0
+        assert result.stats.check_seconds > 0.0
+
+
+class TestCostModeledOrdering:
+    def test_no_verdict_without_samples(self):
+        assert _frontier_first_pays(PipelineStats()) is None
+
+    def test_expensive_checks_move_dominance_first(self):
+        stats = PipelineStats(
+            generated=1000,
+            checks_run=1000,
+            check_seconds=1.0,  # 1ms per fresh check
+            members=900,
+            dominance_tests=900,
+            dominance_seconds=0.009,  # 10us per dominance test
+            dominated=890,
+        )
+        assert _frontier_first_pays(stats) is True
+
+    def test_cheap_checks_stay_check_first(self):
+        stats = PipelineStats(
+            generated=1000,
+            checks_run=100,
+            check_seconds=0.0001,
+            check_memo_hits=900,
+            members=500,
+            dominance_tests=500,
+            dominance_seconds=0.1,
+            dominated=400,
+        )
+        assert _frontier_first_pays(stats) is False
+
+    def test_expensive_class_pipeline_switches_and_stays_correct(self):
+        class SlowTW1(QueryClass):
+            """TW(1) with an artificially costly membership test."""
+
+            kind = "graph"
+            name = "TW(1)"  # same key space as TW1 on purpose
+
+            def contains_structure(self, structure):
+                acc = 0
+                for _ in range(4000):
+                    acc += 1
+                return TW1.contains_structure(structure)
+
+        query = cycle_with_chords(6)
+        slow = run_pipeline(query.tableau(), SlowTW1())
+        fast = run_pipeline(query.tableau(), TW1)
+        assert len(slow.frontier) == len(fast.frontier)
+        for member in slow.frontier:
+            assert any(hom_equivalent(member, other) for other in fast.frontier)
+
+
+class TestGreedyBudgets:
+    class NeverClass(QueryClass):
+        kind = "graph"
+        name = "NEVER"
+
+        def contains_structure(self, structure):
+            return False
+
+    def test_start_search_has_its_own_budget_and_error(self):
+        config = ApproximationConfig(greedy_start_rounds=7, greedy_rounds=500)
+        with pytest.raises(ValueError) as excinfo:
+            greedy_approximate(TRIANGLE, self.NeverClass(), config)
+        message = str(excinfo.value)
+        assert "start-point search" in message
+        assert "7 samples" in message
+        assert "descent" in message
+
+    def test_start_budget_defaults_to_greedy_rounds(self):
+        config = ApproximationConfig(greedy_rounds=5)
+        with pytest.raises(ValueError) as excinfo:
+            greedy_approximate(TRIANGLE, self.NeverClass(), config)
+        assert "5 samples" in str(excinfo.value)
+
+
+class TestParallelKnobsElsewhere:
+    def test_overapproximations_identical_across_workers(self):
+        query = parse_query("Q() :- E(x, y), E(y, z), E(z, x), E(x, u)")
+        serial = syntactic_overapproximations(query, TW1)
+        pooled = syntactic_overapproximations(query, TW1, workers=2)
+        assert serial == pooled
+
+    def test_disagreement_identical_across_workers(self):
+        from repro.core import disagreement
+
+        query = parse_query("Q(x) :- E(x, y), E(y, z)")
+        approx = parse_query("Q(x) :- E(x, y), E(y, z), E(z, u)")
+        databases = [
+            Structure({"E": [(i, i + 1) for i in range(6)] + [(5, seed % 5)]})
+            for seed in range(4)
+        ]
+        serial = disagreement(query, approx, databases)
+        pooled = disagreement(query, approx, databases, workers=2)
+        assert serial == pooled
