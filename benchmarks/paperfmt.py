@@ -3,14 +3,27 @@
 Each benchmark regenerates one of the paper's tables/figures/examples and
 writes a paper-style report to ``benchmarks/out/`` (also echoed to stdout,
 visible with ``pytest -s``).  ``EXPERIMENTS.md`` indexes the reports.
+
+The perf-tracking benchmarks additionally write machine-readable
+``BENCH_*.json`` files at the repository root; :func:`bench_summary`
+renders their headlines as one table (``python paperfmt.py`` prints it).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Sequence
 
 OUT_DIR = Path(__file__).resolve().parent / "out"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The machine-readable perf trackers, in the order they were introduced.
+BENCH_FILES = (
+    "BENCH_hom_engine.json",
+    "BENCH_parallel_pipeline.json",
+    "BENCH_extension_stream.json",
+)
 
 
 def table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -32,3 +45,40 @@ def write_report(name: str, title: str, body: str) -> None:
     text = f"== {title} ==\n\n{body.rstrip()}\n"
     (OUT_DIR / f"{name}.txt").write_text(text)
     print("\n" + text)
+
+
+def bench_summary() -> str:
+    """One table over every ``BENCH_*.json`` headline at the repo root.
+
+    Missing files (benchmarks not yet run on this checkout) appear as
+    placeholder rows rather than being dropped, so the summary always shows
+    the full perf-tracking surface.
+    """
+    rows: list[list[object]] = []
+    for filename in BENCH_FILES:
+        path = REPO_ROOT / filename
+        if not path.exists():
+            rows.append([filename, "—", "—", "—", "not run"])
+            continue
+        payload = json.loads(path.read_text())
+        headline = payload.get("headline", {})
+        speedup = headline.get("speedup")
+        target = headline.get("target_speedup")
+        if speedup is None or target is None:
+            status = "no target"
+        else:
+            status = "ok" if speedup >= target else "below target"
+        rows.append(
+            [
+                payload.get("benchmark", filename),
+                headline.get("name", "—"),
+                f"{speedup}x" if speedup is not None else "—",
+                f"≥{target}x" if target is not None else "—",
+                status,
+            ]
+        )
+    return table(["benchmark", "headline workload", "speedup", "target", "status"], rows)
+
+
+if __name__ == "__main__":
+    print(bench_summary())

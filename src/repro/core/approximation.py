@@ -14,7 +14,11 @@ elements of the set of class-C tableaux homomorphically above ``(T_Q, x̄)``.
   with bounded extension atoms; ``ApproximationConfig.max_extra_atoms`` caps
   how many are tried (1 by default — enough for the paper's worked examples,
   and every returned query is still guaranteed to be a class member
-  contained in ``Q``).
+  contained in ``Q``).  Extension-space runs stream through the same lazy
+  integer-form pipeline stage as plain quotients
+  (:func:`repro.core.quotients.iter_extended_candidates`): extension atoms
+  are enumerated over block + fresh ids, orbit-pruned per quotient family,
+  and rejected candidates never build a ``Structure``.
 
 * For queries too large to enumerate, a randomized greedy descent provides a
   sound best-effort answer: a class member contained in ``Q`` that no
@@ -91,9 +95,12 @@ def candidate_tableaux(
     quotients, and class membership and the downstream frontier are
     isomorphism-invariant, so the dedup is lossless up to equivalence.
 
-    This is the serial reference stream; the frontier construction itself
-    goes through :mod:`repro.core.pipeline`, which additionally memoizes
-    membership verdicts and can spread stages over a process pool.
+    This is the serial reference stream, kept at the tableau level on
+    purpose (benchmarks replicate the historical algorithm with it); the
+    frontier construction itself goes through :mod:`repro.core.pipeline`,
+    which streams both quotients and extended candidates in lazy integer
+    form, memoizes membership verdicts, and can spread stages over a
+    process pool.
     """
     tableau = query.tableau()
     if cls.kind == "graph":

@@ -57,7 +57,10 @@ def syntactic_overapproximations(
     The class-membership filter over the (exponentially many) atom subsets
     is the pipeline's stage 2: verdicts are memoized under the subsets'
     primal graphs / hypergraphs, and with ``workers > 1`` the checks spread
-    over a process pool.
+    over a process pool.  (Subset queries enter the stage through
+    :meth:`~repro.core.quotients.QuotientCandidate.from_tableau` — the same
+    candidate interface the integer-form quotient/extension streams use, so
+    all stage-2 consumers share one code path.)
     """
     if cls.contains_query(query):
         return [query]

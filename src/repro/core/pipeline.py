@@ -6,21 +6,22 @@ This module makes the three stages explicit and independently scalable::
       stage 1 — GENERATE          stage 2 — FILTER            stage 3 — REDUCE
     ┌──────────────────────┐    ┌──────────────────────┐    ┌──────────────────────┐
     │ iter_quotient_       │    │ class-membership     │    │ →-minimal frontier   │
-    │   tableaux /         │ →  │   checks             │ →  │ (Frontier)           │
+    │   candidates /       │ →  │   checks             │ →  │ (Frontier)           │
     │ iter_extended_       │    │ · key-memoized: for  │    │ · online dominance / │
-    │   tableaux           │    │   graph (hypergraph) │    │   eviction via       │
+    │   candidates         │    │   graph (hypergraph) │    │   eviction via       │
     │ · canonical dedup,   │    │   classes the verdict│    │   hom_le(memo=False) │
     │   cost-modeled       │    │   depends only on    │    │   — stream pairs     │
     │   (DedupCostModel:   │    │   G(Q) (H(Q)), so    │    │   never repeat, so   │
     │   measured canon vs  │    │   candidates sharing │    │   canonical memo     │
     │   class-check cost)  │    │   a (hyper)graph     │    │   keys cost more     │
-    │ · shardable by RGS   │    │   share one check    │    │   than they save     │
-    │   partition prefix   │    │ · inline, or batched │    │ · associative merge  │
-    │   (disjoint slices   │    │   over a process pool│    │   so per-shard       │
-    │   per worker)        │    │   in compact pickled │    │   frontiers combine  │
-    │                      │    │   form, results      │    │                      │
-    │                      │    │   streamed back in   │    │                      │
-    │                      │    │   generation order   │    │                      │
+    │ · extension atoms    │    │   share one check    │    │   than they save     │
+    │   over block + fresh │    │ · inline, or batched │    │ · dominance memo     │
+    │   ids, orbit-pruned  │    │   over a process pool│    │   under integer-form │
+    │   per quotient family│    │   in compact pickled │    │   keys               │
+    │ · shardable by RGS   │    │   form, results      │    │ · associative merge  │
+    │   partition prefix   │    │   streamed back in   │    │   so per-shard       │
+    │   (disjoint slices   │    │   generation order   │    │   frontiers combine  │
+    │   per worker)        │    │                      │    │                      │
     └──────────────────────┘    └──────────────────────┘    └──────────────────────┘
 
 Two parallel strategies (``parallel=`` on ``ApproximationConfig``):
@@ -36,7 +37,10 @@ Two parallel strategies (``parallel=`` on ``ApproximationConfig``):
     The partition stream is split by restricted-growth-string prefix
     (:func:`repro.core.quotients._shard_prefixes`); each worker runs the
     whole three-stage loop on its slice and returns its local frontier,
-    which the driver folds together with :meth:`Frontier.merge`.  Dedup and
+    which the driver folds together with :meth:`Frontier.merge`.  The
+    encoded base tableau and its automorphism/orbit data — derived once in
+    the driver, never re-derived at worker startup — ship once per worker
+    through the executor initializer rather than once per task.  Dedup and
     memo state are shard-local, so cross-shard duplicates survive until the
     merge absorbs them; the merged frontier equals the serial one as a set
     of queries *up to homomorphic equivalence* (representatives and order
@@ -65,14 +69,20 @@ from repro.core.classes import QueryClass
 from repro.core.quotients import (
     DedupCostModel,
     QuotientCandidate,
-    iter_extended_tableaux,
+    base_automorphism_inverses,
+    iter_extended_candidates,
     iter_quotient_candidates,
 )
 from repro.cq.structure import Structure
 from repro.cq.tableau import Tableau
 from repro.homomorphism.engine import HomEngine, default_engine
 from repro.hypergraphs.hypergraph import Hypergraph
-from repro.parallel import ProcessExecutor, SerialExecutor, make_executor
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    effective_workers,
+    make_executor,
+)
 
 #: Candidates funneled into one pool task (strategy ``"checks"``).
 DEFAULT_BATCH_SIZE = 128
@@ -178,24 +188,6 @@ def _primal_pairs(rows) -> set[tuple]:
     return pairs
 
 
-class _TableauCandidate:
-    """Adapter giving plain tableaux the stage-1 candidate interface."""
-
-    __slots__ = ("_tableau",)
-
-    block_count = None
-    codes = None
-
-    def __init__(self, tableau: Tableau) -> None:
-        self._tableau = tableau
-
-    def facts(self) -> None:
-        return None
-
-    def materialize(self) -> Tableau:
-        return self._tableau
-
-
 def candidate_check_key(cls: QueryClass, candidate) -> tuple | None:
     """The membership-memo key of a stage-1 candidate.
 
@@ -281,6 +273,17 @@ class PipelineStats:
     evicted: int = 0
     order_switches: int = 0
     shards: int = 0
+    #: How many times the base tableau's automorphism/orbit data was derived
+    #: (the endomorphism scan behind stage 1's orbit pruning).  Exactly one
+    #: per run: the driver derives once and shard workers receive the data
+    #: with their task context instead of re-deriving at startup.
+    orbit_derivations: int = 0
+    #: Extended candidates dropped because their parent quotient was already
+    #: dominated by (or admitted to) the frontier — the quotient embeds into
+    #: each of its extensions, so the whole family is dominated with no
+    #: search.  Counts only children that were already generated (pooled
+    #: lookahead); families skipped at the source never reach ``generated``.
+    extension_short_circuits: int = 0
 
     def absorb(self, other: "PipelineStats") -> None:
         for name in self.__dataclass_fields__:
@@ -525,7 +528,7 @@ def iter_membership(
     """
     if stats is None:
         stats = PipelineStats()
-    wrapped = (_TableauCandidate(tableau) for tableau in candidates)
+    wrapped = (QuotientCandidate.from_tableau(tableau) for tableau in candidates)
     for candidate, verdict in _iter_membership_candidates(
         wrapped,
         cls,
@@ -729,6 +732,20 @@ class Frontier:
 # ----------------------------------------------------------------- the driver
 
 
+def _base_orbit_data(
+    tableau: Tableau, stats: PipelineStats
+) -> list[list[int]] | None:
+    """Derive the base tableau's automorphism/orbit data, counted.
+
+    The one place the pipeline runs the endomorphism scan behind stage 1's
+    orbit pruning: the driver calls it once per run and threads the result
+    through every candidate source — including shard task contexts, so pool
+    workers never re-derive it (``stats.orbit_derivations`` pins that).
+    """
+    stats.orbit_derivations += 1
+    return base_automorphism_inverses(tableau)
+
+
 def _candidate_source(
     tableau: Tableau,
     cls: QueryClass,
@@ -737,28 +754,31 @@ def _candidate_source(
     allow_fresh: bool,
     cost_model: DedupCostModel | None,
     shard: tuple[int, int] | None = None,
+    automorphisms: list[list[int]] | None = None,
 ) -> Iterator:
     """Stage 1: the class-appropriate candidate stream (deduplicated).
 
     Graph classes — and hypergraph classes with the extension space switched
     off — consume the lazy integer-form quotient stream; extension-space
-    runs fall back to materialized tableaux (extension atoms are enumerated
-    over the quotient's structure).
+    runs consume the integer-form extension stream (extension atoms over
+    block + fresh ids, orbit-pruned per quotient family) — every class the
+    pipeline supports now shares the same lazy fast path.  ``automorphisms``
+    is the precomputed base orbit data from :func:`_base_orbit_data`.
     """
     if getattr(cls, "kind", None) == "graph" or max_extra_atoms <= 0:
         return iter_quotient_candidates(
-            tableau, cost_model=cost_model, shard=shard
-        )
-    return (
-        _TableauCandidate(candidate)
-        for candidate in iter_extended_tableaux(
             tableau,
-            max_extra_atoms=max_extra_atoms,
-            allow_fresh=allow_fresh,
-            dedup=True,
             cost_model=cost_model,
             shard=shard,
+            automorphisms=automorphisms,
         )
+    return iter_extended_candidates(
+        tableau,
+        max_extra_atoms=max_extra_atoms,
+        allow_fresh=allow_fresh,
+        cost_model=cost_model,
+        shard=shard,
+        automorphisms=automorphisms,
     )
 
 
@@ -859,6 +879,23 @@ class _OrderController:
             self._pending = verdict
 
 
+def _mark_family_dominated(candidate, parent) -> None:
+    """Record that the frontier now holds a member mapping into ``candidate``.
+
+    Only meaningful for quotient candidates (potential family parents,
+    ``parent is None``): once a quotient is found dominated, or is a member
+    offered to the frontier (then a member maps into it afterwards — itself
+    if admitted, its dominator or evictor otherwise, since the →-minimal
+    frontier only descends), its whole extension family is dominated.  The
+    flag feeds back into :func:`~repro.core.quotients.
+    iter_extended_candidates`, which skips the family at the source.
+    Candidates without the feedback slot (plain tableau adapters) are
+    ignored.
+    """
+    if parent is None and getattr(candidate, "extensions_dominated", None) is False:
+        candidate.extensions_dominated = True
+
+
 def _reduce_inline(
     candidates: Iterable[Tableau],
     cls: QueryClass,
@@ -881,6 +918,15 @@ def _reduce_inline(
     order = _OrderController(stats)
     for candidate in candidates:
         stats.generated += 1
+        parent = getattr(candidate, "parent", None)
+        if parent is not None and parent.extensions_dominated:
+            # The parent quotient embeds into this extended candidate, and
+            # a frontier member maps into the parent — so the candidate is
+            # dominated whatever its class verdict: skip check and search.
+            # (The source skips whole families on the same flag; this
+            # catches children generated before the flag was set.)
+            stats.extension_short_circuits += 1
+            continue
         key = dominance_key(candidate)
         if order.frontier_first:
             verdict = frontier.cached_dominance(key)
@@ -888,18 +934,36 @@ def _reduce_inline(
                 verdict = frontier.dominated(
                     candidate.materialize(), candidate.codes, key
                 )
-            if not verdict and tester(candidate):
+            if verdict:
+                _mark_family_dominated(candidate, parent)
+            elif tester(candidate):
+                _mark_family_dominated(candidate, parent)
                 frontier.insert(candidate.materialize(), candidate.codes)
         else:
             if tester(candidate):
+                _mark_family_dominated(candidate, parent)
                 frontier.add(candidate.materialize(), candidate.codes, key)
         order.update()
     return frontier
 
 
-def _shard_task(payload: tuple) -> tuple[tuple[tuple, ...], dict]:
+#: Per-worker shard context: ``(base_data, cls, max_extra_atoms,
+#: allow_fresh, automorphisms)``, installed once per worker process by the
+#: executor initializer (and inline for a serial executor).  Shipping the
+#: base tableau and its orbit data with the *context* instead of every task
+#: payload serializes them once per worker and spares each worker the
+#: startup endomorphism scan.
+_SHARD_CONTEXT: tuple | None = None
+
+
+def _install_shard_context(context: tuple) -> None:
+    global _SHARD_CONTEXT
+    _SHARD_CONTEXT = context
+
+
+def _shard_task(shard: tuple[int, int]) -> tuple[tuple[tuple, ...], dict]:
     """Pool task (strategy ``"shards"``): the full loop on one slice."""
-    base_data, cls, shard, max_extra_atoms, allow_fresh = payload
+    base_data, cls, max_extra_atoms, allow_fresh, automorphisms = _SHARD_CONTEXT
     base = decode_tableau(base_data)
     stats = PipelineStats()
     cost_model = DedupCostModel()
@@ -910,6 +974,7 @@ def _shard_task(payload: tuple) -> tuple[tuple[tuple, ...], dict]:
         allow_fresh=allow_fresh,
         cost_model=cost_model,
         shard=shard,
+        automorphisms=automorphisms,
     )
     frontier = _reduce_inline(candidates, cls, stats, cost_model)
     return (
@@ -939,42 +1004,43 @@ def run_pipeline(
         raise ValueError(f"unknown parallel strategy {parallel!r}")
     stats = PipelineStats()
     cost_model = DedupCostModel()
-    executor = make_executor(workers)
-    try:
-        if isinstance(executor, SerialExecutor):
-            candidates = _candidate_source(
-                tableau,
-                cls,
-                max_extra_atoms=max_extra_atoms,
-                allow_fresh=allow_fresh,
-                cost_model=cost_model,
-            )
-            frontier = _reduce_inline(candidates, cls, stats, cost_model)
-            return PipelineResult(frontier.members, stats)
+    automorphisms = _base_orbit_data(tableau, stats)
 
-        if parallel == "shards":
-            shard_count = executor.workers * _SHARDS_PER_WORKER
-            stats.shards = shard_count
-            base_data = encode_tableau(tableau)
-            payloads = [
-                (base_data, cls, (index, shard_count), max_extra_atoms, allow_fresh)
-                for index in range(shard_count)
-            ]
+    if effective_workers(workers) > 1 and parallel == "shards":
+        shard_count = effective_workers(workers) * _SHARDS_PER_WORKER
+        stats.shards = shard_count
+        context = (
+            encode_tableau(tableau),
+            cls,
+            max_extra_atoms,
+            allow_fresh,
+            automorphisms,
+        )
+        with make_executor(
+            workers, initializer=_install_shard_context, initargs=(context,)
+        ) as executor:
             frontier = Frontier(stats=stats)
             for encoded_members, shard_stats in executor.imap(
-                _shard_task, payloads
+                _shard_task,
+                [(index, shard_count) for index in range(shard_count)],
             ):
                 stats.absorb(PipelineStats(**shard_stats))
                 frontier.merge(decode_tableau(data) for data in encoded_members)
             return PipelineResult(frontier.members, stats)
 
+    with make_executor(workers) as executor:
         candidates = _candidate_source(
             tableau,
             cls,
             max_extra_atoms=max_extra_atoms,
             allow_fresh=allow_fresh,
             cost_model=cost_model,
+            automorphisms=automorphisms,
         )
+        if isinstance(executor, SerialExecutor):
+            frontier = _reduce_inline(candidates, cls, stats, cost_model)
+            return PipelineResult(frontier.members, stats)
+
         # The pooled "checks" strategy is check-first by construction: the
         # pool exists to make membership checks cheap, and dispatching them
         # eagerly is what overlaps stage 2 with stages 1 and 3.  The
@@ -990,12 +1056,19 @@ def run_pipeline(
             stats=stats,
             cost_model=cost_model,
         ):
+            parent = getattr(candidate, "parent", None)
+            if parent is not None and parent.extensions_dominated:
+                # Family dominance shortcut (see _reduce_inline): the batch
+                # lookahead generates children before their parent's verdict
+                # streams back, so the source-level skip rarely fires here —
+                # the frontier-level one still removes the dominance search.
+                stats.extension_short_circuits += 1
+                continue
             if is_member:
+                _mark_family_dominated(candidate, parent)
                 frontier.add(
                     candidate.materialize(),
                     candidate.codes,
                     dominance_key(candidate),
                 )
         return PipelineResult(frontier.members, stats)
-    finally:
-        executor.close()

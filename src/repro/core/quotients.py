@@ -10,7 +10,15 @@ hypergraphs are not closed under subhypergraphs, and Claim 6.2 repairs
 quotients by *adding* bounded extension atoms (possibly with fresh padding
 variables; see Example 6.6's third approximation, which has more atoms than
 the query it approximates).  ``iter_extended_tableaux`` enumerates quotients
-together with bounded sets of extension atoms.
+together with bounded sets of extension atoms; its deduplicated form runs on
+``iter_extended_candidates``, which enumerates extension atoms directly over
+the integer-form quotient (block ids plus a fresh-id namespace starting at
+``block_count``), prunes extension sets that are equivalent modulo the
+quotient's automorphism orbits before any key or ``Structure`` exists, and
+keys the survivors with the same fact-level canonical form as the plain
+quotient stream — so an extended candidate that happens to be isomorphic to
+an earlier plain quotient (or to an earlier extended candidate of another
+quotient) is deduplicated too.
 
 Both enumerators accept ``dedup=True``: candidates are then deduplicated by
 canonical form (:func:`repro.homomorphism.signatures.canonical_key`).
@@ -221,6 +229,31 @@ def _automorphism_inverses(
     return inverses
 
 
+#: Sentinel for "derive the base automorphisms in here" (the default).  The
+#: pipeline passes precomputed data instead — derived once per run and, for
+#: the shard strategy, shipped to the workers with the task context — while
+#: ``None`` means "derivation was attempted but capped out" and disables
+#: orbit pruning.
+_DERIVE = object()
+
+
+def base_automorphism_inverses(
+    tableau: Tableau, *, cap: int = 512
+) -> list[list[int]] | None:
+    """The base tableau's orbit data in shippable (picklable) form.
+
+    Non-identity automorphisms as inverse permutations of the sorted-element
+    index space — exactly what :func:`iter_quotient_candidates` derives
+    internally, exposed so one derivation can be reused across shards and
+    pool workers (the index space depends only on the element names, which
+    :func:`repro.core.pipeline.decode_tableau` preserves).  ``None`` when
+    the endomorphism scan exceeds ``cap`` (orbit pruning is then off).
+    """
+    elements = sorted(tableau.structure.domain, key=repr)
+    index_of = {element: index for index, element in enumerate(elements)}
+    return _automorphism_inverses(tableau, elements, index_of, cap=cap)
+
+
 def _orbit_minimal(code: list[int], n: int, inverses: list[list[int]]) -> bool:
     """Whether the partition's growth string is lex-minimal in its orbit.
 
@@ -273,6 +306,23 @@ class QuotientCandidate:
     Two candidates of the same stream with equal ``(block_count, facts(),
     distinguished)`` are isomorphic via the induced block bijection — the
     integer form is itself a useful (label-free) memo key for class checks.
+    ``key`` carries the fact-level canonical form when the enumerator
+    computed one for dedup (``None`` otherwise: the identity quotient, the
+    adaptive dedup-off regime, canonizer effort caps) — the extension
+    stream uses it to recognize a quotient that repeats an earlier extended
+    candidate's isomorphism class.
+
+    ``extensions_dominated`` is consumer feedback to the extension stream:
+    the quotient map embeds into every member of the quotient's extension
+    family (adding facts preserves homomorphisms, so the identity inclusion
+    ``quotient ↪ quotient + atoms`` is a tableau homomorphism).  Hence once
+    a frontier holds a member mapping into the quotient — because the
+    quotient was admitted, evicted by something lower, or found dominated —
+    every extended candidate of its family is dominated forever, and the
+    reducer records that here.  :func:`iter_extended_candidates` reads the
+    flag when it resumes after the yield and skips the whole family; every
+    skipped candidate would have been dropped by the frontier anyway, so
+    results are unchanged down to the bit.
     """
 
     __slots__ = (
@@ -283,6 +333,8 @@ class QuotientCandidate:
         "_base",
         "_base_facts",
         "names",
+        "key",
+        "extensions_dominated",
         "_facts",
         "_tableau",
     )
@@ -299,6 +351,7 @@ class QuotientCandidate:
         *,
         facts: tuple[tuple[int, tuple[int, ...]], ...] | None = None,
         tableau: Tableau | None = None,
+        key: tuple | None = None,
     ) -> None:
         self.partition = partition
         self.codes = codes
@@ -307,8 +360,22 @@ class QuotientCandidate:
         self._base = base
         self._base_facts = base_facts
         self.names = names
+        self.key = key
+        self.extensions_dominated = False
         self._facts = facts
         self._tableau = tableau
+
+    @classmethod
+    def from_tableau(cls, tableau: Tableau) -> "QuotientCandidate":
+        """Adapter giving a plain tableau the stage-1 candidate interface.
+
+        No integer form (``facts()`` is ``None``, ``codes`` is ``None``), so
+        class checks and dominance fall back to the materialized structure —
+        the entry point for callers that hold tableaux rather than
+        partitions (:func:`repro.core.pipeline.iter_membership`, the
+        extension stream's non-integer fallback).
+        """
+        return cls((), None, 0, None, tableau, None, (), tableau=tableau)
 
     def facts(self) -> tuple[tuple[int, tuple[int, ...]], ...] | None:
         """The quotient's facts over block ids (``None`` if unavailable —
@@ -341,6 +408,8 @@ def iter_quotient_candidates(
     *,
     cost_model: DedupCostModel | None = None,
     shard: tuple[int, int] | None = None,
+    automorphisms: list[list[int]] | None | object = _DERIVE,
+    seen_keys: set | None = None,
 ) -> Iterator[QuotientCandidate]:
     """The deduplicated quotient stream in lazy (unmaterialized) form.
 
@@ -353,6 +422,15 @@ def iter_quotient_candidates(
     ``shard=(index, count)`` restricts enumeration to one of ``count``
     disjoint partition-prefix slices (dedup state is shard-local, so
     cross-shard duplicates survive and must be absorbed downstream).
+
+    ``automorphisms`` takes precomputed base orbit data (the result of
+    :func:`base_automorphism_inverses`) so repeated or distributed runs skip
+    the endomorphism scan; the default derives it here.  ``seen_keys`` lets
+    a caller observe the canonical keys of the emitted quotients (the
+    extension stream checks its fact-level keys against them); the set is
+    only ever *added to* — quotient-level pruning stays quotient-vs-quotient,
+    because skipping a quotient also skips its whole extension family, which
+    is only sound when the surviving isomorphic copy grows the same family.
     """
     elements = sorted(tableau.structure.domain, key=repr)
     prefixes = _shard_prefixes(len(elements), shard)
@@ -391,8 +469,10 @@ def iter_quotient_candidates(
         return
 
     distinguished_idx = tuple(index_of[d] for d in tableau.distinguished)
-    automorphisms = _automorphism_inverses(tableau, elements, index_of)
-    seen_keys: set[tuple] = set()
+    if automorphisms is _DERIVE:
+        automorphisms = _automorphism_inverses(tableau, elements, index_of)
+    if seen_keys is None:
+        seen_keys = set()
     code = [0] * n_elements
     identity_facts = tuple(sorted(set(base_facts)))
     # Deduplication pays for itself only when enough partitions actually
@@ -479,6 +559,7 @@ def iter_quotient_candidates(
             base_facts,
             names,
             facts=mapped_facts,
+            key=key,
         )
 
 
@@ -573,6 +654,407 @@ def _with_extensions(
     return Tableau(base.structure.add_facts(facts), base.distinguished)
 
 
+class ExtensionCandidate:
+    """An extended candidate (quotient + extension atoms) in lazy integer
+    form — the stage-1 unit of hypergraph extension-space runs.
+
+    ``block_count`` counts quotient blocks *plus* fresh padding variables:
+    fresh elements occupy the id namespace ``quotient.block_count ..
+    block_count - 1``, so the integer facts describe the full extended
+    structure and the pipeline's membership/dominance keys and integer
+    class checks work unchanged.  The tableau is built on demand only
+    (:meth:`materialize`), through the same ``_with_extensions`` path as
+    the historical enumerator, so surviving candidates are bit-identical
+    to the pre-stream implementation while rejected ones never build a
+    ``Structure``.  ``parent`` is the family's quotient candidate: since
+    the quotient embeds into each of its extensions, a frontier that holds
+    a member mapping into the parent dominates the whole family — the
+    reducer uses the link to drop such children without any search (see
+    ``QuotientCandidate.extensions_dominated``).
+    """
+
+    __slots__ = (
+        "block_count",
+        "distinguished",
+        "parent",
+        "_atoms",
+        "_names",
+        "_facts",
+        "_tableau",
+    )
+
+    #: Extended candidates are not quotients of the base, so partition-code
+    #: coarsening is no homomorphism witness for them (in either direction
+    #: of a frontier query) — they carry no codes.
+    codes = None
+
+    def __init__(
+        self,
+        quotient: QuotientCandidate,
+        atoms: tuple[tuple[int, tuple], ...],
+        names: tuple[str, ...],
+        facts: tuple[tuple[int, tuple[int, ...]], ...],
+        block_count: int,
+        distinguished: tuple[int, ...],
+    ) -> None:
+        self.parent = quotient
+        self._atoms = atoms
+        self._names = names
+        self._facts = facts
+        self.block_count = block_count
+        self.distinguished = distinguished
+        self._tableau: Tableau | None = None
+
+    def facts(self) -> tuple[tuple[int, tuple[int, ...]], ...]:
+        """The extended candidate's facts over block + fresh ids."""
+        return self._facts
+
+    def materialize(self) -> Tableau:
+        """The extended tableau, identical to the historical
+        ``_with_extensions(quotient, extras)`` construction (block ids are
+        resolved to block representatives, fresh ids to fresh markers that
+        ``_with_extensions`` names ``z0, z1, ...`` in atom order)."""
+        if self._tableau is None:
+            partition = self.parent.partition
+            extras = tuple(
+                (
+                    self._names[relation_id],
+                    tuple(
+                        partition[value][0] if isinstance(value, int) else value
+                        for value in row
+                    ),
+                )
+                for relation_id, row in self._atoms
+            )
+            self._tableau = _with_extensions(self.parent.materialize(), extras)
+        return self._tableau
+
+
+def _integer_automorphisms(
+    n: int,
+    facts: tuple[tuple[int, tuple[int, ...]], ...],
+    distinguished: tuple[int, ...],
+    *,
+    node_cap: int = 4096,
+) -> list[list[int]]:
+    """Non-identity automorphisms of an integer-form quotient.
+
+    Returned as image permutations (``perm[v]`` is the image of block
+    ``v``) that map the fact set onto itself and fix distinguished elements
+    pointwise — the orbit data of one extension family.  A direct
+    fact-level backtracker: candidate images are confined to elements with
+    equal (distinguished-position, slot-profile) colors, and every fact is
+    verified the moment its largest element is assigned.  The search stops
+    at ``node_cap`` nodes and returns what it found: orbit pruning with a
+    *subset* of the automorphisms is still sound — a pruned extension set
+    is mapped to a lexicographically earlier one, whose own pruning chain
+    terminates at a kept representative, and compositions of automorphisms
+    are automorphisms.
+    """
+    if n <= 1 or not facts:
+        return []
+    distinguished_positions: list[tuple[int, ...]] = [() for _ in range(n)]
+    for position, element in enumerate(distinguished):
+        distinguished_positions[element] += (position,)
+    profiles: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    for relation_id, row in facts:
+        for position, element in enumerate(row):
+            profiles[element].append((relation_id, position))
+    colors = [
+        (distinguished_positions[v], tuple(sorted(profiles[v]))) for v in range(n)
+    ]
+    fact_set = set(facts)
+    triggers: list[list[tuple[int, tuple[int, ...]]]] = [[] for _ in range(n)]
+    for fact in facts:
+        triggers[max(fact[1])].append(fact)
+
+    perms: list[list[int]] = []
+    image = [-1] * n
+    used = [False] * n
+    nodes = 0
+
+    def assign(v: int) -> bool:
+        """Extend the partial map at element ``v``; False aborts (cap)."""
+        nonlocal nodes
+        if v == n:
+            if any(image[i] != i for i in range(n)):
+                perms.append(list(image))
+            return True
+        for w in range(n):
+            if used[w] or colors[w] != colors[v]:
+                continue
+            nodes += 1
+            if nodes > node_cap:
+                return False
+            image[v] = w
+            used[w] = True
+            consistent = all(
+                (relation_id, tuple(image[value] for value in row)) in fact_set
+                for relation_id, row in triggers[v]
+            )
+            if consistent and not assign(v + 1):
+                used[w] = False
+                image[v] = -1
+                return False
+            used[w] = False
+        image[v] = -1
+        return True
+
+    assign(0)
+    return perms
+
+
+def _integer_extension_pool(
+    names: tuple[str, ...],
+    arities: tuple[int, ...],
+    block_count: int,
+    quotient_facts: tuple[tuple[int, tuple[int, ...]], ...],
+    allow_fresh: bool,
+) -> list[tuple[int, tuple]]:
+    """Candidate extension atoms over a quotient's block ids.
+
+    The integer mirror of :func:`iter_extension_atoms`, in the same
+    enumeration order — relation ids ascending (= sorted relation names),
+    block ids ascending (= the quotient's block representatives sorted by
+    repr, since blocks are ordered by their first element), the fresh
+    marker last.  Each atom is ``(relation_id, row)`` with entries block
+    ids or per-atom ``("fresh", i)`` markers; atoms must cover at least two
+    existing blocks (Claim 6.2's ``min_cover``) and not duplicate a
+    quotient fact.
+    """
+    fact_set = set(quotient_facts)
+    pool: list[tuple[int, tuple]] = []
+    for relation_id in range(len(names)):
+        values: list = list(range(block_count))
+        if allow_fresh:
+            values.append(None)
+        for pattern in itertools.product(values, repeat=arities[relation_id]):
+            concrete = [value for value in pattern if value is not None]
+            if len(set(concrete)) < 2:
+                continue
+            if (relation_id, pattern) in fact_set:
+                continue
+            fresh_index = itertools.count()
+            pool.append(
+                (
+                    relation_id,
+                    tuple(
+                        ("fresh", next(fresh_index)) if value is None else value
+                        for value in pattern
+                    ),
+                )
+            )
+    return pool
+
+
+def iter_extended_candidates(
+    tableau: Tableau,
+    *,
+    max_extra_atoms: int = 1,
+    allow_fresh: bool = True,
+    cost_model: DedupCostModel | None = None,
+    shard: tuple[int, int] | None = None,
+    automorphisms: list[list[int]] | None | object = _DERIVE,
+) -> Iterator[QuotientCandidate | ExtensionCandidate]:
+    """The deduplicated extension-space stream in lazy integer form.
+
+    Stage 1 of hypergraph-class pipeline runs (Theorem 6.1 / Claim 6.2):
+    every deduplicated quotient candidate, each followed by its family of
+    candidates with up to ``max_extra_atoms`` extension atoms.  Extension
+    atoms are enumerated straight over the quotient's integer form — fresh
+    padding variables take the ids ``block_count, block_count + 1, ...`` —
+    so a rejected extended candidate never builds a ``Structure``.
+
+    Dedup is incremental and fact-level, with the per-family work computed
+    once from the quotient's integer facts:
+
+    * the quotient's automorphisms (:func:`_integer_automorphisms`) turn
+      into permutations of the extension-atom pool; an extension set that
+      some automorphism maps to a lexicographically earlier one is pruned
+      *before any key or structure exists* — its orbit representative is
+      already in the stream;
+    * orbit-unique survivors are keyed with
+      :func:`~repro.homomorphism.signatures.canonical_key_indexed` over the
+      combined integer facts, in a keyspace shared with the quotient
+      stream's own keys, so an extended candidate isomorphic to an earlier
+      plain quotient — the historical blind spot — or to an earlier
+      extended candidate of a *different* quotient deduplicates too.
+
+    Like the quotient stream the dedup is best-effort and sound for pruning
+    only: every pruned candidate is isomorphic to an earlier stream
+    element, which keeps downstream frontiers bit-identical.  Quotient-level
+    pruning remains quotient-vs-quotient (extension keys never suppress a
+    quotient): skipping a quotient skips its whole extension family, which
+    is only sound when the surviving isomorphic copy grows the same family.
+
+    ``shard`` splits at the quotient level, so each quotient's extension
+    family stays in its shard; ``automorphisms`` is the *base* tableau's
+    orbit data as in :func:`iter_quotient_candidates`.  Bases outside the
+    integer fast path (isolated domain elements, vocabulary relations
+    without facts) fall back to the historical tableau-level enumeration,
+    wrapped via :meth:`QuotientCandidate.from_tableau`.
+    """
+    if max_extra_atoms <= 0:
+        yield from iter_quotient_candidates(
+            tableau, cost_model=cost_model, shard=shard, automorphisms=automorphisms
+        )
+        return
+    structure = tableau.structure
+    names = tuple(
+        sorted(name for name, rows in structure.relations.items() if rows)
+    )
+    covered = {
+        value
+        for rows in structure.relations.values()
+        for row in rows
+        for value in row
+    }
+    covered.update(tableau.distinguished)
+    if len(names) != len(structure.vocabulary) or len(covered) < len(
+        structure.domain
+    ):
+        yield from _iter_extended_candidates_fallback(
+            tableau,
+            max_extra_atoms=max_extra_atoms,
+            allow_fresh=allow_fresh,
+            cost_model=cost_model,
+            shard=shard,
+            automorphisms=automorphisms,
+        )
+        return
+    arities = tuple(structure.arity(name) for name in names)
+    quotient_keys: set = set()
+    extension_keys: set = set()
+    for candidate in iter_quotient_candidates(
+        tableau,
+        cost_model=cost_model,
+        shard=shard,
+        automorphisms=automorphisms,
+        seen_keys=quotient_keys,
+    ):
+        if candidate.key is None or candidate.key not in extension_keys:
+            yield candidate
+        # else: the quotient repeats an earlier extended candidate's
+        # isomorphism class — suppress it, but still grow its extension
+        # family (whose members dedup individually against the shared
+        # keyspace; the suppressed copy's family exists nowhere else).
+        if candidate.extensions_dominated:
+            # Consumer feedback set while this generator was suspended: the
+            # frontier already holds a member mapping into the quotient, so
+            # the whole family is dominated — skip it before any key or
+            # structure exists.  (Later candidates isomorphic to a skipped
+            # one lose the dedup hit but are dominated for the same reason.)
+            continue
+        quotient_facts = candidate.facts()
+        block_count = candidate.block_count
+        distinguished = candidate.distinguished
+        pool = _integer_extension_pool(
+            names, arities, block_count, quotient_facts, allow_fresh
+        )
+        if not pool:
+            continue
+        perms = _integer_automorphisms(block_count, quotient_facts, distinguished)
+        pool_perms: list[tuple[int, ...]] = []
+        if perms:
+            pool_index = {atom: position for position, atom in enumerate(pool)}
+            for perm in perms:
+                # An automorphism maps non-facts to non-facts, preserves
+                # relations, concrete coverage, and fresh positions — so it
+                # permutes the pool.
+                pool_perms.append(
+                    tuple(
+                        pool_index[
+                            (
+                                relation_id,
+                                tuple(
+                                    perm[value] if isinstance(value, int) else value
+                                    for value in row
+                                ),
+                            )
+                        ]
+                        for relation_id, row in pool
+                    )
+                )
+        for count in range(1, max_extra_atoms + 1):
+            for combo in itertools.combinations(range(len(pool)), count):
+                started = time.perf_counter() if cost_model is not None else 0.0
+                if pool_perms and any(
+                    tuple(sorted(p[i] for i in combo)) < combo for p in pool_perms
+                ):
+                    if cost_model is not None:
+                        cost_model.record_canonization(
+                            time.perf_counter() - started
+                        )
+                    continue
+                next_fresh = block_count
+                extension_facts = []
+                for i in combo:
+                    relation_id, row = pool[i]
+                    mapped = []
+                    for value in row:
+                        if isinstance(value, int):
+                            mapped.append(value)
+                        else:
+                            mapped.append(next_fresh)
+                            next_fresh += 1
+                    extension_facts.append((relation_id, tuple(mapped)))
+                facts = tuple(
+                    sorted(itertools.chain(quotient_facts, extension_facts))
+                )
+                key = canonical_key_indexed(next_fresh, list(facts), distinguished)
+                if cost_model is not None:
+                    cost_model.record_canonization(time.perf_counter() - started)
+                if key is not None:
+                    if key in extension_keys or key in quotient_keys:
+                        continue
+                    extension_keys.add(key)
+                yield ExtensionCandidate(
+                    candidate,
+                    tuple(pool[i] for i in combo),
+                    names,
+                    facts,
+                    next_fresh,
+                    distinguished,
+                )
+
+
+def _iter_extended_candidates_fallback(
+    tableau: Tableau,
+    *,
+    max_extra_atoms: int,
+    allow_fresh: bool,
+    cost_model: DedupCostModel | None,
+    shard: tuple[int, int] | None,
+    automorphisms: list[list[int]] | None | object,
+) -> Iterator[QuotientCandidate]:
+    """Tableau-level extension stream (the historical path) as candidates.
+
+    Used when the base has no integer form: quotient-level dedup through
+    the candidate stream, extension-level dedup through engine canonical
+    forms, extended candidates wrapped without integer facts.
+    """
+    seen = _CanonicalSeen()
+    for candidate in iter_quotient_candidates(
+        tableau, cost_model=cost_model, shard=shard, automorphisms=automorphisms
+    ):
+        yield candidate
+        if candidate.extensions_dominated:
+            continue
+        quotient = candidate.materialize()
+        extension_pool = list(
+            iter_extension_atoms(quotient.structure, allow_fresh=allow_fresh)
+        )
+        for count in range(1, max_extra_atoms + 1):
+            for extras in itertools.combinations(extension_pool, count):
+                extended = _with_extensions(quotient, extras)
+                started = time.perf_counter() if cost_model is not None else 0.0
+                fresh_candidate = seen.first_sighting(extended)
+                if cost_model is not None:
+                    cost_model.record_canonization(time.perf_counter() - started)
+                if fresh_candidate:
+                    yield QuotientCandidate.from_tableau(extended)
+
+
 def iter_extended_tableaux(
     tableau: Tableau,
     *,
@@ -588,38 +1070,39 @@ def iter_extended_tableaux(
     truncated by ``max_extra_atoms``: the paper's bound on extension tuples
     is polynomial in ``|Q|``, and the enumeration cost grows steeply, so the
     cap is an explicit knob.  With ``max_extra_atoms=0`` this degenerates to
-    plain quotients.  ``dedup=True`` prunes isomorphic candidates (again
-    best-effort), both at the quotient level — skipping a duplicated
-    quotient skips its whole extension family, which is isomorphic to the
-    kept copy's — and among the extended tableaux themselves.  An extended
-    candidate that happens to be isomorphic to a plain quotient is not
-    cross-checked (the two streams keep separate key sets, sparing every
-    quotient a second canonization); such coincidences are harmless
-    downstream.  ``cost_model``/``shard`` mirror
+    plain quotients.
+
+    ``dedup=True`` delegates to :func:`iter_extended_candidates` and
+    materializes each survivor: isomorphic candidates are pruned
+    (best-effort) at the quotient level, within each quotient's extension
+    family (automorphism-orbit pruning), and across the whole stream
+    through one shared fact-level keyspace — including extended candidates
+    isomorphic to plain quotients, which the historical tableau-level dedup
+    never cross-checked.  ``cost_model``/``shard`` mirror
     :func:`iter_quotient_tableaux`: sharding splits at the quotient level
     (each quotient's whole extension family stays in its shard), and the
-    cost model is additionally fed the tableau-level canonization time of
-    the extended candidates.
+    cost model is additionally fed the fact-level canonization time of the
+    extended candidates.
     """
-    seen = _CanonicalSeen() if dedup else None
-    for quotient in iter_quotient_tableaux(
-        tableau, dedup=dedup, cost_model=cost_model, shard=shard
+    if not dedup:
+        for quotient in iter_quotient_tableaux(
+            tableau, dedup=False, cost_model=cost_model, shard=shard
+        ):
+            yield quotient
+            if max_extra_atoms <= 0:
+                continue
+            extension_pool = list(
+                iter_extension_atoms(quotient.structure, allow_fresh=allow_fresh)
+            )
+            for count in range(1, max_extra_atoms + 1):
+                for extras in itertools.combinations(extension_pool, count):
+                    yield _with_extensions(quotient, extras)
+        return
+    for candidate in iter_extended_candidates(
+        tableau,
+        max_extra_atoms=max_extra_atoms,
+        allow_fresh=allow_fresh,
+        cost_model=cost_model,
+        shard=shard,
     ):
-        yield quotient
-        if max_extra_atoms <= 0:
-            continue
-        extension_pool = list(
-            iter_extension_atoms(quotient.structure, allow_fresh=allow_fresh)
-        )
-        for count in range(1, max_extra_atoms + 1):
-            for extras in itertools.combinations(extension_pool, count):
-                extended = _with_extensions(quotient, extras)
-                if seen is None:
-                    yield extended
-                    continue
-                started = time.perf_counter() if cost_model is not None else 0.0
-                fresh_candidate = seen.first_sighting(extended)
-                if cost_model is not None:
-                    cost_model.record_canonization(time.perf_counter() - started)
-                if fresh_candidate:
-                    yield extended
+        yield candidate.materialize()

@@ -16,8 +16,14 @@ touch ``concurrent.futures`` directly:
 
 Task functions must be picklable module-level callables and task payloads
 must be compact picklable values (the pipeline serializes tableaux to
-integer-indexed fact lists; see :mod:`repro.core.pipeline`).  Engine handles
-are never shipped to workers: each worker process rebuilds its own
+integer-indexed fact lists; see :mod:`repro.core.pipeline`).  State shared
+by *all* tasks of one executor — the pipeline's shard strategy ships the
+encoded base tableau plus its precomputed automorphism/orbit data this way —
+goes through ``initializer``/``initargs``: the initializer runs once per
+worker process at startup, so the shared payload is serialized per worker
+instead of per task and expensive derivations (the base tableau's
+endomorphism scan) run once in the driver instead of once per task.  Engine
+handles are never shipped to workers: each worker process rebuilds its own
 :class:`~repro.homomorphism.engine.HomEngine` on first use via the pid check
 in :func:`repro.homomorphism.engine.default_engine`.
 
@@ -80,7 +86,14 @@ class ProcessExecutor:
     check-memo does exactly that).
     """
 
-    def __init__(self, workers: int, *, inflight: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        *,
+        inflight: int | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> None:
         if workers < 2:
             raise ValueError("ProcessExecutor needs at least 2 workers")
         context = (
@@ -90,7 +103,12 @@ class ProcessExecutor:
         )
         self.workers = workers
         self.inflight = inflight if inflight is not None else workers + 2
-        self._pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=initializer,
+            initargs=initargs,
+        )
 
     def imap(
         self, fn: Callable[[Task], Result], tasks: Iterable[Task]
@@ -114,10 +132,21 @@ class ProcessExecutor:
 
 
 def make_executor(
-    workers: int | None, *, inflight: int | None = None
+    workers: int | None,
+    *,
+    inflight: int | None = None,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
 ) -> SerialExecutor | ProcessExecutor:
-    """The executor for a worker-count knob (serial for ``workers <= 1``)."""
+    """The executor for a worker-count knob (serial for ``workers <= 1``).
+
+    ``initializer(*initargs)`` installs per-worker shared state (see the
+    module docstring); on the serial path it runs once inline, so task
+    functions can rely on it unconditionally.
+    """
     count = effective_workers(workers)
     if count <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         return SerialExecutor()
-    return ProcessExecutor(count, inflight=inflight)
+    return ProcessExecutor(count, inflight=inflight, initializer=initializer, initargs=initargs)

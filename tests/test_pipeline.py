@@ -23,8 +23,14 @@ from repro.core import (
     run_pipeline,
     syntactic_overapproximations,
 )
-from repro.core.pipeline import PipelineStats, _frontier_first_pays
-from repro.core.quotients import _shard_prefixes, iter_quotient_tableaux
+from repro.core.pipeline import PipelineStats, _frontier_first_pays, _reduce_inline
+from repro.core.quotients import (
+    _shard_prefixes,
+    _with_extensions,
+    iter_extension_atoms,
+    iter_quotient_tableaux,
+)
+from repro.homomorphism.engine import default_engine
 from repro.cq import Structure, Tableau, parse_query
 from repro.homomorphism import hom_equivalent
 from repro.util import bell_number, rgs_codes, set_partitions
@@ -339,6 +345,119 @@ class TestGreedyBudgets:
         with pytest.raises(ValueError) as excinfo:
             greedy_approximate(TRIANGLE, self.NeverClass(), config)
         assert "5 samples" in str(excinfo.value)
+
+
+class _LegacyTableauCandidate:
+    """The pre-PR stage-1 adapter: materialized tableaux, no integer form."""
+
+    block_count = None
+    codes = None
+
+    def __init__(self, tableau):
+        self._tableau = tableau
+
+    def facts(self):
+        return None
+
+    def materialize(self):
+        return self._tableau
+
+
+def legacy_extended_stream(tableau, max_extra_atoms, allow_fresh):
+    """Faithful replica of the pre-PR ``iter_extended_tableaux(dedup=True)``:
+    materialized quotients, extension atoms enumerated over the quotient's
+    structure, tableau-level canonical dedup of the extended candidates only
+    (no cross-check against the plain quotients).
+
+    ``test_perf_smoke.py`` imports this replica;
+    ``benchmarks/bench_extension_stream.py`` carries a verbatim copy
+    (benchmarks are standalone scripts) — keep the two in sync.
+    """
+    engine = default_engine()
+    seen = set()
+    for quotient in iter_quotient_tableaux(tableau, dedup=True):
+        yield quotient
+        pool = list(
+            iter_extension_atoms(quotient.structure, allow_fresh=allow_fresh)
+        )
+        for count in range(1, max_extra_atoms + 1):
+            for extras in itertools.combinations(pool, count):
+                extended = _with_extensions(quotient, extras)
+                key = engine.canonical_key(extended)
+                if key is not None:
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                yield extended
+
+
+class TestExtensionStreamDifferential:
+    """The integer-form extension stream must not change serial results.
+
+    The pre-PR extension path is replicated above; the pipeline run on the
+    same workload must produce a **bit-identical** frontier — same tableau
+    objects (element names included), same order.  Every candidate the new
+    stream prunes is isomorphic to an earlier stream element, so pruning
+    can never change which representatives survive.
+    """
+
+    WORKLOADS = [
+        ("Q() :- R(x1, x2, x3), R(x3, x4, x5), R(x5, x6, x1)", AC, False),
+        ("Q() :- R(x1, x2, x3), R(x3, x4, x5)", HypertreeClass(2), False),
+        ("Q() :- E(x, y), E(y, z), E(z, x)", AC, True),
+        ("Q() :- R(x, y), R(y, z)", TW2, True),  # graph class ignores extras
+    ]
+
+    @pytest.mark.parametrize("query_text,cls,fresh", WORKLOADS)
+    def test_serial_pipeline_bit_identical_to_legacy(self, query_text, cls, fresh):
+        tableau = parse_query(query_text).tableau()
+        legacy_stats = PipelineStats()
+        legacy = _reduce_inline(
+            (
+                _LegacyTableauCandidate(t)
+                for t in legacy_extended_stream(tableau, 1, fresh)
+            )
+            if cls.kind == "hypergraph"
+            else (
+                _LegacyTableauCandidate(t)
+                for t in iter_quotient_tableaux(tableau, dedup=True)
+            ),
+            cls,
+            legacy_stats,
+            None,
+        )
+        result = run_pipeline(tableau, cls, max_extra_atoms=1, allow_fresh=fresh)
+        assert result.frontier == legacy.members  # same tableaux, same order
+
+    def test_extension_space_workers_still_bit_identical(self):
+        tableau = parse_query(
+            "Q() :- R(x1, x2, x3), R(x3, x4, x5), R(x5, x6, x1)"
+        ).tableau()
+        serial = run_pipeline(tableau, AC, allow_fresh=False)
+        pooled = run_pipeline(tableau, AC, allow_fresh=False, workers=2)
+        assert pooled.frontier == serial.frontier
+
+
+class TestOrbitShipping:
+    """Base-tableau orbit data is derived once and shipped, never re-derived."""
+
+    def test_orbit_derivation_runs_once_serially(self):
+        result = run_pipeline(TERNARY.tableau(), AC, allow_fresh=False)
+        assert result.stats.orbit_derivations == 1
+
+    def test_orbit_derivation_runs_once_with_shard_workers(self):
+        # Worker stats are absorbed into the driver's: if a worker derived
+        # the orbit data at startup instead of using the shipped copy, the
+        # absorbed counter would exceed one.
+        result = run_pipeline(
+            TERNARY.tableau(), AC, allow_fresh=False, workers=2, parallel="shards"
+        )
+        assert result.stats.shards > 0
+        assert result.stats.orbit_derivations == 1
+
+    def test_orbit_derivation_runs_once_with_check_workers(self):
+        result = run_pipeline(TERNARY.tableau(), AC, allow_fresh=False, workers=2)
+        assert result.stats.orbit_derivations == 1
 
 
 class TestParallelKnobsElsewhere:

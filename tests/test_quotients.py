@@ -1,13 +1,22 @@
 """Tests for quotient/extension candidate enumeration."""
 
+import pytest
+
 from repro.cq import Structure, Tableau, parse_query
 from repro.core import (
+    AC,
     TW1,
     all_approximations,
     iter_extended_tableaux,
     iter_extension_atoms,
     iter_quotient_tableaux,
     quotient_count,
+)
+from repro.core.pipeline import _check_integer_candidate
+from repro.core.quotients import (
+    ExtensionCandidate,
+    _integer_automorphisms,
+    iter_extended_candidates,
 )
 from repro.homomorphism import hom_equivalent, hom_le
 from repro.homomorphism.signatures import canonical_key
@@ -120,6 +129,90 @@ class TestCanonicalDedup:
                 canonical_key(candidate.structure, candidate.distinguished)
                 in deduped_keys
             )
+
+
+class TestIntegerExtensionStream:
+    """The lazy integer-form extension stream (Claim 6.2 fast path)."""
+
+    def test_extended_duplicates_of_plain_quotients_are_pruned(self):
+        # Regression for the historical dedup blind spot: an extended
+        # candidate isomorphic to a plain quotient was never cross-checked
+        # (this workload used to emit four duplicated isomorphism classes).
+        # The shared fact-level keyspace must leave the deduplicated stream
+        # duplicate-free.
+        q = parse_query("Q() :- R(x1, x2, x3), R(x3, x4, x5)")
+        stream = list(
+            iter_extended_tableaux(
+                q.tableau(), max_extra_atoms=1, dedup=True, allow_fresh=False
+            )
+        )
+        keys = [canonical_key(c.structure, c.distinguished) for c in stream]
+        assert None not in keys
+        assert len(keys) == len(set(keys))
+
+    def test_integer_facts_agree_with_materialized_structure(self):
+        # The facts over block + fresh ids must describe exactly the
+        # materialized extended tableau: same hypergraph-class verdicts,
+        # same fact and element counts.
+        q = parse_query("Q() :- R(x, y), R(y, z)")
+        extended_seen = 0
+        for candidate in iter_extended_candidates(q.tableau(), max_extra_atoms=1):
+            facts = candidate.facts()
+            tableau = candidate.materialize()
+            assert len(facts) == tableau.structure.total_tuples
+            assert candidate.block_count == len(tableau.structure.domain)
+            assert _check_integer_candidate(
+                AC, candidate.block_count, facts
+            ) == AC.contains_tableau(tableau)
+            if isinstance(candidate, ExtensionCandidate):
+                extended_seen += 1
+        assert extended_seen > 0
+
+    def test_integer_automorphisms_are_fact_preserving(self):
+        # The 3-cycle quotient facts have the rotation/reflection symmetries.
+        facts = ((0, (0, 1)), (0, (1, 2)), (0, (2, 0)))
+        perms = _integer_automorphisms(3, facts, ())
+        assert len(perms) == 2  # the two non-identity rotations
+        for perm in perms:
+            mapped = {(rel, tuple(perm[v] for v in row)) for rel, row in facts}
+            assert mapped == set(facts)
+
+    def test_distinguished_elements_pin_automorphisms(self):
+        facts = ((0, (0, 1)), (0, (1, 2)), (0, (2, 0)))
+        assert _integer_automorphisms(3, facts, (0,)) == []
+
+
+class TestExtensionSharding:
+    """Satellite: per-shard extension streams must cover the whole space."""
+
+    WORKLOADS = [
+        ("Q() :- R(x1, x2, x3), R(x3, x4, x5)", False),
+        ("Q() :- E(x, y), E(y, z), E(z, x), E(x, u)", True),
+    ]
+
+    @pytest.mark.parametrize("count", [2, 3])
+    @pytest.mark.parametrize("query_text,fresh", WORKLOADS)
+    def test_shard_union_equals_unsharded_stream(self, query_text, fresh, count):
+        tableau = parse_query(query_text).tableau()
+        full = {
+            canonical_key(c.structure, c.distinguished)
+            for c in iter_extended_tableaux(
+                tableau, max_extra_atoms=1, allow_fresh=fresh, dedup=True
+            )
+        }
+        union = set()
+        for index in range(count):
+            union |= {
+                canonical_key(c.structure, c.distinguished)
+                for c in iter_extended_tableaux(
+                    tableau,
+                    max_extra_atoms=1,
+                    allow_fresh=fresh,
+                    dedup=True,
+                    shard=(index, count),
+                )
+            }
+        assert union == full
 
 
 class TestExtensionAtoms:
