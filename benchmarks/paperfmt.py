@@ -23,7 +23,12 @@ BENCH_FILES = (
     "BENCH_hom_engine.json",
     "BENCH_parallel_pipeline.json",
     "BENCH_extension_stream.json",
+    "BENCH_frontier_reduction.json",
 )
+
+
+class BenchSummaryError(RuntimeError):
+    """A perf tracker is missing or malformed (see :func:`bench_summary`)."""
 
 
 def table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -50,18 +55,30 @@ def write_report(name: str, title: str, body: str) -> None:
 def bench_summary() -> str:
     """One table over every ``BENCH_*.json`` headline at the repo root.
 
-    Missing files (benchmarks not yet run on this checkout) appear as
-    placeholder rows rather than being dropped, so the summary always shows
-    the full perf-tracking surface.
+    The perf-tracking surface is load-bearing: a missing or malformed
+    tracker used to appear as a quiet placeholder row, so a benchmark that
+    silently stopped writing its JSON looked "not run" forever.  Now every
+    problem — a file missing, unparseable, or without a ``headline`` —
+    raises :class:`BenchSummaryError` listing all offenders at once
+    (``python paperfmt.py`` exits nonzero on it); rerun the named
+    benchmarks to regenerate their trackers.
     """
     rows: list[list[object]] = []
+    problems: list[str] = []
     for filename in BENCH_FILES:
         path = REPO_ROOT / filename
         if not path.exists():
-            rows.append([filename, "—", "—", "—", "not run"])
+            problems.append(f"{filename}: missing (benchmark not run)")
             continue
-        payload = json.loads(path.read_text())
-        headline = payload.get("headline", {})
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            problems.append(f"{filename}: unreadable ({error})")
+            continue
+        headline = payload.get("headline")
+        if not isinstance(headline, dict):
+            problems.append(f"{filename}: malformed (no headline object)")
+            continue
         speedup = headline.get("speedup")
         target = headline.get("target_speedup")
         if speedup is None or target is None:
@@ -77,8 +94,18 @@ def bench_summary() -> str:
                 status,
             ]
         )
+    if problems:
+        raise BenchSummaryError(
+            "perf trackers missing or malformed:\n  " + "\n  ".join(problems)
+        )
     return table(["benchmark", "headline workload", "speedup", "target", "status"], rows)
 
 
 if __name__ == "__main__":
-    print(bench_summary())
+    import sys
+
+    try:
+        print(bench_summary())
+    except BenchSummaryError as error:
+        print(f"bench_summary: {error}", file=sys.stderr)
+        sys.exit(1)

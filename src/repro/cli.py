@@ -71,6 +71,16 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="machine-readable output (approximations, class, method, timing)",
     )
+    approx.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "report the pipeline's stage counters (candidates generated, "
+            "checks, dominance work, admission-order fast paths, "
+            "representative repairs, cancelled families); with --json they "
+            "join the payload under \"stats\""
+        ),
+    )
 
     classify = sub.add_parser("classify", help="Theorem 5.1 trichotomy case")
     classify.add_argument("query")
@@ -105,36 +115,56 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "approximate":
+        from repro.core import PipelineStats
+
         query = parse_query(args.query)
         config = ApproximationConfig(
             exact_limit=args.exact_limit, workers=args.workers
         )
+        stats = PipelineStats() if args.stats else None
         started = time.perf_counter()
         if args.all:
-            results = all_approximations(query, args.cls, config)
+            results = all_approximations(query, args.cls, config, stats=stats)
         else:
             results = [
-                approximate(query, args.cls, method=args.method, config=config)
+                approximate(
+                    query, args.cls, method=args.method, config=config,
+                    stats=stats,
+                )
             ]
         elapsed = time.perf_counter() - started
         if args.json:
-            print(
-                json.dumps(
-                    {
-                        "command": "approximate",
-                        "query": args.query,
-                        "class": args.cls.name,
-                        "method": args.method,
-                        "workers": args.workers,
-                        "all": args.all,
-                        "approximations": [str(result) for result in results],
-                        "seconds": round(elapsed, 6),
-                    }
-                )
-            )
+            payload = {
+                "command": "approximate",
+                "query": args.query,
+                "class": args.cls.name,
+                "method": args.method,
+                "workers": args.workers,
+                "all": args.all,
+                "approximations": [str(result) for result in results],
+                "seconds": round(elapsed, 6),
+            }
+            if stats is not None:
+                payload["stats"] = {
+                    name: round(value, 6) if isinstance(value, float) else value
+                    for name, value in stats.as_dict().items()
+                }
+            print(json.dumps(payload))
         else:
             for result in results:
                 print(result)
+            if stats is not None:
+                print("-- pipeline stats --")
+                if stats.generated == 0:
+                    print(
+                        "(all zero: the exact pipeline did not run — "
+                        "greedy method, or the query is already in the "
+                        "class)"
+                    )
+                for name, value in stats.as_dict().items():
+                    if isinstance(value, float):
+                        value = round(value, 6)
+                    print(f"{name:32} {value}")
         return 0
 
     if args.command == "classify":

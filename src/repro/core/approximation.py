@@ -35,7 +35,7 @@ from repro.cq.minimize import minimize
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.tableau import Tableau
 from repro.core.classes import QueryClass
-from repro.core.pipeline import run_pipeline
+from repro.core.pipeline import PipelineStats, run_pipeline
 from repro.core.quotients import (
     iter_extended_tableaux,
     iter_quotient_tableaux,
@@ -123,6 +123,7 @@ def approximation_frontier(
     config: ApproximationConfig = DEFAULT_CONFIG,
     *,
     tableau: Tableau | None = None,
+    stats: PipelineStats | None = None,
 ) -> list[Tableau]:
     """The →-minimal candidate tableaux, maintained as an online frontier.
 
@@ -135,7 +136,9 @@ def approximation_frontier(
     ``config.workers > 1`` the stages spread over a process pool (see
     :class:`ApproximationConfig` for the strategy knob and determinism
     guarantees).  ``tableau`` lets callers that already materialized
-    ``query.tableau()`` avoid rebuilding it.
+    ``query.tableau()`` avoid rebuilding it; ``stats`` is an optional
+    :class:`~repro.core.pipeline.PipelineStats` sink the run's counters are
+    absorbed into (the CLI's ``--stats`` flag reads them there).
     """
     if tableau is None:
         tableau = query.tableau()
@@ -148,6 +151,8 @@ def approximation_frontier(
         max_extra_atoms=config.max_extra_atoms,
         allow_fresh=config.allow_fresh,
     )
+    if stats is not None:
+        stats.absorb(result.stats)
     return result.frontier
 
 
@@ -157,6 +162,7 @@ def all_approximations(
     config: ApproximationConfig = DEFAULT_CONFIG,
     *,
     tableau: Tableau | None = None,
+    stats: PipelineStats | None = None,
 ) -> list[ConjunctiveQuery]:
     """The set ``C-APPR_min(Q)``: minimized, pairwise non-equivalent.
 
@@ -177,7 +183,9 @@ def all_approximations(
     if cls.contains_tableau(tableau):
         return [minimize(query)]
 
-    frontier = approximation_frontier(query, cls, config, tableau=tableau)
+    frontier = approximation_frontier(
+        query, cls, config, tableau=tableau, stats=stats
+    )
     return [
         ConjunctiveQuery.from_tableau(core_tableau(t), prefix="a")
         for t in frontier
@@ -286,13 +294,16 @@ def approximate(
     *,
     method: str = "auto",
     config: ApproximationConfig = DEFAULT_CONFIG,
+    stats: PipelineStats | None = None,
 ) -> ConjunctiveQuery:
     """One C-approximation of ``Q`` (Corollaries 4.2/4.3, 6.3, 6.5).
 
     ``method="exact"`` uses the enumeration (guaranteed approximation, caps
     apply), ``method="greedy"`` the randomized descent, and ``"auto"`` picks
     by query size.  The tableau is materialized once here and threaded
-    through whichever method runs.
+    through whichever method runs.  ``stats`` (exact method only — the
+    greedy descent does not run the pipeline) collects the run's
+    :class:`~repro.core.pipeline.PipelineStats`.
     """
     if method not in {"auto", "exact", "greedy"}:
         raise ValueError(f"unknown method {method!r}")
@@ -301,7 +312,9 @@ def approximate(
         small = len(tableau.structure.domain) <= config.exact_limit
         method = "exact" if small else "greedy"
     if method == "exact":
-        results = all_approximations(query, cls, config, tableau=tableau)
+        results = all_approximations(
+            query, cls, config, tableau=tableau, stats=stats
+        )
         if not results:
             raise ValueError(f"query has no {cls.name}-approximation candidates")
         return results[0]

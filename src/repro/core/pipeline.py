@@ -46,6 +46,28 @@ Two parallel strategies (``parallel=`` on ``ApproximationConfig``):
     of queries *up to homomorphic equivalence* (representatives and order
     may differ).  Use it when stage 1 itself is the bottleneck.
 
+Stage 3 is a *dominance-aware reduction engine*.  On plain quotient streams
+(graph classes, and hypergraph classes with the extension space off) the
+reducer replays the stream **fine-to-coarse** — candidates bucketed by
+descending block count, which is free in integer form — so a quotient is
+reduced before any coarsening of it.  The partition-coarsening positive
+fast path then decides most dominance verdicts in O(n) integer comparisons
+(the frontier's finer members refine the coarser candidates), turning it
+from an opportunistic check into the common case and letting most
+admissions resolve with **zero** ``hom_le`` searches
+(``PipelineStats.admissions_resolved_by_order``).  Reordering stays
+bit-identical to the serial generation-order baseline through **forward
+representative repair**: members carry their generation index, a candidate
+found equivalent to a later-generated member replaces it
+(``representative_repairs``), and the surviving members are sorted back
+into generation order at the end.  Extension-space runs keep generation
+order (their reducer feeds dominance back into the lazy enumerator), but
+the pooled ``"checks"`` batcher (:func:`_check_pooled`) consumes parent
+verdicts as batches stream back — the executor's ``imap`` yields finished
+results before pulling more work — and cancels not-yet-dispatched extension
+families of member/dominated parents (``families_cancelled_in_flight``),
+closing most of the serial-vs-pooled gap on member-heavy extension spaces.
+
 Determinism: the serial path is bit-identical to the pre-pipeline
 implementation; ``workers=n`` under ``"checks"`` is bit-identical to
 ``workers=1``.  The cost model only decides which *duplicates* are pruned,
@@ -60,6 +82,7 @@ Engine handles are never pickled: pool workers rebuild their own
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -70,6 +93,7 @@ from repro.core.quotients import (
     DedupCostModel,
     QuotientCandidate,
     base_automorphism_inverses,
+    coarseness_ordered,
     iter_extended_candidates,
     iter_quotient_candidates,
 )
@@ -284,6 +308,34 @@ class PipelineStats:
     #: search.  Counts only children that were already generated (pooled
     #: lookahead); families skipped at the source never reach ``generated``.
     extension_short_circuits: int = 0
+    #: Engine-backed order queries issued by the frontier (dominance scans,
+    #: eviction scans, representative repairs).  Coarsening fast paths and
+    #: dominance-memo hits do not count — the counter is the wall-clock-free
+    #: guard for the fine-to-coarse admission order, which exists precisely
+    #: to resolve admissions without engine searches.
+    hom_le_calls: int = 0
+    #: "Dominated" verdicts that needed no member scan: dominance-memo hits
+    #: plus refinement-index hits.  (``dominance_memo_hits`` counts hits of
+    #: either verdict; this isolates the positive ones, which is what the
+    #: ordering cost model needs for the true dominated rate.)
+    dominated_without_search: int = 0
+    #: Stage-3 resolutions (dominance verdict plus any repair and eviction
+    #: work) that completed with zero engine ``hom_le`` calls.  Counted only
+    #: while the fine-to-coarse admission order is active: under it a
+    #: coarser candidate usually meets a strictly finer frontier member
+    #: whose partition refines its own, so the coarsening fast path (an
+    #: O(n) integer comparison) decides the admission outright.
+    admissions_resolved_by_order: int = 0
+    #: Frontier representatives swapped back to an earlier-generated
+    #: equivalent candidate (:meth:`Frontier._repair`) — the forward
+    #: repair that keeps reordered reductions bit-identical to the serial
+    #: generation-order baseline.
+    representative_repairs: int = 0
+    #: Extension families whose not-yet-dispatched children were cancelled
+    #: inside the pooled check batcher after the parent's verdict streamed
+    #: back (counted once per family; the children themselves surface as
+    #: ``extension_short_circuits`` when the reducer skips them).
+    families_cancelled_in_flight: int = 0
 
     def absorb(self, other: "PipelineStats") -> None:
         for name in self.__dataclass_fields__:
@@ -413,16 +465,13 @@ def _iter_membership_candidates(
     batch_size: int = DEFAULT_BATCH_SIZE,
     stats: PipelineStats,
     cost_model: DedupCostModel | None = None,
-) -> Iterator[tuple[object, bool]]:
+) -> Iterator[tuple[object, bool | None]]:
     """Stage 2 over stage-1 candidates: ``(candidate, is_member)`` in order.
 
     With a :class:`~repro.parallel.SerialExecutor` (or ``None``) checks run
-    inline; with a :class:`~repro.parallel.ProcessExecutor` they are batched
-    across the pool with bounded lookahead, results streamed back in
-    generation order, and in-flight keys are never dispatched twice
-    (batches resolve in submission order, so an earlier batch's verdict is
-    always in the memo before a later batch consumes it).  Verdicts are
-    memoized under :func:`candidate_check_key` either way.
+    inline; with a :class:`~repro.parallel.ProcessExecutor` they go through
+    :func:`_check_pooled`.  Verdicts are memoized under
+    :func:`candidate_check_key` either way.
     """
     if executor is None or isinstance(executor, SerialExecutor):
         tester = MembershipTester(cls, stats, cost_model)
@@ -430,84 +479,205 @@ def _iter_membership_candidates(
             stats.generated += 1
             yield candidate, tester(candidate)
         return
+    yield from _check_pooled(
+        candidates,
+        cls,
+        executor,
+        batch_size=batch_size,
+        stats=stats,
+        cost_model=cost_model,
+    )
 
+
+def _check_pooled(
+    candidates: Iterable,
+    cls: QueryClass,
+    executor: ProcessExecutor,
+    *,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    stats: PipelineStats,
+    cost_model: DedupCostModel | None = None,
+) -> Iterator[tuple[object, bool | None]]:
+    """The pooled ``"checks"`` batcher, with verdict feedback.
+
+    Candidates are batched across the pool with bounded lookahead, results
+    streamed back in generation order, and in-flight keys are never
+    dispatched twice (batches resolve in submission order, so an earlier
+    batch's verdict is always in the memo before a later batch consumes
+    it).
+
+    The batcher additionally implements **verdict feedback** on extension
+    streams.  A child whose parent quotient has no emitted verdict yet is
+    *gated* — generated and queued, but not dispatched to the pool.  As
+    batches stream back (the executor's feedback-aware ``imap`` yields
+    finished results before pulling more work) the downstream reducer marks
+    member/dominated parents (``extensions_dominated``), and the gate then
+    resolves each held family: children of marked parents are **cancelled**
+    (never checked — emitted with verdict ``None``; consumers skip them on
+    the parent flag, which never resets, and each cancelled family counts
+    once in ``stats.families_cancelled_in_flight``), children of unmarked
+    parents are released for dispatch.  The verdict stream stays exactly in
+    generation order — released children simply resolve through a later
+    batch, and emission waits for them — so results remain bit-identical
+    for any worker count while the pool checks only (nearly) the candidates
+    the serial path would have checked, closing the serial-vs-pooled gap on
+    member-heavy extension spaces where the batch lookahead used to
+    generate-and-check whole families ahead of their parent's verdict.
+    """
     memo: dict[tuple, bool] = {}
-    batches: list[tuple[list, list]] = []
-    # Keys dispatched but not yet resolved.  Batches are consumed in
-    # submission order, so a key sent with batch j is guaranteed resolved
-    # (in ``memo``) before any batch k > j is consumed — later batches can
-    # treat in-flight keys as known and skip the duplicate dispatch.
-    pending: set = set()
+    # Keys dispatched but not yet resolved.  Batches resolve in submission
+    # order, so a key sent with batch j is guaranteed resolved (in ``memo``)
+    # before any batch k > j is consumed — later batches can treat in-flight
+    # keys as known and skip the duplicate dispatch.
+    pending_keys: set = set()
+    #: Entries in generation order: ``[candidate, kind, value]`` with kind
+    #: one of "key" (verdict = ``memo[value]`` once resolved), "direct"
+    #: (verdict written into ``value`` when its batch resolves), "verdict"
+    #: (ready — ``None`` means cancelled), "gated" (value = parent, not
+    #: dispatched), "await" (released, waiting for dispatch).
+    entries: deque = deque()
+    release_queue: deque = deque()
+    submitted: deque = deque()  # per in-flight batch: its (entry, key) list
+    # Every emitted parent-shaped candidate, for the gate's "verdict
+    # already emitted?" test.  O(#parents) strong references for the run —
+    # parents are lazy integer-form quotients (children never enter), and
+    # the streams that reach this path hold comparable per-parent state
+    # elsewhere (the enumerator's key sets, the plain path's full buffer).
+    emitted_parents: set = set()
+    cancelled_families: set = set()
+    _UNRESOLVED = object()
+
+    def _cancel(entry) -> None:
+        parent = entry[2] if entry[1] == "gated" else getattr(
+            entry[0], "parent", None
+        )
+        entry[1], entry[2] = "verdict", None
+        if parent is not None and parent not in cancelled_families:
+            cancelled_families.add(parent)
+            stats.families_cancelled_in_flight += 1
+
+    def _dispatch(entry, batch_meta: list, batch_payloads: list) -> None:
+        candidate = entry[0]
+        key = candidate_check_key(cls, candidate)
+        if key is not None and (key in memo or key in pending_keys):
+            stats.check_memo_hits += 1
+            entry[1], entry[2] = "key", key
+            return
+        if key is None:
+            entry[1], entry[2] = "direct", _UNRESOLVED
+        else:
+            pending_keys.add(key)
+            entry[1], entry[2] = "key", key
+        batch_meta.append((entry, key))
+        batch_payloads.append(_candidate_payload(candidate, key))
 
     def payloads() -> Iterator[tuple]:
-        batch: list = []
-        for candidate in candidates:
-            batch.append(candidate)
-            if len(batch) >= batch_size:
-                payload = _prepare(batch)
+        batch_meta: list = []
+        batch_payloads: list = []
+
+        def flush() -> tuple | None:
+            nonlocal batch_meta, batch_payloads
+            if not batch_payloads:
+                return None
+            submitted.append(batch_meta)
+            payload = (cls, tuple(batch_payloads))
+            batch_meta, batch_payloads = [], []
+            return payload
+
+        def intake() -> Iterator:
+            # Released children first (they are older than anything still
+            # in the stream), then fresh stream candidates.
+            while True:
+                if release_queue:
+                    yield release_queue.popleft()
+                    continue
+                candidate = next(stream, _UNRESOLVED)
+                if candidate is _UNRESOLVED:
+                    return
+                stats.generated += 1
+                entry = [candidate, None, None]
+                entries.append(entry)
+                parent = getattr(candidate, "parent", None)
+                if parent is not None and parent.extensions_dominated:
+                    _cancel(entry)
+                    continue
+                if parent is not None and parent not in emitted_parents:
+                    entry[1], entry[2] = "gated", parent
+                    continue
+                yield entry
+
+        for entry in intake():
+            _dispatch(entry, batch_meta, batch_payloads)
+            if len(batch_payloads) >= batch_size:
+                payload = flush()
                 if payload is not None:
                     yield payload
-                batch = []
-        if batch:
-            payload = _prepare(batch)
-            if payload is not None:
-                yield payload
+        payload = flush()
+        if payload is not None:
+            yield payload
 
-    def _prepare(batch: list) -> tuple | None:
-        stats.generated += len(batch)
-        entries: list = []
-        unknown_keys: list = []
-        payload_entries: list[tuple] = []
-        for candidate in batch:
-            key = candidate_check_key(cls, candidate)
-            entries.append((candidate, key))
-            if key is not None and (key in memo or key in pending):
-                stats.check_memo_hits += 1
-                continue
-            if key is not None:
-                pending.add(key)
-            unknown_keys.append(key)
-            payload_entries.append(_candidate_payload(candidate, key))
-        batches.append((entries, unknown_keys))
-        if not payload_entries:
-            # Fully memo-resolved batch: nothing to ship.  It stays queued
-            # as a "virtual" batch and is emitted once it reaches the front
-            # of the queue — any still-pending key it references was
-            # dispatched with an earlier batch, whose result is consumed
-            # first.
-            return None
-        return (cls, tuple(payload_entries))
-
-    def _emit(entries: list, unkeyed: list[bool]) -> Iterator[tuple[object, bool]]:
-        for candidate, key in entries:
-            verdict = memo[key] if key is not None else unkeyed.pop()
-            if verdict:
-                stats.members += 1
-            yield candidate, verdict
-
-    for verdicts, seconds in executor.imap(_check_batch, payloads()):
-        # This pool result belongs to the first *dispatched* batch in the
-        # queue; virtual batches ahead of it are already fully answered by
-        # the memo.
-        while batches and not batches[0][1]:
-            entries, _ = batches.pop(0)
-            yield from _emit(entries, [])
-        entries, unknown_keys = batches.pop(0)
-        unkeyed: list[bool] = []
-        for key, verdict, elapsed in zip(unknown_keys, verdicts, seconds):
+    def _resolve_batch(verdicts, seconds) -> None:
+        for (entry, key), verdict, elapsed in zip(
+            submitted.popleft(), verdicts, seconds
+        ):
             stats.checks_run += 1
             stats.check_seconds += elapsed
             if cost_model is not None:
                 cost_model.record_downstream(elapsed)
             if key is None:
-                unkeyed.append(verdict)
+                entry[2] = verdict
             else:
                 memo[key] = verdict
-                pending.discard(key)
-        unkeyed.reverse()
-        yield from _emit(entries, unkeyed)
-    for entries, _ in batches:
-        yield from _emit(entries, [])
+                pending_keys.discard(key)
+
+    def _drain() -> Iterator[tuple[object, bool | None]]:
+        while entries:
+            candidate, kind, value = entries[0]
+            if kind == "gated":
+                # The parent is ahead of its children in the queue, so a
+                # gated head's parent has been emitted (and, if dominated
+                # or a member, marked) — the gate can resolve now.
+                for entry in entries:
+                    if entry[1] != "gated":
+                        continue
+                    if entry[2].extensions_dominated:
+                        _cancel(entry)
+                    elif entry[2] in emitted_parents:
+                        entry[1], entry[2] = "await", None
+                        release_queue.append(entry)
+                continue
+            if kind == "await":
+                return  # dispatching through the next batch
+            if kind == "key":
+                verdict = memo.get(value, _UNRESOLVED)
+            else:  # "direct" or ready "verdict"
+                verdict = value
+            if verdict is _UNRESOLVED:
+                return
+            entries.popleft()
+            if verdict:
+                stats.members += 1
+            if getattr(candidate, "parent", None) is None:
+                emitted_parents.add(candidate)
+            yield candidate, verdict
+
+    stream = iter(candidates)
+    while True:
+        # A one-batch-tighter lookahead window than the executor default:
+        # verdict feedback lands a batch earlier, and the gate keeps the
+        # pool from starving on held families either way.
+        for verdicts, seconds in executor.imap(
+            _check_batch, payloads(), inflight=executor.workers + 1
+        ):
+            _resolve_batch(verdicts, seconds)
+            yield from _drain()
+        yield from _drain()
+        if not entries:
+            return
+        if not release_queue:  # pragma: no cover - progress invariant
+            raise RuntimeError("pooled check batcher stalled on gated entries")
+        # Released children that surfaced after the stream was exhausted:
+        # another imap round dispatches them (and anything they unblock).
 
 
 def iter_membership(
@@ -579,6 +749,18 @@ class Frontier:
     streams most candidates repeat an earlier integer form, so this removes
     the majority of dominance searches outright.
 
+    The frontier is *dominance-aware* across admission orders: members can
+    carry a ``generation`` index (their position in the unreordered
+    candidate stream), and when a dominance scan finds a candidate
+    equivalent to a *later-generated* member — which only happens when the
+    reducer replays the stream fine-to-coarse — the representative is
+    repaired back to the earlier-generated candidate
+    (:meth:`_repair`).  Together with
+    :meth:`restore_generation_order` this makes the reordered reduction
+    bit-identical to the serial generation-order baseline: both end with
+    the first-generated class member of each →-minimal equivalence class,
+    listed in generation order.
+
     ``merge`` folds another frontier's members through ``add``; since the
     →-minimal set is unique up to homomorphic equivalence, merging is
     associative and commutative *up to equivalence of representatives*,
@@ -589,11 +771,21 @@ class Frontier:
         "members",
         "_scan",
         "_codes",
+        "_generation",
         "_dominated_keys",
         "_undominated_keys",
+        "_refinement_index",
+        "_repair_forward",
+        "_ordered",
         "_engine",
         "_stats",
     )
+
+    #: Bound on refinement-index entries (:meth:`_refinement_lookup`).  The
+    #: index is an antichain in practice — a covered candidate is never
+    #: added — so the cap is a safety net for adversarial streams, not a
+    #: tuning knob; hits stay sound whatever is dropped.
+    _INDEX_CAP = 2048
 
     def __init__(
         self,
@@ -601,12 +793,21 @@ class Frontier:
         *,
         engine: HomEngine | None = None,
         stats: PipelineStats | None = None,
+        ordered: bool = False,
     ) -> None:
         self.members: list[Tableau] = list(members)
         self._scan: list[Tableau] = list(self.members)
         self._codes: dict[int, tuple[int, ...]] = {}
+        self._generation: dict[int, int] = {}
         self._dominated_keys: set = set()
         self._undominated_keys: dict = {}
+        #: ``(codes, witness)`` per uncovered dominated-or-admitted
+        #: candidate, finest first (fine-to-coarse reductions only).
+        self._refinement_index: list[tuple[tuple[int, ...], Tableau | None]] = []
+        #: Repair swaps, old representative id → its replacement — index
+        #: witnesses are resolved through this map at hit time.
+        self._repair_forward: dict[int, Tableau] = {}
+        self._ordered = ordered
         self._engine = engine if engine is not None else default_engine()
         self._stats = stats if stats is not None else PipelineStats()
 
@@ -632,6 +833,7 @@ class Frontier:
     ) -> bool:
         if self._coarsens(source_codes, target_codes):
             return True
+        self._stats.hom_le_calls += 1
         return self._engine.hom_le(source, target, memo=False)
 
     def cached_dominance(self, key: tuple | None) -> bool | None:
@@ -650,11 +852,68 @@ class Frontier:
         # ratio stays a well-formed rate for the ordering cost model.
         if key in self._dominated_keys:
             self._stats.dominance_memo_hits += 1
+            self._stats.dominated_without_search += 1
             return True
         if self._undominated_keys.get(key) == self._stats.admitted:
             self._stats.dominance_memo_hits += 1
             return False
         return None
+
+    def _scan_dominance(
+        self,
+        candidate: Tableau,
+        codes: tuple[int, ...] | None,
+        key: tuple | None,
+    ) -> tuple[bool, Tableau | None]:
+        """The timed member scan behind :meth:`dominated`.
+
+        Returns the verdict plus the member that witnessed it (``None`` for
+        negative verdicts) — the witness is what representative repair
+        needs.  Memo bookkeeping is identical to the historical scan.
+
+        The scan runs in two phases: a *coarsening pre-pass* testing every
+        member's partition codes against the candidate's (O(n) integer
+        comparisons per member, no search), then the engine-backed
+        move-to-front pass.  Under fine-to-coarse admission the frontier's
+        members are at least as fine as the candidate, so the pre-pass
+        decides most scans outright — paying a ``hom_le`` on the
+        front members first (the historical single pass) would waste
+        searches that are strictly pricier than checking every member's
+        codes.  Which member witnesses a positive verdict is bookkeeping
+        only: if the candidate has an equivalent member, that member is the
+        unique one mapping into it, so any witness found is the right one.
+        """
+        started = time.perf_counter()
+        verdict, witness = False, None
+        member_codes = self._codes
+        if codes is not None:
+            for position, member in enumerate(self._scan):
+                if self._coarsens(member_codes.get(id(member)), codes):
+                    verdict, witness = True, member
+                    if position:
+                        self._scan.insert(0, self._scan.pop(position))
+                    break
+        if not verdict:
+            # The pre-pass already rejected every coarsening witness (and
+            # with ``codes`` None there can be none), so this pass goes
+            # straight to the engine.
+            for position, member in enumerate(self._scan):
+                self._stats.hom_le_calls += 1
+                if self._engine.hom_le(member, candidate, memo=False):
+                    verdict, witness = True, member
+                    if position:
+                        self._scan.insert(0, self._scan.pop(position))
+                    break
+        self._stats.dominance_tests += 1
+        self._stats.dominance_seconds += time.perf_counter() - started
+        if key is not None:
+            if verdict:
+                self._dominated_keys.add(key)
+            else:
+                self._undominated_keys[key] = self._stats.admitted
+        if verdict:
+            self._stats.dominated += 1
+        return verdict, witness
 
     def dominated(
         self,
@@ -666,35 +925,217 @@ class Frontier:
         cached = self.cached_dominance(key)
         if cached is not None:
             return cached
-        started = time.perf_counter()
-        verdict = False
-        member_codes = self._codes
-        for position, member in enumerate(self._scan):
-            if self._le(member, member_codes.get(id(member)), candidate, codes):
-                verdict = True
-                if position:
-                    self._scan.insert(0, self._scan.pop(position))
-                break
-        self._stats.dominance_tests += 1
-        self._stats.dominance_seconds += time.perf_counter() - started
-        if key is not None:
-            if verdict:
-                self._dominated_keys.add(key)
-            else:
-                self._undominated_keys[key] = self._stats.admitted
-        if verdict:
-            self._stats.dominated += 1
+        verdict, _ = self._scan_dominance(candidate, codes, key)
         return verdict
 
-    def insert(
-        self, candidate: Tableau, codes: tuple[int, ...] | None = None
+    def _refinement_lookup(
+        self, codes: tuple[int, ...]
+    ) -> tuple[bool, Tableau | None]:
+        """Query the refinement index: ``(hit, witness)``.
+
+        A hit means some recorded dominated-or-admitted partition refines
+        ``codes``: a member mapped into that finer quotient when it was
+        recorded, the quotient map carries it on into this candidate, and
+        the frontier only descends — so the candidate is dominated with no
+        scan and no search.  The returned witness is the (repair-relevant)
+        frontier member behind the entry, resolved through past repair
+        swaps; ``None`` means the entry's class is provably off the
+        frontier, so representative repair cannot apply (see
+        :meth:`resolve` for why that is sound).
+        """
+        for entry_codes, witness in self._refinement_index:
+            if not self._coarsens(entry_codes, codes):
+                continue
+            while witness is not None and id(witness) not in self._generation:
+                witness = self._repair_forward.get(id(witness))
+            return True, witness
+        return False, None
+
+    def _record_refinement(
+        self, codes: tuple[int, ...] | None, witness: Tableau | None
     ) -> None:
-        """Admit a known-undominated class member, evicting what it beats."""
+        """Add an uncovered dominated-or-admitted candidate to the index."""
+        if (
+            self._ordered
+            and codes is not None
+            and len(self._refinement_index) < self._INDEX_CAP
+        ):
+            self._refinement_index.append((codes, witness))
+
+    def _repair(
+        self, candidate, witness, generation, membership, *, equivalent=None
+    ) -> None:
+        """Swap ``witness`` for the earlier-generated equivalent ``candidate``.
+
+        Fine-to-coarse admission can put a later-generated member on the
+        frontier before an earlier-generated equivalent candidate is
+        processed.  When a dominance verdict then finds that candidate
+        dominated by such a member (``generation(witness) > generation``),
+        the representative set is repaired *forward*: if the candidate maps
+        back into the witness (hom-equivalence — the witness already maps
+        into the candidate) and is itself a class member (``membership``;
+        equivalence does not preserve class membership, so it must be
+        verified), it replaces the witness — the frontier converges on the
+        first-generated member of each equivalence class, exactly what the
+        serial generation-order baseline keeps.  The swap exchanges
+        hom-equivalent tableaux, so every memoized dominance verdict stays
+        valid.  ``equivalent`` short-circuits the reverse query when the
+        caller already computed it.
+        """
+        if witness is None or generation is None:
+            return
+        witness_generation = self._generation.get(id(witness))
+        if witness_generation is None or witness_generation <= generation:
+            return
+        tableau = candidate.materialize()
+        codes = candidate.codes
+        if equivalent is None:
+            equivalent = self._le(
+                tableau, codes, witness, self._codes.get(id(witness))
+            )
+        if not equivalent:
+            return
+        if membership is not None and not membership():
+            return
+        position = next(
+            i for i, member in enumerate(self.members) if member is witness
+        )
+        self.members[position] = tableau
+        scan_position = next(
+            i for i, member in enumerate(self._scan) if member is witness
+        )
+        self._scan[scan_position] = tableau
+        self._codes.pop(id(witness), None)
+        if codes is not None:
+            self._codes[id(tableau)] = codes
+        self._generation.pop(id(witness), None)
+        self._generation[id(tableau)] = generation
+        self._repair_forward[id(witness)] = tableau
+        self._stats.representative_repairs += 1
+
+    def resolve(
+        self,
+        candidate,
+        *,
+        key: tuple | None = None,
+        generation: int | None = None,
+        membership=None,
+        membership_first: bool = False,
+    ) -> str:
+        """The order-aware frontier update for one stage-1 candidate.
+
+        Returns ``"dominated"`` (some member maps into the candidate —
+        after attempting representative repair), ``"rejected"``
+        (``membership`` vetoed the candidate), or ``"admitted"``.
+        ``membership`` is a zero-argument callable deciding class
+        membership, consulted at most once; pass ``None`` when the
+        candidate is already known to be a member.  ``membership_first``
+        is the cost-modeled stage order: the class check runs before the
+        dominance *scan* (check-first) or after it (dominance-first) —
+        but zero-cost dominance evidence (the key memo and the refinement
+        index) is consulted before either, since a free "dominated" beats
+        any check.  ``candidate`` is a stage-1 candidate object
+        (``materialize()``/``codes``), materialized only when a search or
+        admission actually needs the tableau.
+
+        Fine-to-coarse reductions (``ordered=True``) answer most
+        resolutions from the refinement index with zero engine calls.
+        Repair stays exact on index hits: if the candidate were equivalent
+        to a current member, that member would be the *unique* member
+        mapping into it, hence also the unique member behind the index
+        entry's witness chain — so repairing against the resolved witness
+        (or skipping repair when the entry's class provably left the
+        frontier) reproduces exactly what a full scan would have done.
+        """
+        member_known = membership is None
+        cached = self.cached_dominance(key)
+        if cached is True:
+            # An isomorphic candidate resolved "dominated" earlier.  Equal
+            # keys share a block count, so under any supported order the
+            # earlier candidate had the lower generation and any repair
+            # already happened there — nothing further to do.
+            return "dominated"
+        codes = candidate.codes
+        if cached is None and self._ordered and codes is not None:
+            hit, hit_witness = self._refinement_lookup(codes)
+            if hit:
+                self._stats.dominance_memo_hits += 1
+                self._stats.dominated_without_search += 1
+                if key is not None:
+                    self._dominated_keys.add(key)
+                self._repair(candidate, hit_witness, generation, membership)
+                return "dominated"
+        if membership_first and not member_known:
+            if not membership():
+                return "rejected"
+            member_known = True
+        repair_membership = None if member_known else membership
+        if cached is False:
+            verdict, witness = False, None
+        else:
+            verdict, witness = self._scan_dominance(
+                candidate.materialize(), codes, key
+            )
+        if verdict:
+            if self._ordered:
+                # Establish once whether this candidate's class sits on the
+                # frontier (the repair's reverse query, forced even when
+                # the generations would not warrant it): index hits through
+                # the entry then know for certain whether repair can ever
+                # apply — a ``None`` witness is a proof, not a guess.
+                equivalent = self._le(
+                    candidate.materialize(),
+                    codes,
+                    witness,
+                    self._codes.get(id(witness)),
+                )
+                if equivalent:
+                    self._repair(
+                        candidate, witness, generation, repair_membership,
+                        equivalent=True,
+                    )
+                self._record_refinement(codes, witness if equivalent else None)
+            else:
+                self._repair(candidate, witness, generation, repair_membership)
+            return "dominated"
+        if not member_known and not membership():
+            return "rejected"
+        tableau = candidate.materialize()
+        self.insert(tableau, codes, generation=generation)
+        self._record_refinement(codes, tableau)
+        return "admitted"
+
+    def insert(
+        self,
+        candidate: Tableau,
+        codes: tuple[int, ...] | None = None,
+        *,
+        generation: int | None = None,
+    ) -> None:
+        """Admit a known-undominated class member, evicting what it beats.
+
+        Engine-backed eviction queries are batched through
+        :meth:`~repro.homomorphism.engine.HomEngine.hom_le_many` (the
+        candidate-side signature and search plan are shared across the
+        member scan) after coarsening-witnessed pairs are decided inline.
+        """
         member_codes = self._codes
+        beaten: dict[int, bool] = {}
+        searched: list[Tableau] = []
+        for member in self.members:
+            if self._coarsens(codes, member_codes.get(id(member))):
+                beaten[id(member)] = True
+            else:
+                searched.append(member)
+        if searched:
+            self._stats.hom_le_calls += len(searched)
+            for member, verdict in zip(
+                searched,
+                self._engine.hom_le_many(candidate, searched, memo=False),
+            ):
+                beaten[id(member)] = verdict
         survivors = [
-            member
-            for member in self.members
-            if not self._le(candidate, codes, member, member_codes.get(id(member)))
+            member for member in self.members if not beaten[id(member)]
         ]
         self._stats.evicted += len(self.members) - len(survivors)
         self._stats.admitted += 1
@@ -705,10 +1146,17 @@ class Frontier:
             self._codes = {
                 key: value for key, value in member_codes.items() if key in kept
             }
+            self._generation = {
+                key: value
+                for key, value in self._generation.items()
+                if key in kept
+            }
         self.members = survivors
         self._scan.insert(0, candidate)
         if codes is not None:
             self._codes[id(candidate)] = codes
+        if generation is not None:
+            self._generation[id(candidate)] = generation
 
     def add(
         self,
@@ -722,10 +1170,33 @@ class Frontier:
         self.insert(candidate, codes)
         return True
 
+    def restore_generation_order(self) -> None:
+        """Sort members back into generation order (reordered reductions).
+
+        A fine-to-coarse reduction admits members out of stream order; the
+        serial baseline lists survivors in generation order, so reordered
+        runs sort once at the end.  Members without a recorded generation
+        (directly ``merge``-d ones) keep their relative position at the
+        front.
+        """
+        self.members.sort(key=lambda member: self._generation.get(id(member), -1))
+
     def merge(self, members: Iterable[Tableau]) -> "Frontier":
-        """Fold another frontier (or member list) into this one."""
+        """Fold another frontier (or member list) into this one.
+
+        Each incoming member is keyed by its engine canonical form (under
+        an ``("iso", …)`` namespace disjoint from the integer-form
+        :func:`dominance_key` space), so the shared dominance memo
+        short-circuits repeats before any ``hom_le``: shard merges
+        routinely present members isomorphic to ones an earlier merge
+        already resolved — per-shard dedup state cannot see across shards —
+        and a memoized "dominated" verdict now answers them with no scan.
+        Merging an empty frontier is a no-op.
+        """
         for member in members:
-            self.add(member)
+            canonical = self._engine.canonical_key(member)
+            key = ("iso", canonical) if canonical is not None else None
+            self.add(member, key=key)
         return self
 
 
@@ -788,26 +1259,34 @@ def _order_cost_estimates(
     """Estimated per-candidate cost of the two stage orders.
 
     From measured means: check-first pays a (memo-discounted) check always
-    and a dominance test for members; frontier-first pays a dominance test
-    always and a check for undominated candidates.  Checking first is right
-    when checks are cheap or the memo absorbs them; testing dominance first
-    is right when checks are expensive and the frontier converges early
-    (the typical shape for costly hypergraph classes).  ``dominated`` and
-    ``dominance_tests`` both count searched verdicts only (memo hits touch
-    neither), so the rate is well-formed.  Returns ``(check_first,
-    frontier_first)`` seconds, or ``None`` while either side lacks samples.
+    and a dominance resolution for members; frontier-first pays a dominance
+    resolution always and a check for undominated candidates.  Checking
+    first is right when checks are cheap or the memo absorbs them; testing
+    dominance first is right when checks are expensive and dominance
+    resolves cheaply (costly hypergraph classes, and fine-to-coarse runs
+    where the refinement index answers most candidates).  Both sides are
+    *amortized*: the check cost over memo hits (``fresh_rate``), the
+    dominance cost over memo and refinement-index hits — a hit costs ~0
+    seconds but resolves a candidate, so the marginal per-candidate
+    dominance cost is ``dominance_seconds`` over all resolutions, and the
+    dominated rate counts hit verdicts too (``dominated_without_search``).
+    Returns ``(check_first, frontier_first)`` seconds, or ``None`` while
+    either side lacks samples.
     """
+    dominance_resolutions = stats.dominance_tests + stats.dominance_memo_hits
     if (
         stats.checks_run < _ORDER_MIN_SAMPLES
-        or stats.dominance_tests < _ORDER_MIN_SAMPLES
+        or dominance_resolutions < _ORDER_MIN_SAMPLES
     ):
         return None
     mean_check = stats.check_seconds / stats.checks_run
-    mean_dominance = stats.dominance_seconds / stats.dominance_tests
+    mean_dominance = stats.dominance_seconds / dominance_resolutions
     checked = stats.checks_run + stats.check_memo_hits
     fresh_rate = stats.checks_run / checked if checked else 1.0
     member_rate = stats.members / max(stats.generated, 1)
-    dominated_rate = stats.dominated / stats.dominance_tests
+    dominated_rate = (
+        stats.dominated + stats.dominated_without_search
+    ) / dominance_resolutions
     check_first = fresh_rate * mean_check + member_rate * mean_dominance
     frontier_first = mean_dominance + (1.0 - dominated_rate) * fresh_rate * mean_check
     return check_first, frontier_first
@@ -903,6 +1382,7 @@ def _reduce_inline(
     cost_model: DedupCostModel | None,
     *,
     engine: HomEngine | None = None,
+    order: str = "insertion",
 ) -> Frontier:
     """Stages 2+3 in one process, with cost-modeled stage ordering.
 
@@ -912,14 +1392,29 @@ def _reduce_inline(
     front of the check.  Either order yields the same frontier — a dominated
     candidate can never join nor evict, so filtering it before or after the
     membership test only changes which work is spent, not the result.
+
+    ``order="fine_to_coarse"`` replays the candidate stream finest-first
+    (:func:`~repro.core.quotients.coarseness_ordered`): a quotient is then
+    reduced before any coarsening of it, so most dominance verdicts resolve
+    through the coarsening fast path with zero engine searches, and
+    representative repair plus a final generation-order sort keep the
+    result **bit-identical** to the insertion-order reduction.  Only sound
+    for streams without generator feedback (plain quotient streams) — the
+    stream is buffered in full, so ``extensions_dominated`` flags could
+    never reach the enumerator, and the consume-time family shortcut is
+    disabled because under reordering the flagging member may be
+    later-generated than the child it would skip.
     """
     tester = MembershipTester(cls, stats, cost_model)
-    frontier = Frontier(engine=engine, stats=stats)
-    order = _OrderController(stats)
+    reorder = order == "fine_to_coarse"
+    frontier = Frontier(engine=engine, stats=stats, ordered=reorder)
+    controller = _OrderController(stats)
+    if reorder:
+        candidates = coarseness_ordered(candidates)
     for candidate in candidates:
         stats.generated += 1
         parent = getattr(candidate, "parent", None)
-        if parent is not None and parent.extensions_dominated:
+        if parent is not None and parent.extensions_dominated and not reorder:
             # The parent quotient embeds into this extended candidate, and
             # a frontier member maps into the parent — so the candidate is
             # dominated whatever its class verdict: skip check and search.
@@ -928,30 +1423,30 @@ def _reduce_inline(
             stats.extension_short_circuits += 1
             continue
         key = dominance_key(candidate)
-        if order.frontier_first:
-            verdict = frontier.cached_dominance(key)
-            if verdict is None:
-                verdict = frontier.dominated(
-                    candidate.materialize(), candidate.codes, key
-                )
-            if verdict:
-                _mark_family_dominated(candidate, parent)
-            elif tester(candidate):
-                _mark_family_dominated(candidate, parent)
-                frontier.insert(candidate.materialize(), candidate.codes)
-        else:
-            if tester(candidate):
-                _mark_family_dominated(candidate, parent)
-                frontier.add(candidate.materialize(), candidate.codes, key)
-        order.update()
+        generation = getattr(candidate, "generation", None)
+        calls_before = stats.hom_le_calls
+        status = frontier.resolve(
+            candidate,
+            key=key,
+            generation=generation,
+            membership=lambda: tester(candidate),
+            membership_first=not controller.frontier_first,
+        )
+        if status != "rejected":
+            _mark_family_dominated(candidate, parent)
+            if reorder and stats.hom_le_calls == calls_before:
+                stats.admissions_resolved_by_order += 1
+        controller.update()
+    if reorder:
+        frontier.restore_generation_order()
     return frontier
 
 
 #: Per-worker shard context: ``(base_data, cls, max_extra_atoms,
-#: allow_fresh, automorphisms)``, installed once per worker process by the
-#: executor initializer (and inline for a serial executor).  Shipping the
-#: base tableau and its orbit data with the *context* instead of every task
-#: payload serializes them once per worker and spares each worker the
+#: allow_fresh, automorphisms, order)``, installed once per worker process
+#: by the executor initializer (and inline for a serial executor).  Shipping
+#: the base tableau and its orbit data with the *context* instead of every
+#: task payload serializes them once per worker and spares each worker the
 #: startup endomorphism scan.
 _SHARD_CONTEXT: tuple | None = None
 
@@ -962,8 +1457,16 @@ def _install_shard_context(context: tuple) -> None:
 
 
 def _shard_task(shard: tuple[int, int]) -> tuple[tuple[tuple, ...], dict]:
-    """Pool task (strategy ``"shards"``): the full loop on one slice."""
-    base_data, cls, max_extra_atoms, allow_fresh, automorphisms = _SHARD_CONTEXT
+    """Pool task (strategy ``"shards"``): the full loop on one slice.
+
+    Shard workers share the driver's admission order: plain quotient
+    slices are reduced fine-to-coarse (coarseness-ordered shard iteration —
+    the buffered slice is one shard, not the whole stream), extension
+    slices in generation order.
+    """
+    base_data, cls, max_extra_atoms, allow_fresh, automorphisms, order = (
+        _SHARD_CONTEXT
+    )
     base = decode_tableau(base_data)
     stats = PipelineStats()
     cost_model = DedupCostModel()
@@ -976,11 +1479,31 @@ def _shard_task(shard: tuple[int, int]) -> tuple[tuple[tuple, ...], dict]:
         shard=shard,
         automorphisms=automorphisms,
     )
-    frontier = _reduce_inline(candidates, cls, stats, cost_model)
+    frontier = _reduce_inline(candidates, cls, stats, cost_model, order=order)
     return (
         tuple(encode_tableau(member) for member in frontier.members),
         stats.as_dict(),
     )
+
+
+def _resolve_admission_order(
+    admission_order: str, cls: QueryClass, max_extra_atoms: int
+) -> str:
+    """The effective stage-3 admission order for a pipeline run.
+
+    ``"auto"`` picks fine-to-coarse exactly for *plain quotient* streams
+    (graph classes, and hypergraph classes with the extension space off) —
+    the streams without generator feedback, where buffering is sound.
+    Extension-space runs stay in generation order: their reducer feeds
+    dominance verdicts back into the (lazy) enumerator, which a buffered
+    replay would silence.
+    """
+    if admission_order not in {"auto", "fine_to_coarse", "insertion"}:
+        raise ValueError(f"unknown admission order {admission_order!r}")
+    if admission_order != "auto":
+        return admission_order
+    plain_stream = getattr(cls, "kind", None) == "graph" or max_extra_atoms <= 0
+    return "fine_to_coarse" if plain_stream else "insertion"
 
 
 def run_pipeline(
@@ -992,16 +1515,22 @@ def run_pipeline(
     batch_size: int = DEFAULT_BATCH_SIZE,
     max_extra_atoms: int = 1,
     allow_fresh: bool = True,
+    admission_order: str = "auto",
 ) -> PipelineResult:
     """Run the three-stage pipeline and return the →-minimal frontier.
 
     ``workers <= 1`` runs everything inline (bit-identical to the historic
     serial algorithm); ``parallel`` picks the scaling strategy for
     ``workers > 1`` — see the module docstring for the two strategies and
-    their determinism guarantees.
+    their determinism guarantees.  ``admission_order`` selects stage 3's
+    reduction order (:func:`_resolve_admission_order`): ``"auto"`` (the
+    default) reduces plain quotient streams fine-to-coarse — bit-identical
+    to ``"insertion"``, the historical generation order, via representative
+    repair — and extension streams in generation order.
     """
     if parallel not in {"checks", "shards"}:
         raise ValueError(f"unknown parallel strategy {parallel!r}")
+    order = _resolve_admission_order(admission_order, cls, max_extra_atoms)
     stats = PipelineStats()
     cost_model = DedupCostModel()
     automorphisms = _base_orbit_data(tableau, stats)
@@ -1015,6 +1544,7 @@ def run_pipeline(
             max_extra_atoms,
             allow_fresh,
             automorphisms,
+            order,
         )
         with make_executor(
             workers, initializer=_install_shard_context, initargs=(context,)
@@ -1038,7 +1568,9 @@ def run_pipeline(
             automorphisms=automorphisms,
         )
         if isinstance(executor, SerialExecutor):
-            frontier = _reduce_inline(candidates, cls, stats, cost_model)
+            frontier = _reduce_inline(
+                candidates, cls, stats, cost_model, order=order
+            )
             return PipelineResult(frontier.members, stats)
 
         # The pooled "checks" strategy is check-first by construction: the
@@ -1047,21 +1579,48 @@ def run_pipeline(
         # cost-modeled check-vs-dominance ordering applies to the inline
         # stages (serial runs and shard workers), where both orders execute
         # in the same process.
-        frontier = Frontier(stats=stats)
-        for candidate, is_member in _iter_membership_candidates(
+        frontier = Frontier(stats=stats, ordered=order == "fine_to_coarse")
+        checked = _iter_membership_candidates(
             candidates,
             cls,
             executor,
             batch_size=batch_size,
             stats=stats,
             cost_model=cost_model,
-        ):
+        )
+        if order == "fine_to_coarse":
+            # Plain quotient streams: buffer the generation-ordered verdict
+            # stream, then reduce fine-to-coarse exactly like the serial
+            # path — repair plus the final generation-order sort keep the
+            # result bit-identical to it for any worker count.  (Plain
+            # streams have no families, so nothing here races feedback.)
+            verdicts: dict[int, bool] = {}
+            buffered: list = []
+            for candidate, is_member in checked:
+                buffered.append(candidate)
+                verdicts[id(candidate)] = bool(is_member)
+            for candidate in coarseness_ordered(buffered):
+                if not verdicts[id(candidate)]:
+                    continue
+                calls_before = stats.hom_le_calls
+                frontier.resolve(
+                    candidate,
+                    key=dominance_key(candidate),
+                    generation=candidate.generation,
+                )
+                if stats.hom_le_calls == calls_before:
+                    stats.admissions_resolved_by_order += 1
+            frontier.restore_generation_order()
+            return PipelineResult(frontier.members, stats)
+
+        for candidate, is_member in checked:
             parent = getattr(candidate, "parent", None)
             if parent is not None and parent.extensions_dominated:
-                # Family dominance shortcut (see _reduce_inline): the batch
-                # lookahead generates children before their parent's verdict
-                # streams back, so the source-level skip rarely fires here —
-                # the frontier-level one still removes the dominance search.
+                # Family dominance shortcut (see _reduce_inline): children
+                # that beat their parent's verdict into the batcher are
+                # skipped here without check results (the batcher cancels
+                # not-yet-dispatched ones; see _check_pooled), the rest on
+                # their streamed verdict — either way no dominance search.
                 stats.extension_short_circuits += 1
                 continue
             if is_member:

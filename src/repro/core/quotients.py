@@ -312,6 +312,14 @@ class QuotientCandidate:
     stream uses it to recognize a quotient that repeats an earlier extended
     candidate's isomorphism class.
 
+    ``generation`` is the candidate's position in its (unreordered) stream,
+    stamped by :func:`coarseness_ordered` when the pipeline replays the
+    stream fine-to-coarse: the dominance-aware reducer uses it to repair
+    frontier representatives back to the first-generated member of each
+    equivalence class and to restore generation order in its output, which
+    is what keeps the reordered reduction bit-identical to the serial
+    baseline.  ``None`` on streams that are consumed in generation order.
+
     ``extensions_dominated`` is consumer feedback to the extension stream:
     the quotient map embeds into every member of the quotient's extension
     family (adding facts preserves homomorphisms, so the identity inclusion
@@ -334,6 +342,7 @@ class QuotientCandidate:
         "_base_facts",
         "names",
         "key",
+        "generation",
         "extensions_dominated",
         "_facts",
         "_tableau",
@@ -361,6 +370,7 @@ class QuotientCandidate:
         self._base_facts = base_facts
         self.names = names
         self.key = key
+        self.generation = None
         self.extensions_dominated = False
         self._facts = facts
         self._tableau = tableau
@@ -563,6 +573,33 @@ def iter_quotient_candidates(
         )
 
 
+def coarseness_ordered(candidates: Iterable) -> Iterator:
+    """Replay a stage-1 candidate stream finest-first (fine-to-coarse).
+
+    Buffers the whole stream, stamps each candidate's ``generation`` (its
+    position in the unreordered stream), and yields candidates bucketed by
+    *descending* ``block_count`` — block count is free in integer form, and
+    a partition with more blocks can never be a coarsening of one with
+    fewer, so every candidate meets the frontier only after every strictly
+    finer candidate.  Within one bucket the original (generation) order is
+    preserved, so candidates of equal coarseness — in particular isomorphic
+    ones, which always share a block count — still arrive first-generated
+    first.
+
+    Sound only for streams without generator feedback: the stream is fully
+    consumed before anything is yielded, so ``extensions_dominated`` flags
+    set during the reduction would never reach the (exhausted) enumerator.
+    The pipeline therefore applies it to *plain quotient* streams only
+    (graph classes, and hypergraph classes with the extension space off).
+    """
+    buckets: dict[int, list] = {}
+    for generation, candidate in enumerate(candidates):
+        candidate.generation = generation
+        buckets.setdefault(candidate.block_count or 0, []).append(candidate)
+    for block_count in sorted(buckets, reverse=True):
+        yield from buckets[block_count]
+
+
 def iter_quotient_tableaux(
     tableau: Tableau,
     *,
@@ -677,6 +714,7 @@ class ExtensionCandidate:
         "block_count",
         "distinguished",
         "parent",
+        "generation",
         "_atoms",
         "_names",
         "_facts",
@@ -698,6 +736,7 @@ class ExtensionCandidate:
         distinguished: tuple[int, ...],
     ) -> None:
         self.parent = quotient
+        self.generation = None
         self._atoms = atoms
         self._names = names
         self._facts = facts
@@ -976,7 +1015,15 @@ def iter_extended_candidates(
                     )
                 )
         for count in range(1, max_extra_atoms + 1):
+            if candidate.extensions_dominated:
+                break
             for combo in itertools.combinations(range(len(pool)), count):
+                if candidate.extensions_dominated:
+                    # Late feedback: the parent's verdict landed while its
+                    # family was already streaming (pooled lookahead).  The
+                    # rest of the family is dominated — abandon it here
+                    # instead of only at the family boundary.
+                    break
                 started = time.perf_counter() if cost_model is not None else 0.0
                 if pool_perms and any(
                     tuple(sorted(p[i] for i in combo)) < combo for p in pool_perms
@@ -1045,7 +1092,11 @@ def _iter_extended_candidates_fallback(
             iter_extension_atoms(quotient.structure, allow_fresh=allow_fresh)
         )
         for count in range(1, max_extra_atoms + 1):
+            if candidate.extensions_dominated:
+                break
             for extras in itertools.combinations(extension_pool, count):
+                if candidate.extensions_dominated:
+                    break
                 extended = _with_extensions(quotient, extras)
                 started = time.perf_counter() if cost_model is not None else 0.0
                 fresh_candidate = seen.first_sighting(extended)

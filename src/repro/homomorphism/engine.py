@@ -431,6 +431,55 @@ class HomEngine:
         self._hom_le_memo.store(key, result)
         return result
 
+    def hom_le_many(
+        self,
+        source: Tableau,
+        targets: Iterable[Tableau],
+        *,
+        memo: bool = False,
+    ) -> list[bool]:
+        """Batched ``hom_le``: one source against many targets.
+
+        Source-side work is shared across the batch — the refutation
+        signature is computed once up front (instead of once per pair), and
+        the search plan behind :meth:`find_homomorphism` is a single cache
+        entry the whole batch reuses.  Verdicts match per-pair
+        :meth:`hom_le` exactly.  The frontier's eviction scan and the
+        representative-repair step of the approximation pipeline call this
+        with ``memo=False`` (their pairs never repeat, matching the
+        rationale documented on :meth:`hom_le`); repeat-heavy callers can
+        opt back into the canonical-key memo with ``memo=True``.
+        """
+        source_signature = self.signature(source.structure)
+        verdicts: list[bool] = []
+        for target in targets:
+            if memo:
+                verdicts.append(self.hom_le(source, target))
+                continue
+            pin = pin_for(source, target)
+            if pin is None:
+                verdicts.append(False)
+                continue
+            if (
+                source.structure == target.structure
+                and source.distinguished == target.distinguished
+            ):
+                verdicts.append(True)
+                continue
+            if refutes_hom(
+                source_signature, self.signature(target.structure), pin
+            ):
+                self.stats["refuted"] += 1
+                verdicts.append(False)
+                continue
+            verdicts.append(
+                self.find_homomorphism(
+                    source.structure, target.structure, pin=pin
+                )
+                is not None
+            )
+        return verdicts
+
     def tableau_hom(self, source: Tableau, target: Tableau) -> Assignment | None:
         """An actual tableau homomorphism (not just the memoized verdict)."""
         pin = pin_for(source, target)

@@ -61,7 +61,11 @@ class SerialExecutor:
     workers = 1
 
     def imap(
-        self, fn: Callable[[Task], Result], tasks: Iterable[Task]
+        self,
+        fn: Callable[[Task], Result],
+        tasks: Iterable[Task],
+        *,
+        inflight: int | None = None,
     ) -> Iterator[Result]:
         for task in tasks:
             yield fn(task)
@@ -83,7 +87,16 @@ class ProcessExecutor:
     the default (``workers + 2``) keeps every worker busy while the oldest
     result is being consumed, without racing arbitrarily far ahead of
     consumers that feed results back into the task stream (the pipeline's
-    check-memo does exactly that).
+    check-memo and the verdict-feedback batcher both do exactly that).
+
+    :meth:`imap` is additionally *feedback-aware*: whenever the oldest
+    submitted task has already finished, its result is yielded **before**
+    the next task is pulled from the (lazy) task stream.  Consumers that
+    react to results by mutating shared state the task stream reads — the
+    pipeline's ``extensions_dominated`` flags, which cancel whole extension
+    families at the source — therefore see verdicts at the earliest
+    possible moment instead of only when the lookahead window fills, which
+    is what lets feedback land before a family is enqueued.
     """
 
     def __init__(
@@ -111,12 +124,26 @@ class ProcessExecutor:
         )
 
     def imap(
-        self, fn: Callable[[Task], Result], tasks: Iterable[Task]
+        self,
+        fn: Callable[[Task], Result],
+        tasks: Iterable[Task],
+        *,
+        inflight: int | None = None,
     ) -> Iterator[Result]:
+        """Map ``fn`` over ``tasks`` with submission-order results.
+
+        ``inflight`` overrides the executor-level lookahead window for this
+        call (consumers that feed verdicts back into the task stream may
+        want a tighter window than throughput-only consumers).  Results are
+        always yielded in submission order; finished head-of-queue results
+        are yielded eagerly — before the next task is pulled — so the
+        consumer's feedback reaches the task stream as early as possible.
+        """
+        window = self.inflight if inflight is None else max(1, inflight)
         pending: deque = deque()
         for task in tasks:
             pending.append(self._pool.submit(fn, task))
-            while len(pending) >= self.inflight:
+            while pending and (len(pending) >= window or pending[0].done()):
                 yield pending.popleft().result()
         while pending:
             yield pending.popleft().result()

@@ -9,6 +9,10 @@ instead of silently making every benchmark and caller crawl.
 
 The ceilings are ~20x the current wall time on an unloaded machine — they
 should only trip on algorithmic regressions, not machine noise.
+
+Wall-clock tests (and everything that spins up a process pool) carry the
+``slow`` marker; ``-m "not slow"`` is the quick tier (see ``pytest.ini``),
+which keeps the counter-based guards — they are deterministic and cheap.
 """
 
 import os
@@ -37,6 +41,7 @@ def elapsed(fn):
 
 
 class TestPerfSmoke:
+    @pytest.mark.slow
     def test_seven_variable_frontier_under_ceiling(self):
         # Bell(7) = 877 raw candidates; the engine must keep the whole
         # frontier construction well under this ceiling (currently ~0.03s).
@@ -47,6 +52,7 @@ class TestPerfSmoke:
         assert frontier, "the 7-variable frontier must not be empty"
         assert seconds < 10.0, f"7-variable frontier took {seconds:.1f}s"
 
+    @pytest.mark.slow
     def test_seven_variable_all_approximations_correct_and_fast(self):
         query = cycle_with_chords(7)
         seconds, results = elapsed(
@@ -56,6 +62,7 @@ class TestPerfSmoke:
         assert all(is_contained_in(r, query) for r in results)
         assert seconds < 15.0, f"7-variable all_approximations took {seconds:.1f}s"
 
+    @pytest.mark.slow
     def test_dense_random_frontier_under_ceiling(self):
         # An asymmetric base where dedup adaptively disables itself: the
         # engine must never be pathologically slower than plain enumeration.
@@ -66,6 +73,7 @@ class TestPerfSmoke:
         assert frontier
         assert seconds < 20.0, f"random 7-variable frontier took {seconds:.1f}s"
 
+    @pytest.mark.slow
     @pytest.mark.skipif(
         (os.cpu_count() or 1) < 2,
         reason="process-pool smoke needs at least 2 CPUs to be meaningful",
@@ -83,6 +91,7 @@ class TestPerfSmoke:
         assert frontier, "the pooled 7-variable frontier must not be empty"
         assert seconds < 30.0, f"pooled 7-variable frontier took {seconds:.1f}s"
 
+    @pytest.mark.slow
     @pytest.mark.skipif(
         (os.cpu_count() or 1) < 2,
         reason="process-pool smoke needs at least 2 CPUs to be meaningful",
@@ -101,6 +110,7 @@ class TestPerfSmoke:
         assert frontier
         assert seconds < 30.0, f"sharded AC frontier took {seconds:.1f}s"
 
+    @pytest.mark.slow
     def test_extension_stream_faster_than_materialized_path(self):
         # The integer-form extension stream (Claim 6.2 candidates over
         # block + fresh ids, family-dominance shortcut, fact-level keys)
@@ -137,6 +147,29 @@ class TestPerfSmoke:
             f"extension stream took {stream_s:.2f}s vs {legacy_s:.2f}s legacy — "
             "the ≥2x speedup guard tripped"
         )
+
+    def test_fine_to_coarse_order_does_fewer_hom_le_calls(self):
+        # Pinned member-heavy stream: an 8-variable chordal cycle outside
+        # HTW(2) whose quotients are ~99% members, so insertion order pays
+        # an engine-backed dominance scan per admission while the
+        # fine-to-coarse order resolves most candidates through the
+        # coarsening fast path and the refinement index.  Counted via
+        # PipelineStats (hom_le_calls), not wall time — deterministic, so
+        # no noise skip is needed.  Results must stay bit-identical.
+        query = cycle_with_chords(8, ((0, 3), (1, 4), (2, 6)))
+        cls = HypertreeClass(2)
+        baseline = run_pipeline(
+            query.tableau(), cls, max_extra_atoms=0,
+            admission_order="insertion",
+        )
+        ordered = run_pipeline(query.tableau(), cls, max_extra_atoms=0)
+        assert ordered.frontier == baseline.frontier
+        assert baseline.stats.members > 0.9 * baseline.stats.generated
+        assert ordered.stats.hom_le_calls < baseline.stats.hom_le_calls, (
+            f"fine-to-coarse did {ordered.stats.hom_le_calls} hom_le calls "
+            f"vs {baseline.stats.hom_le_calls} in insertion order"
+        )
+        assert ordered.stats.admissions_resolved_by_order > 0
 
     @pytest.mark.slow
     def test_eight_variable_frontier_under_ceiling(self):

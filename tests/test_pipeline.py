@@ -23,18 +23,27 @@ from repro.core import (
     run_pipeline,
     syntactic_overapproximations,
 )
-from repro.core.pipeline import PipelineStats, _frontier_first_pays, _reduce_inline
+from repro.core.pipeline import (
+    _ORDER_MIN_SAMPLES,
+    _ORDER_REVIEW_EVERY,
+    PipelineStats,
+    _OrderController,
+    _frontier_first_pays,
+    _reduce_inline,
+)
 from repro.core.quotients import (
     _shard_prefixes,
     _with_extensions,
+    coarseness_ordered,
     iter_extension_atoms,
+    iter_quotient_candidates,
     iter_quotient_tableaux,
 )
 from repro.homomorphism.engine import default_engine
 from repro.cq import Structure, Tableau, parse_query
 from repro.homomorphism import hom_equivalent
 from repro.util import bell_number, rgs_codes, set_partitions
-from repro.workloads import cycle_with_chords
+from repro.workloads import cycle_with_chords, random_graph_query
 
 TRIANGLE = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
 TERNARY = parse_query("Q() :- R(x1, x2, x3), R(x3, x4, x5), R(x5, x6, x1)")
@@ -211,6 +220,136 @@ class TestDeterminism:
             )
 
 
+class TestCoarsenessOrdered:
+    def test_buckets_descend_and_generations_are_stamped(self):
+        candidates = list(
+            iter_quotient_candidates(cycle_with_chords(5).tableau())
+        )
+        replayed = list(coarseness_ordered(iter(candidates)))
+        assert sorted(replayed, key=id) == sorted(candidates, key=id)
+        assert sorted(c.generation for c in replayed) == list(
+            range(len(candidates))
+        )
+        counts = [c.block_count for c in replayed]
+        assert counts == sorted(counts, reverse=True)
+        for block_count in set(counts):
+            generations = [
+                c.generation for c in replayed if c.block_count == block_count
+            ]
+            assert generations == sorted(generations)  # stable within bucket
+
+
+class TestAdmissionOrder:
+    """Fine-to-coarse reduction must stay bit-identical to the serial
+    generation-order baseline (representative repair + final sort)."""
+
+    MEMBER_HEAVY = cycle_with_chords(8, ((0, 3), (1, 4), (2, 6)))
+
+    def test_invalid_admission_order_rejected(self):
+        with pytest.raises(ValueError):
+            run_pipeline(
+                TRIANGLE.tableau(), TW1, admission_order="coarse_to_fine"
+            )
+
+    def test_member_heavy_htw2_bit_identical_to_legacy(self):
+        # The differential pin for the member-heavy plain quotient regime
+        # (ROADMAP's old first open item): ~99% of candidates are HTW(2)
+        # members, the stream is reduced fine-to-coarse by default, and the
+        # result must equal the pre-PR insertion-order reduction down to
+        # the representative tableaux and their order.
+        tableau = self.MEMBER_HEAVY.tableau()
+        cls = HypertreeClass(2)
+        legacy = _reduce_inline(
+            (
+                _LegacyTableauCandidate(t)
+                for t in iter_quotient_tableaux(tableau, dedup=True)
+            ),
+            cls,
+            PipelineStats(),
+            None,
+        )
+        result = run_pipeline(tableau, cls, max_extra_atoms=0)
+        assert result.frontier == legacy.members
+
+    @pytest.mark.parametrize(
+        "query,cls",
+        [
+            (TRIANGLE, TW1),
+            (cycle_with_chords(6), TW1),
+            (cycle_with_chords(7, ((0, 3),)), TW2),
+            (random_graph_query(7, 9, seed=2), TW1),  # dedup switches off
+        ],
+    )
+    def test_orders_agree_on_graph_classes(self, query, cls):
+        ordered = run_pipeline(query.tableau(), cls)
+        baseline = run_pipeline(
+            query.tableau(), cls, admission_order="insertion"
+        )
+        assert ordered.frontier == baseline.frontier
+
+    def test_representative_repair_restores_first_generated(self):
+        # The triangle's loop quotient is hom-equivalent to a
+        # later-generated finer quotient that fine-to-coarse admits first;
+        # without repair the reordered run would return the wrong (though
+        # equivalent) representative.
+        ordered = run_pipeline(TRIANGLE.tableau(), TW1)
+        baseline = run_pipeline(
+            TRIANGLE.tableau(), TW1, admission_order="insertion"
+        )
+        assert ordered.frontier == baseline.frontier
+        assert ordered.stats.representative_repairs >= 1
+
+    def test_fine_to_coarse_handles_candidates_without_codes(self):
+        # Isolated domain elements force the enumerator's materialized
+        # fallback: candidates carry a block count but no codes, so the
+        # refinement index and coarsening fast paths are unavailable while
+        # the order and repair machinery still run.
+        structure = Structure(
+            {"E": [("x", "y")]}, domain=["x", "y", "z"]
+        )
+        tableau = Tableau(structure, ())
+        ordered = run_pipeline(tableau, TW1, max_extra_atoms=0)
+        baseline = run_pipeline(
+            tableau, TW1, max_extra_atoms=0, admission_order="insertion"
+        )
+        assert ordered.frontier == baseline.frontier
+
+    @pytest.mark.slow
+    def test_pooled_checks_bit_identical_on_member_heavy_stream(self):
+        tableau = self.MEMBER_HEAVY.tableau()
+        cls = HypertreeClass(2)
+        serial = run_pipeline(tableau, cls, max_extra_atoms=0)
+        pooled = run_pipeline(tableau, cls, max_extra_atoms=0, workers=2)
+        assert pooled.frontier == serial.frontier
+
+
+class TestVerdictFeedbackBatcher:
+    @pytest.mark.slow
+    def test_pooled_extension_checks_stay_near_serial(self):
+        # The gated batcher holds extension families until their parent's
+        # verdict is emitted, so the pool checks (nearly) only what the
+        # serial path checks — the family-cancellation gap the benchmark
+        # tracks.  Results stay bit-identical.
+        tableau = TERNARY.tableau()
+        serial = run_pipeline(tableau, AC, allow_fresh=False)
+        pooled = run_pipeline(tableau, AC, allow_fresh=False, workers=2)
+        assert pooled.frontier == serial.frontier
+        assert pooled.stats.checks_run <= 1.2 * serial.stats.checks_run
+        assert pooled.stats.families_cancelled_in_flight > 0
+
+    @pytest.mark.slow
+    def test_cancelled_families_never_reach_the_pool(self):
+        tableau = TERNARY.tableau()
+        cls = HypertreeClass(2)
+        serial = run_pipeline(tableau, cls, allow_fresh=False)
+        pooled = run_pipeline(tableau, cls, allow_fresh=False, workers=2)
+        assert pooled.frontier == serial.frontier
+        # On this stream every family is dominated by its parent's
+        # frontier verdict, so the pool sees exactly the parents' checks.
+        assert pooled.stats.checks_run == serial.stats.checks_run
+        assert pooled.stats.families_cancelled_in_flight > 0
+
+
 class TestFrontier:
     def test_merge_of_split_streams_matches_serial(self):
         tableau = cycle_with_chords(6).tableau()
@@ -241,6 +380,178 @@ class TestFrontier:
         assert frontier.members == [two_cycle]
         assert frontier.dominated(loop)
         assert not frontier.add(loop)
+
+    def test_merge_of_empty_shard_frontier_is_a_noop(self):
+        frontier = Frontier()
+        assert frontier.merge([]).members == []
+        loop = parse_query("Q() :- E(x, x)").tableau()
+        frontier.add(loop)
+        assert frontier.merge([]).members == [loop]
+        assert frontier.merge(iter(())).members == [loop]
+
+    def test_merge_short_circuits_known_isomorphic_members(self):
+        # Shard merges present members isomorphic to already-merged ones
+        # (per-shard dedup cannot see across shards).  The first duplicate
+        # pays one dominance scan; later ones must hit the shared dominance
+        # memo under their canonical ("iso") key and run no scan at all.
+        stats = PipelineStats()
+        frontier = Frontier(stats=stats)
+        copies = [
+            parse_query(f"Q() :- E({v}, {v})").tableau() for v in "xyz"
+        ]
+        frontier.merge([copies[0]])
+        frontier.merge([copies[1]])
+        scans_after_first_duplicate = stats.dominance_tests
+        frontier.merge([copies[2]])
+        assert frontier.members == [copies[0]]
+        assert stats.dominance_tests == scans_after_first_duplicate
+        assert stats.dominance_memo_hits >= 1
+        assert stats.dominated_without_search >= 1
+
+    def test_hom_le_many_matches_pairwise_verdicts(self):
+        engine = default_engine()
+        tableaux = [
+            parse_query(text).tableau()
+            for text in (
+                "Q() :- E(x, y), E(y, z), E(z, x)",
+                "Q() :- E(x, x)",
+                "Q() :- E(x, y)",
+                "Q() :- E(x, y), E(y, x)",
+            )
+        ]
+        for source in tableaux:
+            assert engine.hom_le_many(source, tableaux) == [
+                engine.hom_le(source, target) for target in tableaux
+            ]
+            assert engine.hom_le_many(source, []) == []
+
+
+class _FakeClock:
+    """Deterministic stand-in for the stage timers.
+
+    Tests advance it by an exact per-stage cost and copy the elapsed spans
+    into the stats' ``*_seconds`` fields, so the controller sees the same
+    numbers a wall clock would have produced — reproducibly.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def measure(self, seconds: float) -> float:
+        started = self.now
+        self.now += seconds
+        return self.now - started
+
+
+def _feed_window(
+    controller,
+    clock,
+    *,
+    candidates,
+    check_cost,
+    dominance_cost,
+    checks=None,
+    member_rate=1.0,
+    dominated_rate=0.95,
+):
+    """Apply one review window's worth of deterministically timed work."""
+    stats = controller.stats
+    checks = candidates if checks is None else checks
+    stats.generated += candidates
+    stats.checks_run += checks
+    stats.check_seconds += sum(
+        clock.measure(check_cost) for _ in range(checks)
+    )
+    stats.members += int(checks * member_rate)
+    stats.dominance_tests += candidates
+    stats.dominance_seconds += sum(
+        clock.measure(dominance_cost) for _ in range(candidates)
+    )
+    stats.dominated += int(candidates * dominated_rate)
+    controller.update()
+
+
+class TestOrderController:
+    def test_cold_start_window_without_samples_never_flips(self):
+        controller = _OrderController(PipelineStats())
+        clock = _FakeClock()
+        # A full review window arrives, but with fewer measured samples
+        # than _ORDER_MIN_SAMPLES on the check side: the controller must
+        # stay on the cold-start (check-first) order with no pending flip,
+        # however extreme the measured ratio looks.
+        _feed_window(
+            controller,
+            clock,
+            candidates=_ORDER_REVIEW_EVERY,
+            checks=_ORDER_MIN_SAMPLES - 1,
+            check_cost=1.0,
+            dominance_cost=1e-9,
+        )
+        assert controller.frontier_first is False
+        assert controller.stats.order_switches == 0
+        # The next window has samples; one agreeing window is still not
+        # enough (two-window hysteresis).
+        _feed_window(
+            controller,
+            clock,
+            candidates=_ORDER_REVIEW_EVERY,
+            check_cost=1e-3,
+            dominance_cost=1e-6,
+        )
+        assert controller.frontier_first is False
+        assert controller.stats.order_switches == 0
+
+    def test_two_agreeing_windows_flip_check_first_to_dominance_first(self):
+        controller = _OrderController(PipelineStats())
+        clock = _FakeClock()
+        for _ in range(2):
+            _feed_window(
+                controller,
+                clock,
+                candidates=_ORDER_REVIEW_EVERY,
+                check_cost=1e-3,
+                dominance_cost=1e-6,
+            )
+        assert controller.frontier_first is True
+        assert controller.stats.order_switches == 1
+
+    def test_windowed_timings_flip_back_deterministically(self):
+        controller = _OrderController(PipelineStats())
+        clock = _FakeClock()
+        for _ in range(2):  # expensive checks: flip to dominance-first
+            _feed_window(
+                controller,
+                clock,
+                candidates=_ORDER_REVIEW_EVERY,
+                check_cost=1e-3,
+                dominance_cost=1e-6,
+            )
+        assert controller.frontier_first is True
+        # One cheap-and-selective-check window is a borderline regime
+        # change: no flap.
+        _feed_window(
+            controller,
+            clock,
+            candidates=_ORDER_REVIEW_EVERY,
+            check_cost=1e-7,
+            dominance_cost=1e-3,
+            member_rate=0.2,
+            dominated_rate=0.1,
+        )
+        assert controller.frontier_first is True
+        assert controller.stats.order_switches == 1
+        # The second agreeing window flips back to check-first.
+        _feed_window(
+            controller,
+            clock,
+            candidates=_ORDER_REVIEW_EVERY,
+            check_cost=1e-7,
+            dominance_cost=1e-3,
+            member_rate=0.2,
+            dominated_rate=0.1,
+        )
+        assert controller.frontier_first is False
+        assert controller.stats.order_switches == 2
 
 
 class TestDedupCostModel:
@@ -404,6 +715,13 @@ class TestExtensionStreamDifferential:
     WORKLOADS = [
         ("Q() :- R(x1, x2, x3), R(x3, x4, x5), R(x5, x6, x1)", AC, False),
         ("Q() :- R(x1, x2, x3), R(x3, x4, x5)", HypertreeClass(2), False),
+        # Member-heavy extension space: every family is dominated by its
+        # parent's verdict, so the source-level skip carries the stream.
+        (
+            "Q() :- R(x1, x2, x3), R(x3, x4, x5), R(x5, x6, x1)",
+            HypertreeClass(2),
+            False,
+        ),
         ("Q() :- E(x, y), E(y, z), E(z, x)", AC, True),
         ("Q() :- R(x, y), R(y, z)", TW2, True),  # graph class ignores extras
     ]
