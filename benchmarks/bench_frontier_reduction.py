@@ -40,7 +40,7 @@ import statistics
 import time
 from pathlib import Path
 
-from repro.core import AC, HypertreeClass, run_pipeline
+from repro.core import AC, HypertreeClass, TreewidthClass, run_pipeline
 from repro.core.pipeline import MembershipTester, PipelineStats, _reduce_inline
 from repro.core.quotients import iter_quotient_candidates
 from repro.cq import parse_query
@@ -83,6 +83,18 @@ def workloads():
             cycle_with_chords(8, ((0, 3), (1, 4), (2, 6))),
             HypertreeClass(2),
             3,
+            False,
+        ),
+        # Member-light: ~35% members, thousands of dominated-but-uncovered
+        # partitions — the regime that used to approach the (now retired)
+        # _INDEX_CAP backstop.  The sublinear trie index must show no
+        # admission slowdown here (fine-to-coarse at least as fast as
+        # insertion order) with the index running uncapped.
+        (
+            "C9+5ch/TW2 member-light",
+            cycle_with_chords(9, ((0, 3), (1, 4), (2, 5), (6, 8), (7, 1))),
+            TreewidthClass(2),
+            1,
             False,
         ),
     ]

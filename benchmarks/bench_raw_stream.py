@@ -1,0 +1,253 @@
+"""EXP RAW-STREAM — cost-modeled raw-stream generation vs. the PR-4
+canonical stage-1 baseline: killing the stage-1 canonicalization tax.
+
+After PR 4's dominance-aware reduction, canonical-key dedup of the quotient
+stream was the dominant serial cost on member-heavy plain runs (~2s of the
+~3s 9-variable HTW(2) frontier): every candidate paid a full fact-level
+canonization even though the refinement index and the dominance/class memos
+absorb most repeats for free.  The pipeline now generates those streams
+**raw** (orbit-pruned only, which is free on rigid bases like these) and
+defers canonicalization to the point of need (``Frontier.resolve``'s
+``late_key``): a candidate is keyed
+only after the dominance memo, the sublinear trie refinement index, and
+the class-status memo all missed, and the repair reverse queries that a
+raw stream multiplies are answered by per-member kernel indexes (one hom
+enumeration per frontier member, one trie walk per candidate) instead of
+per-candidate engine searches.
+
+Measured here, per workload:
+
+* **End-to-end serial speedup** (the headline): ``run_pipeline`` under the
+  new default (raw generation) vs. the **PR-4 baseline** — canonical
+  stage-1 dedup with the kernel index disabled, restoring PR 4's
+  per-candidate engine-backed repair reverse queries.  Results are
+  asserted bit-identical.
+* **Stage-1 share**: the fraction of the end-to-end wall time spent
+  generating (and integer-forming) the candidate stream alone, old vs.
+  new — the tax this PR exists to kill (target: < 40% under raw).
+
+Writes machine-readable ``BENCH_raw_stream.json`` at the repository root
+so the perf trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from repro.core import HypertreeClass, run_pipeline
+from repro.core.pipeline import Frontier, MembershipTester, PipelineStats
+from repro.core.quotients import iter_quotient_candidates
+from repro.homomorphism.engine import HomEngine
+import repro.homomorphism.engine as engine_module
+from repro.workloads import cycle_with_chords
+from paperfmt import table, write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_raw_stream.json"
+
+
+# --------------------------------------------------------------------------
+# Workloads: member-heavy plain quotient frontiers (max_extra_atoms=0), the
+# regime where stage-1 canonicalization dominated the run after PR 4.  The
+# 9-variable chordal cycle is the headline (Bell(9) = 21147 partitions,
+# ~8.5k canonical candidates, ~99% members).
+# --------------------------------------------------------------------------
+
+
+def workloads():
+    # (name, query, class, repeats, headline?)
+    return [
+        (
+            "C9+5ch/HTW2 member-heavy",
+            cycle_with_chords(9, ((0, 3), (1, 4), (2, 5), (6, 8), (7, 1))),
+            HypertreeClass(2),
+            1,
+            True,
+        ),
+        (
+            "C8+3ch/HTW2 member-heavy",
+            cycle_with_chords(8, ((0, 3), (1, 4), (2, 6))),
+            HypertreeClass(2),
+            3,
+            False,
+        ),
+    ]
+
+
+def _fresh_engine(fn, repeats: int):
+    """Median wall time of ``fn`` under a private engine, plus last result."""
+    times, result = [], None
+    for _ in range(repeats):
+        saved = engine_module.DEFAULT_ENGINE
+        engine_module.DEFAULT_ENGINE = HomEngine()
+        try:
+            started = time.perf_counter()
+            result = fn()
+            times.append(time.perf_counter() - started)
+        finally:
+            engine_module.DEFAULT_ENGINE = saved
+    return statistics.median(times), result
+
+
+def _pr4_baseline(fn, repeats: int):
+    """Run ``fn`` with the per-member kernel index disabled.
+
+    With ``_KERNEL_HOM_CAP = 0`` every kernel-index build caps out
+    immediately and ``Frontier._member_le`` falls back to per-candidate
+    engine queries — PR 4's repair reverse-query behavior.  Combined with
+    ``generation="canonical"`` in ``fn`` this replicates the PR-4 serial
+    path (the trie refinement index stays on, which only makes the
+    baseline *faster* than true PR 4, so reported speedups are
+    conservative).
+    """
+    saved_cap = Frontier._KERNEL_HOM_CAP
+    Frontier._KERNEL_HOM_CAP = 0
+    try:
+        return _fresh_engine(fn, repeats)
+    finally:
+        Frontier._KERNEL_HOM_CAP = saved_cap
+
+
+def _stage1_seconds(tableau, generation: str, repeats: int) -> float:
+    """Wall time to exhaust stage 1 alone (integer facts included)."""
+
+    def consume():
+        for candidate in iter_quotient_candidates(
+            tableau, generation=generation
+        ):
+            candidate.facts()
+
+    seconds, _ = _fresh_engine(consume, repeats)
+    return seconds
+
+
+def _member_rate(tableau, cls) -> float:
+    tester = MembershipTester(cls, PipelineStats(), None)
+    candidates = list(iter_quotient_candidates(tableau))
+    return sum(1 for c in candidates if tester(c)) / len(candidates)
+
+
+def run_workload(name, query, cls, repeats, headline):
+    tableau = query.tableau()
+    assert not cls.contains_tableau(tableau), f"{name}: base must not be in class"
+    member_rate = _member_rate(tableau, cls)
+
+    base_s, base = _pr4_baseline(
+        lambda: run_pipeline(
+            tableau, cls, max_extra_atoms=0, generation="canonical"
+        ),
+        repeats,
+    )
+    new_s, new = _fresh_engine(
+        lambda: run_pipeline(tableau, cls, max_extra_atoms=0),
+        repeats,
+    )
+    assert new.frontier == base.frontier, f"{name}: raw not bit-identical"
+
+    stage1_base_s = _stage1_seconds(tableau, "canonical", repeats)
+    # The resolved default for fine-to-coarse plain runs: the raw replay
+    # with orbit pruning (identical to "raw" on these rigid bases).
+    stage1_new_s = _stage1_seconds(tableau, "orbit", repeats)
+
+    return {
+        "workload": name,
+        "class": cls.name,
+        "variables": len(tableau.structure.domain),
+        "member_rate": round(member_rate, 3),
+        "frontier_size": len(base.frontier),
+        "candidates_canonical": base.stats.generated,
+        "candidates_raw": new.stats.generated,
+        "pr4_end_to_end_s": round(base_s, 4),
+        "raw_end_to_end_s": round(new_s, 4),
+        "speedup": round(base_s / new_s, 2) if new_s else None,
+        "stage1_pr4_s": round(stage1_base_s, 4),
+        "stage1_raw_s": round(stage1_new_s, 4),
+        "stage1_share_pr4": round(stage1_base_s / base_s, 3) if base_s else None,
+        "stage1_share_raw": round(stage1_new_s / new_s, 3) if new_s else None,
+        "late_canonizations": new.stats.late_canonizations,
+        "class_status_hits": new.stats.class_status_hits,
+        "hom_le_raw": new.stats.hom_le_calls,
+        "hom_le_pr4": base.stats.hom_le_calls,
+        "index_evictions": new.stats.index_evictions,
+    }
+
+
+def run_all() -> dict:
+    specs = workloads()
+    rows = [run_workload(*spec) for spec in specs]
+    headline_name = next(spec[0] for spec in specs if spec[4])
+    headline = next(row for row in rows if row["workload"] == headline_name)
+    return {
+        "benchmark": "raw_stream",
+        "description": (
+            "raw-stream stage-1 generation (no canonical dedup; downstream "
+            "memos, the trie refinement index, and point-of-need late "
+            "canonicalization absorb repeats; kernel-index repair reverse "
+            "queries) vs the PR-4 canonical baseline on member-heavy plain "
+            "quotient frontiers"
+        ),
+        "cpu_count": os.cpu_count(),
+        "workloads": rows,
+        "headline": {
+            "name": headline["workload"],
+            "class": headline["class"],
+            "speedup": headline["speedup"],
+            "target_speedup": 2.0,
+            "stage1_share": headline["stage1_share_raw"],
+            "target_stage1_share": 0.4,
+            "note": (
+                "end-to-end serial run_pipeline, raw generation (the new "
+                "default) vs PR-4 baseline (canonical stage-1 dedup, "
+                "kernel index off) on the 9-variable member-heavy HTW(2) "
+                "frontier; results are bit-identical"
+            ),
+        },
+    }
+
+
+def main() -> None:
+    payload = run_all()
+    assert (
+        payload["headline"]["stage1_share"]
+        < payload["headline"]["target_stage1_share"]
+    ), "stage-1 share regressed above target"
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    body = table(
+        [
+            "workload",
+            "member%",
+            "cands old→raw",
+            "pr4 e2e(s)",
+            "raw e2e(s)",
+            "speedup",
+            "stage1 share old→raw",
+            "late canon",
+        ],
+        [
+            [
+                row["workload"],
+                f"{100 * row['member_rate']:.0f}",
+                f"{row['candidates_canonical']}→{row['candidates_raw']}",
+                row["pr4_end_to_end_s"],
+                row["raw_end_to_end_s"],
+                f"{row['speedup']}x",
+                f"{row['stage1_share_pr4']}→{row['stage1_share_raw']}",
+                row["late_canonizations"],
+            ]
+            for row in payload["workloads"]
+        ],
+    )
+    write_report(
+        "bench_raw_stream",
+        "Raw-stream generation vs the stage-1 canonicalization tax",
+        body,
+    )
+    print(f"wrote {JSON_PATH}")
+
+
+if __name__ == "__main__":
+    main()

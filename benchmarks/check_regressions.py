@@ -1,0 +1,102 @@
+"""Perf-regression gate over the ``BENCH_*.json`` trackers.
+
+Each tracker's ``headline.speedup`` in the working tree is compared
+against its **committed predecessor** (``git show HEAD:<file>``): a
+headline that lost more than :data:`TOLERANCE` of its committed value
+fails the gate with a nonzero exit.  The comparison only ever fires after
+a benchmark was *re-run* — an untouched tracker equals its predecessor
+and passes trivially — so the gate catches perf losses at the point they
+would be committed, not on every checkout.
+
+Trackers without a committed predecessor (a benchmark introduced by the
+current change) pass as ``new``.  A tracker missing or unreadable in the
+working tree is an error: the perf-tracking surface is load-bearing
+(see :func:`paperfmt.bench_summary`).
+
+Run directly (``python benchmarks/check_regressions.py``) or through
+``python benchmarks/paperfmt.py`` / ``scripts/verify.sh``, which both
+include the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+from paperfmt import BENCH_FILES, REPO_ROOT, table
+
+#: Allowed fractional headline loss vs. the committed predecessor.
+TOLERANCE = 0.20
+
+
+def _committed_payload(filename: str) -> dict | None:
+    """The tracker as committed at HEAD (``None``: no predecessor)."""
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{filename}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def _headline_speedup(payload: dict | None) -> float | None:
+    if not isinstance(payload, dict):
+        return None
+    headline = payload.get("headline")
+    if not isinstance(headline, dict):
+        return None
+    speedup = headline.get("speedup")
+    return float(speedup) if isinstance(speedup, (int, float)) else None
+
+
+def check_regressions() -> int:
+    """Print the gate's verdict table; return a process exit code."""
+    rows: list[list[object]] = []
+    failures: list[str] = []
+    for filename in BENCH_FILES:
+        path = REPO_ROOT / filename
+        if not path.exists():
+            failures.append(f"{filename}: missing from the working tree")
+            continue
+        try:
+            current = _headline_speedup(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError) as error:
+            failures.append(f"{filename}: unreadable ({error})")
+            continue
+        if current is None:
+            failures.append(f"{filename}: no headline speedup")
+            continue
+        committed = _headline_speedup(_committed_payload(filename))
+        if committed is None:
+            rows.append([filename, f"{current}x", "—", "new"])
+            continue
+        floor = (1.0 - TOLERANCE) * committed
+        if current < floor:
+            status = f"REGRESSED (> {TOLERANCE:.0%} below committed)"
+            failures.append(
+                f"{filename}: headline {current}x fell below "
+                f"{floor:.2f}x (committed {committed}x, "
+                f"tolerance {TOLERANCE:.0%})"
+            )
+        else:
+            status = "ok"
+        rows.append([filename, f"{current}x", f"{committed}x", status])
+    print(table(["tracker", "headline", "committed", "status"], rows))
+    if failures:
+        print(
+            "check_regressions: " + "; ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check_regressions())

@@ -24,6 +24,7 @@ BENCH_FILES = (
     "BENCH_parallel_pipeline.json",
     "BENCH_extension_stream.json",
     "BENCH_frontier_reduction.json",
+    "BENCH_raw_stream.json",
 )
 
 
@@ -109,3 +110,9 @@ if __name__ == "__main__":
     except BenchSummaryError as error:
         print(f"bench_summary: {error}", file=sys.stderr)
         sys.exit(1)
+    # The regression gate rides along: each headline is compared against
+    # its committed predecessor so a benchmark re-run that lost more than
+    # the tolerance fails the formatter (see check_regressions.py).
+    from check_regressions import check_regressions
+
+    sys.exit(check_regressions())

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# One-stop verification: the quick test tier plus the perf-regression gate.
+#
+#   scripts/verify.sh
+#
+# Runs the tier-1 suite without the wall-clock perf-smoke / process-pool
+# tests (the `slow` marker — run `PYTHONPATH=src python -m pytest -x -q`
+# for the full tier), then checks every committed BENCH_*.json headline
+# against its predecessor (benchmarks/check_regressions.py: >20% loss
+# fails).  Exits nonzero on the first failure.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q -m "not slow"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/check_regressions.py

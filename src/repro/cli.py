@@ -67,6 +67,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="process-pool size for the exact pipeline (-1 = all CPUs, 1 = serial)",
     )
     approx.add_argument(
+        "--admission-order",
+        choices=["auto", "generation", "fine-to-coarse"],
+        default="auto",
+        help=(
+            "stage-3 reduction order of the exact pipeline: 'auto' replays "
+            "plain quotient streams fine-to-coarse (bit-identical to "
+            "generation order via representative repair), 'generation' "
+            "forces the insertion-order baseline, 'fine-to-coarse' forces "
+            "the reordered reduction"
+        ),
+    )
+    approx.add_argument(
         "--json",
         action="store_true",
         help="machine-readable output (approximations, class, method, timing)",
@@ -119,7 +131,9 @@ def main(argv: list[str] | None = None) -> int:
 
         query = parse_query(args.query)
         config = ApproximationConfig(
-            exact_limit=args.exact_limit, workers=args.workers
+            exact_limit=args.exact_limit,
+            workers=args.workers,
+            admission_order=args.admission_order,
         )
         stats = PipelineStats() if args.stats else None
         started = time.perf_counter()
@@ -140,6 +154,7 @@ def main(argv: list[str] | None = None) -> int:
                 "class": args.cls.name,
                 "method": args.method,
                 "workers": args.workers,
+                "admission_order": args.admission_order,
                 "all": args.all,
                 "approximations": [str(result) for result in results],
                 "seconds": round(elapsed, 6),

@@ -67,6 +67,12 @@ class ApproximationConfig:
     candidate stream itself by partition prefix (results equal up to
     homomorphic equivalence).  ``workers=-1`` means "all CPUs".  The greedy
     descent is inherently sequential and ignores the parallel knobs.
+
+    ``admission_order`` selects the pipeline's stage-3 reduction order:
+    ``"auto"`` (default) replays plain quotient streams fine-to-coarse —
+    bit-identical to generation order via representative repair — and
+    keeps extension streams in generation order; ``"generation"`` (the
+    insertion-order baseline) and ``"fine-to-coarse"`` force one order.
     """
 
     exact_limit: int = 9
@@ -78,6 +84,7 @@ class ApproximationConfig:
     workers: int = 1
     parallel: str = "checks"
     batch_size: int = 128
+    admission_order: str = "auto"
 
 
 DEFAULT_CONFIG = ApproximationConfig()
@@ -150,6 +157,7 @@ def approximation_frontier(
         batch_size=config.batch_size,
         max_extra_atoms=config.max_extra_atoms,
         allow_fresh=config.allow_fresh,
+        admission_order=config.admission_order,
     )
     if stats is not None:
         stats.absorb(result.stats)

@@ -68,11 +68,24 @@ results before pulling more work — and cancels not-yet-dispatched extension
 families of member/dominated parents (``families_cancelled_in_flight``),
 closing most of the serial-vs-pooled gap on member-heavy extension spaces.
 
+Stage 1's dedup is itself cost-modeled per run (``run_pipeline``'s
+``generation`` knob): the :class:`~repro.core.quotients.DedupCostModel` is
+a three-way generation cost model — canonical dedup vs. orbit-only pruning
+vs. the **raw partition stream** — driven by measured canonization cost,
+duplicate rate, and the reducer's absorption feedback (candidates resolved
+with zero searches and zero fresh checks), with a windowed controller that
+can flip the regime mid-run.  On member-heavy fine-to-coarse runs the
+refinement index absorbs nearly every repeat for free, so the raw stream
+retires the per-candidate canonicalization tax that used to dominate them.
+
 Determinism: the serial path is bit-identical to the pre-pipeline
 implementation; ``workers=n`` under ``"checks"`` is bit-identical to
-``workers=1``.  The cost model only decides which *duplicates* are pruned,
-and every pruned candidate is isomorphic to an earlier stream element, so
-frontier results are invariant to its (timing-dependent) decisions.
+``workers=1``.  The cost model only decides which *duplicates* are pruned
+(under ``"raw"``: none), and every pruned candidate is isomorphic to an
+earlier stream element, so frontier results are invariant to its
+(timing-dependent) decisions — the first-generated member of each
+→-minimal class is never pruned, and representative repair converges on
+exactly it whatever else survives.
 
 Engine handles are never pickled: pool workers rebuild their own
 :class:`~repro.homomorphism.engine.HomEngine` via the pid check in
@@ -89,7 +102,9 @@ from typing import Iterable, Iterator
 import networkx as nx
 
 from repro.core.classes import QueryClass
+from repro.homomorphism.signatures import canonical_key_indexed
 from repro.core.quotients import (
+    GENERATION_MODES,
     DedupCostModel,
     QuotientCandidate,
     base_automorphism_inverses,
@@ -98,7 +113,7 @@ from repro.core.quotients import (
     iter_quotient_candidates,
 )
 from repro.cq.structure import Structure
-from repro.cq.tableau import Tableau
+from repro.cq.tableau import Tableau, pin_for
 from repro.homomorphism.engine import HomEngine, default_engine
 from repro.hypergraphs.hypergraph import Hypergraph
 from repro.parallel import (
@@ -107,6 +122,7 @@ from repro.parallel import (
     effective_workers,
     make_executor,
 )
+from repro.util.partitions import RefinementTrie, code_coarsens
 
 #: Candidates funneled into one pool task (strategy ``"checks"``).
 DEFAULT_BATCH_SIZE = 128
@@ -286,6 +302,21 @@ class PipelineStats:
 
     generated: int = 0
     checks_run: int = 0
+    #: Canonical keys computed *at reduction time* (raw/orbit streams only):
+    #: a candidate that survives the free absorption checks — the dominance
+    #: memo, the refinement index, and (check-first) a memoized membership
+    #: rejection — is keyed just before its dominance scan, so isomorphic
+    #: repeats the stream did not deduplicate still skip their searches
+    #: through the class-status memo.  This is the stage-1 canonicalization
+    #: tax moved behind the absorption filters: member-heavy streams barely
+    #: pay it at all, and rejected candidates never do.
+    late_canonizations: int = 0
+    #: Candidates resolved by the isomorphism-class status memo (an earlier
+    #: isomorphic candidate's admitted/dominated outcome decided this one
+    #: with no dominance scan; rejections are not memoized — rejected
+    #: candidates exit through the memoized class check before any key is
+    #: computed).
+    class_status_hits: int = 0
     check_memo_hits: int = 0
     check_seconds: float = 0.0
     members: int = 0
@@ -336,6 +367,16 @@ class PipelineStats:
     #: back (counted once per family; the children themselves surface as
     #: ``extension_short_circuits`` when the reducer skips them).
     families_cancelled_in_flight: int = 0
+    #: Refinement-index entries dropped by a capacity backstop.  The trie
+    #: index is uncapped (the historical ``_INDEX_CAP`` antichain cap is
+    #: retired), so this stays zero — it is the tripwire that makes any
+    #: reintroduced cap visible in ``--stats`` instead of silently
+    #: truncating the index like the old backstop did.
+    index_evictions: int = 0
+    #: Times the stage-1 generation regime flipped mid-run (the cost
+    #: model's windowed three-way controller deciding canonical dedup vs.
+    #: orbit-only pruning vs. the raw partition stream).
+    generation_switches: int = 0
 
     def absorb(self, other: "PipelineStats") -> None:
         for name in self.__dataclass_fields__:
@@ -776,16 +817,29 @@ class Frontier:
         "_undominated_keys",
         "_refinement_index",
         "_repair_forward",
+        "_class_status",
+        "_kernel_tries",
+        "_kernel_queries",
         "_ordered",
         "_engine",
         "_stats",
     )
 
-    #: Bound on refinement-index entries (:meth:`_refinement_lookup`).  The
-    #: index is an antichain in practice — a covered candidate is never
-    #: added — so the cap is a safety net for adversarial streams, not a
-    #: tuning knob; hits stay sound whatever is dropped.
-    _INDEX_CAP = 2048
+    #: Cap on homomorphisms scanned while building one member's kernel
+    #: index (:meth:`_kernel_trie_for`); a member beyond it falls back to
+    #: per-candidate engine queries.  Loop-heavy members can absorb very
+    #: many homomorphisms, and a capped-out enumeration is pure waste, so
+    #: the cap is deliberately modest — such members are exactly the ones
+    #: whose engine queries resolve fast anyway.
+    _KERNEL_HOM_CAP = 512
+
+    #: Engine-backed reverse queries a member must attract before its
+    #: kernel index is built.  The hom enumeration behind the index is
+    #: worth one-time cost only when many candidates are tested against
+    #: the member (raw member-heavy streams: thousands); member-light
+    #: streams ask a handful of reverse queries per member and must not
+    #: pay an enumeration that can cost more than all of them together.
+    _KERNEL_BUILD_AFTER = 8
 
     def __init__(
         self,
@@ -801,28 +855,39 @@ class Frontier:
         self._generation: dict[int, int] = {}
         self._dominated_keys: set = set()
         self._undominated_keys: dict = {}
-        #: ``(codes, witness)`` per uncovered dominated-or-admitted
-        #: candidate, finest first (fine-to-coarse reductions only).
-        self._refinement_index: list[tuple[tuple[int, ...], Tableau | None]] = []
+        #: Trie over the codes of uncovered dominated-or-admitted
+        #: candidates, each entry carrying its repair witness.  Lookups are
+        #: sublinear (compatible-prefix walk instead of the historical
+        #: linear antichain scan), so the index runs uncapped — the
+        #: ``_INDEX_CAP`` backstop that silently truncated it is retired.
+        self._refinement_index: RefinementTrie = RefinementTrie()
         #: Repair swaps, old representative id → its replacement — index
         #: witnesses are resolved through this map at hit time.
         self._repair_forward: dict[int, Tableau] = {}
+        #: Resolution outcome per isomorphism class (fact-level canonical
+        #: key → "admitted"/"dominated").  Raw streams consult it through
+        #: :meth:`resolve`'s ``late_key`` just before a dominance scan, so
+        #: unabsorbed isomorphic repeats skip their searches; outcomes
+        #: transfer because the frontier only descends (a member mapping
+        #: into the first copy maps into every repeat).
+        self._class_status: dict[tuple, str] = {}
+        #: Per-member kernel index for the repair reverse query, keyed by
+        #: ``id(member)`` — the value pins the member tableau alive so ids
+        #: cannot be reused.  ``(member, trie)`` with a
+        #: :class:`~repro.util.partitions.RefinementTrie` of hom kernels,
+        #: or ``(member, None)`` when the hom scan capped out.
+        self._kernel_tries: dict[int, tuple[Tableau, RefinementTrie | None]] = {}
+        #: Reverse queries answered by the engine per member so far — the
+        #: build trigger for the lazy kernel index (see
+        #: ``_KERNEL_BUILD_AFTER``).
+        self._kernel_queries: dict[int, int] = {}
         self._ordered = ordered
         self._engine = engine if engine is not None else default_engine()
         self._stats = stats if stats is not None else PipelineStats()
 
-    @staticmethod
-    def _coarsens(
-        fine: tuple[int, ...] | None, coarse: tuple[int, ...] | None
-    ) -> bool:
-        """Whether every block of ``fine`` lies inside a block of ``coarse``."""
-        if fine is None or coarse is None:
-            return False
-        image: dict[int, int] = {}
-        for f, c in zip(fine, coarse):
-            if image.setdefault(f, c) != c:
-                return False
-        return True
+    #: Whether every block of ``fine`` lies inside a block of ``coarse``
+    #: (the shared O(n) coarsening test of :mod:`repro.util.partitions`).
+    _coarsens = staticmethod(code_coarsens)
 
     def _le(
         self,
@@ -937,30 +1002,110 @@ class Frontier:
         ``codes``: a member mapped into that finer quotient when it was
         recorded, the quotient map carries it on into this candidate, and
         the frontier only descends — so the candidate is dominated with no
-        scan and no search.  The returned witness is the (repair-relevant)
-        frontier member behind the entry, resolved through past repair
-        swaps; ``None`` means the entry's class is provably off the
-        frontier, so representative repair cannot apply (see
-        :meth:`resolve` for why that is sound).
+        scan and no search.  The index is a
+        :class:`~repro.util.partitions.RefinementTrie`, so the query walks
+        only the entries sharing a refinement-compatible code prefix
+        instead of scanning the whole antichain.  Which refining entry the
+        walk surfaces is immaterial: if the candidate is equivalent to a
+        current member, that member is the *unique* member mapping into it
+        — hence the unique member behind **every** hitting entry's witness
+        chain (any witness chain resolving to a live member resolves to
+        it), so any hit repairs identically to any other.  The returned
+        witness is resolved through past repair swaps; ``None`` means the
+        entry's class is provably off the frontier, so representative
+        repair cannot apply (see :meth:`resolve` for why that is sound).
         """
-        for entry_codes, witness in self._refinement_index:
-            if not self._coarsens(entry_codes, codes):
-                continue
-            while witness is not None and id(witness) not in self._generation:
-                witness = self._repair_forward.get(id(witness))
-            return True, witness
-        return False, None
+        hit, witness = self._refinement_index.find_refinement(codes)
+        if not hit:
+            return False, None
+        while witness is not None and id(witness) not in self._generation:
+            witness = self._repair_forward.get(id(witness))
+        return True, witness
 
     def _record_refinement(
         self, codes: tuple[int, ...] | None, witness: Tableau | None
     ) -> None:
         """Add an uncovered dominated-or-admitted candidate to the index."""
-        if (
-            self._ordered
-            and codes is not None
-            and len(self._refinement_index) < self._INDEX_CAP
-        ):
-            self._refinement_index.append((codes, witness))
+        if self._ordered and codes is not None:
+            self._refinement_index.add(codes, witness)
+
+    def _kernel_trie_for(
+        self, base: Tableau, witness: Tableau
+    ) -> RefinementTrie | None:
+        """The witness's kernel index: the kernels of every pinned
+        homomorphism ``base → witness``, as partition codes over the base
+        element order, in a :class:`~repro.util.partitions.RefinementTrie`.
+
+        A quotient candidate ``c`` (of the same base) maps into the witness
+        iff some hom ``base → witness`` is constant on ``c``'s blocks —
+        i.e. iff ``c``'s partition refines one of these kernels — so the
+        index answers the repair reverse query ``c → witness`` in one
+        :meth:`~repro.util.partitions.RefinementTrie.find_coarsening` walk
+        instead of a per-candidate engine search.  Built once per member
+        on first use (the hom enumeration is amortized over every
+        candidate tested against the member — on raw streams that is the
+        dominant repair cost); ``None`` when the enumeration exceeded
+        ``_KERNEL_HOM_CAP`` (callers then fall back to the engine).  An
+        empty trie is exact: no pinned hom exists, so nothing maps in.
+        """
+        cached = self._kernel_tries.get(id(witness))
+        if cached is not None:
+            return cached[1]
+        trie: RefinementTrie | None = RefinementTrie()
+        pin = pin_for(base, witness)
+        if pin is not None:
+            elements = sorted(base.structure.domain, key=repr)
+            scanned = 0
+            for hom in self._engine.iter_homomorphisms(
+                base.structure, witness.structure, pin=pin
+            ):
+                scanned += 1
+                if scanned > self._KERNEL_HOM_CAP:
+                    trie = None
+                    break
+                label: dict = {}
+                trie.add(
+                    tuple(
+                        label.setdefault(hom[element], len(label))
+                        for element in elements
+                    )
+                )
+        self._kernel_tries[id(witness)] = (witness, trie)
+        return trie
+
+    def _member_le(self, candidate, codes, witness: Tableau) -> bool:
+        """``candidate → witness`` — the repair/equivalence reverse query.
+
+        Decided, in order, by the coarsening fast path (candidate codes
+        refine the witness's), the witness's kernel index (quotient
+        candidates only), and the engine.  The kernel index is what keeps
+        raw streams cheap: the forced equivalence queries of the ordered
+        reduction repeat against the same few members, and a trie walk per
+        candidate replaces a (mostly futile) search per candidate.  The
+        index is built lazily — a member answers its first
+        ``_KERNEL_BUILD_AFTER`` queries through the engine, so streams
+        that only ever ask a handful never pay the hom enumeration.
+        """
+        if codes is not None and code_coarsens(codes, self._codes.get(id(witness))):
+            return True
+        base = getattr(candidate, "base", None)
+        if codes is not None and base is not None:
+            cached = self._kernel_tries.get(id(witness))
+            if cached is not None:
+                trie = cached[1]
+            else:
+                asked = self._kernel_queries.get(id(witness), 0) + 1
+                if asked <= self._KERNEL_BUILD_AFTER:
+                    self._kernel_queries[id(witness)] = asked
+                    trie = None
+                else:
+                    self._kernel_queries.pop(id(witness), None)
+                    trie = self._kernel_trie_for(base, witness)
+            if trie is not None:
+                hit, _ = trie.find_coarsening(codes)
+                return hit
+        self._stats.hom_le_calls += 1
+        return self._engine.hom_le(candidate.materialize(), witness, memo=False)
 
     def _repair(
         self, candidate, witness, generation, membership, *, equivalent=None
@@ -987,16 +1132,14 @@ class Frontier:
         witness_generation = self._generation.get(id(witness))
         if witness_generation is None or witness_generation <= generation:
             return
-        tableau = candidate.materialize()
         codes = candidate.codes
         if equivalent is None:
-            equivalent = self._le(
-                tableau, codes, witness, self._codes.get(id(witness))
-            )
+            equivalent = self._member_le(candidate, codes, witness)
         if not equivalent:
             return
         if membership is not None and not membership():
             return
+        tableau = candidate.materialize()
         position = next(
             i for i, member in enumerate(self.members) if member is witness
         )
@@ -1021,6 +1164,7 @@ class Frontier:
         generation: int | None = None,
         membership=None,
         membership_first: bool = False,
+        late_key=None,
     ) -> str:
         """The order-aware frontier update for one stage-1 candidate.
 
@@ -1037,6 +1181,23 @@ class Frontier:
         any check.  ``candidate`` is a stage-1 candidate object
         (``materialize()``/``codes``), materialized only when a search or
         admission actually needs the tableau.
+
+        ``late_key`` is the raw-stream dedup hook: a zero-argument callable
+        producing the candidate's fact-level canonical key (``None`` when
+        uncomputable).  It is invoked only on the brink of a dominance
+        *scan* — after the free absorption checks (dominance memo,
+        refinement index) missed and after a check-first membership
+        rejection had its chance to end the resolution cheaply — this is
+        the stage-1 canonicalization tax deferred to the point of real
+        need, never paid by candidates a memoized check rejects.  The key
+        is consulted against the class-status memo: an isomorphic
+        candidate's earlier admitted/dominated outcome settles this one
+        with no search ("admitted"/"dominated" transfer because the
+        frontier only descends; equal keys share a block count, so under
+        any supported order the earlier copy had the lower generation and
+        any repair already happened there, exactly as for the dominance
+        memo below).  On a miss the candidate's own outcome is recorded
+        under the key.
 
         Fine-to-coarse reductions (``ordered=True``) answer most
         resolutions from the refinement index with zero engine calls.
@@ -1070,9 +1231,23 @@ class Frontier:
                 return "rejected"
             member_known = True
         repair_membership = None if member_known else membership
+        class_key = None
         if cached is False:
             verdict, witness = False, None
         else:
+            if late_key is not None:
+                class_key = late_key()
+                if class_key is not None:
+                    status = self._class_status.get(class_key)
+                    if status is not None:
+                        # "admitted" or "dominated": either way a member
+                        # maps into the earlier isomorphic copy, hence
+                        # into this candidate — no scan needed.
+                        self._stats.class_status_hits += 1
+                        self._stats.dominated_without_search += 1
+                        if key is not None:
+                            self._dominated_keys.add(key)
+                        return "dominated"
             verdict, witness = self._scan_dominance(
                 candidate.materialize(), codes, key
             )
@@ -1083,12 +1258,7 @@ class Frontier:
                 # the generations would not warrant it): index hits through
                 # the entry then know for certain whether repair can ever
                 # apply — a ``None`` witness is a proof, not a guess.
-                equivalent = self._le(
-                    candidate.materialize(),
-                    codes,
-                    witness,
-                    self._codes.get(id(witness)),
-                )
+                equivalent = self._member_le(candidate, codes, witness)
                 if equivalent:
                     self._repair(
                         candidate, witness, generation, repair_membership,
@@ -1097,13 +1267,19 @@ class Frontier:
                 self._record_refinement(codes, witness if equivalent else None)
             else:
                 self._repair(candidate, witness, generation, repair_membership)
+            self._set_class_status(class_key, "dominated")
             return "dominated"
         if not member_known and not membership():
             return "rejected"
         tableau = candidate.materialize()
         self.insert(tableau, codes, generation=generation)
         self._record_refinement(codes, tableau)
+        self._set_class_status(class_key, "admitted")
         return "admitted"
+
+    def _set_class_status(self, class_key: tuple | None, status: str) -> None:
+        if class_key is not None:
+            self._class_status[class_key] = status
 
     def insert(
         self,
@@ -1181,7 +1357,11 @@ class Frontier:
         """
         self.members.sort(key=lambda member: self._generation.get(id(member), -1))
 
-    def merge(self, members: Iterable[Tableau]) -> "Frontier":
+    def merge(
+        self,
+        members: Iterable[Tableau],
+        codes: Iterable[tuple[int, ...] | None] | None = None,
+    ) -> "Frontier":
         """Fold another frontier (or member list) into this one.
 
         Each incoming member is keyed by its engine canonical form (under
@@ -1191,12 +1371,41 @@ class Frontier:
         routinely present members isomorphic to ones an earlier merge
         already resolved — per-shard dedup state cannot see across shards —
         and a memoized "dominated" verdict now answers them with no scan.
+        Canonical keys for the batch are requested together through
+        :meth:`~repro.homomorphism.engine.HomEngine.canonical_key_many`.
         Merging an empty frontier is a no-op.
+
+        ``codes`` optionally carries each member's partition codes over the
+        *shared base element order* (shard workers return them with their
+        frontiers).  They feed the same refinement index the fine-to-coarse
+        reducer uses — the index's soundness needs only that the frontier
+        descends, not any admission order: an incoming member refined by a
+        recorded dominated-or-admitted partition is dominated with no scan
+        and no search, so cross-shard repeats and coarsenings resolve in
+        one trie walk.  Admitted members are recorded in turn (dominated
+        ones are not — ``add`` surfaces no repair witness, and merged
+        members carry no generation, so only admissions have a sound
+        witness to store).
         """
-        for member in members:
-            canonical = self._engine.canonical_key(member)
+        members = list(members)
+        code_list: list = list(codes) if codes is not None else [None] * len(
+            members
+        )
+        keys = self._engine.canonical_key_many(members)
+        for member, member_codes, canonical in zip(members, code_list, keys):
             key = ("iso", canonical) if canonical is not None else None
-            self.add(member, key=key)
+            if member_codes is not None:
+                hit, _ = self._refinement_index.find_refinement(member_codes)
+                if hit:
+                    self._stats.dominance_memo_hits += 1
+                    self._stats.dominated_without_search += 1
+                    if key is not None:
+                        self._dominated_keys.add(key)
+                    continue
+            if self.add(member, member_codes, key=key) and (
+                member_codes is not None
+            ):
+                self._refinement_index.add(member_codes, member)
         return self
 
 
@@ -1226,15 +1435,18 @@ def _candidate_source(
     cost_model: DedupCostModel | None,
     shard: tuple[int, int] | None = None,
     automorphisms: list[list[int]] | None = None,
+    generation: str = "adaptive",
 ) -> Iterator:
-    """Stage 1: the class-appropriate candidate stream (deduplicated).
+    """Stage 1: the class-appropriate candidate stream.
 
     Graph classes — and hypergraph classes with the extension space switched
     off — consume the lazy integer-form quotient stream; extension-space
     runs consume the integer-form extension stream (extension atoms over
     block + fresh ids, orbit-pruned per quotient family) — every class the
     pipeline supports now shares the same lazy fast path.  ``automorphisms``
-    is the precomputed base orbit data from :func:`_base_orbit_data`.
+    is the precomputed base orbit data from :func:`_base_orbit_data`;
+    ``generation`` is the stage-1 regime (see
+    :func:`_resolve_generation_mode`).
     """
     if getattr(cls, "kind", None) == "graph" or max_extra_atoms <= 0:
         return iter_quotient_candidates(
@@ -1242,6 +1454,7 @@ def _candidate_source(
             cost_model=cost_model,
             shard=shard,
             automorphisms=automorphisms,
+            generation=generation,
         )
     return iter_extended_candidates(
         tableau,
@@ -1250,6 +1463,7 @@ def _candidate_source(
         cost_model=cost_model,
         shard=shard,
         automorphisms=automorphisms,
+        generation=generation,
     )
 
 
@@ -1358,6 +1572,32 @@ class _OrderController:
             self._pending = verdict
 
 
+def _deferred_class_key(candidate, stats: PipelineStats):
+    """The ``late_key`` hook for :meth:`Frontier.resolve`.
+
+    Returns a zero-argument callable producing the candidate's fact-level
+    canonical key: the stage-1 key when the enumerator computed one, else —
+    for raw/orbit candidates — the same :func:`canonical_key_indexed` form
+    computed on demand (counted in ``stats.late_canonizations``).  ``None``
+    for candidates without integer facts (the materialized fallback path),
+    whose repeats are absorbed by the engine-level memos instead.
+    """
+
+    def compute():
+        key = getattr(candidate, "key", None)
+        if key is None:
+            facts = candidate.facts()
+            if facts is None:
+                return None
+            stats.late_canonizations += 1
+            key = canonical_key_indexed(
+                candidate.block_count, list(facts), candidate.distinguished
+            )
+        return key
+
+    return compute
+
+
 def _mark_family_dominated(candidate, parent) -> None:
     """Record that the frontier now holds a member mapping into ``candidate``.
 
@@ -1425,13 +1665,24 @@ def _reduce_inline(
         key = dominance_key(candidate)
         generation = getattr(candidate, "generation", None)
         calls_before = stats.hom_le_calls
+        checks_before = stats.checks_run
         status = frontier.resolve(
             candidate,
             key=key,
             generation=generation,
             membership=lambda: tester(candidate),
             membership_first=not controller.frontier_first,
+            late_key=_deferred_class_key(candidate, stats),
         )
+        if cost_model is not None:
+            # Generation-regime feedback: a candidate settled with zero
+            # engine searches and zero fresh checks was absorbed for free
+            # by the memos/index — the rate at which the reducer soaks up
+            # whatever stage 1 declines to deduplicate.
+            cost_model.record_absorption(
+                stats.hom_le_calls == calls_before
+                and stats.checks_run == checks_before
+            )
         if status != "rejected":
             _mark_family_dominated(candidate, parent)
             if reorder and stats.hom_le_calls == calls_before:
@@ -1443,11 +1694,11 @@ def _reduce_inline(
 
 
 #: Per-worker shard context: ``(base_data, cls, max_extra_atoms,
-#: allow_fresh, automorphisms, order)``, installed once per worker process
-#: by the executor initializer (and inline for a serial executor).  Shipping
-#: the base tableau and its orbit data with the *context* instead of every
-#: task payload serializes them once per worker and spares each worker the
-#: startup endomorphism scan.
+#: allow_fresh, automorphisms, order, generation)``, installed once per
+#: worker process by the executor initializer (and inline for a serial
+#: executor).  Shipping the base tableau and its orbit data with the
+#: *context* instead of every task payload serializes them once per worker
+#: and spares each worker the startup endomorphism scan.
 _SHARD_CONTEXT: tuple | None = None
 
 
@@ -1459,14 +1710,24 @@ def _install_shard_context(context: tuple) -> None:
 def _shard_task(shard: tuple[int, int]) -> tuple[tuple[tuple, ...], dict]:
     """Pool task (strategy ``"shards"``): the full loop on one slice.
 
-    Shard workers share the driver's admission order: plain quotient
-    slices are reduced fine-to-coarse (coarseness-ordered shard iteration —
-    the buffered slice is one shard, not the whole stream), extension
-    slices in generation order.
+    Shard workers share the driver's admission order and generation regime
+    (each worker's cost model controls its own slice under ``"model"``):
+    plain quotient slices are reduced fine-to-coarse (coarseness-ordered
+    shard iteration — the buffered slice is one shard, not the whole
+    stream), extension slices in generation order.  Each returned member
+    ships with its partition codes (over the shared base element order,
+    ``None`` off the integer path) so the driver's merge can route
+    cross-shard admissions through the refinement index.
     """
-    base_data, cls, max_extra_atoms, allow_fresh, automorphisms, order = (
-        _SHARD_CONTEXT
-    )
+    (
+        base_data,
+        cls,
+        max_extra_atoms,
+        allow_fresh,
+        automorphisms,
+        order,
+        generation,
+    ) = _SHARD_CONTEXT
     base = decode_tableau(base_data)
     stats = PipelineStats()
     cost_model = DedupCostModel()
@@ -1478,12 +1739,29 @@ def _shard_task(shard: tuple[int, int]) -> tuple[tuple[tuple, ...], dict]:
         cost_model=cost_model,
         shard=shard,
         automorphisms=automorphisms,
+        generation=generation,
     )
     frontier = _reduce_inline(candidates, cls, stats, cost_model, order=order)
+    stats.generation_switches += cost_model.mode_switches
     return (
-        tuple(encode_tableau(member) for member in frontier.members),
+        tuple(
+            (
+                encode_tableau(member),
+                frontier._codes.get(id(member)),
+            )
+            for member in frontier.members
+        ),
         stats.as_dict(),
     )
+
+
+#: CLI/config spellings of the admission orders (the CLI exposes
+#: ``generation`` — stream generation order — for what the internals call
+#: insertion order, and dashes where the internals use underscores).
+_ADMISSION_ORDER_ALIASES = {
+    "generation": "insertion",
+    "fine-to-coarse": "fine_to_coarse",
+}
 
 
 def _resolve_admission_order(
@@ -1496,14 +1774,73 @@ def _resolve_admission_order(
     the streams without generator feedback, where buffering is sound.
     Extension-space runs stay in generation order: their reducer feeds
     dominance verdicts back into the (lazy) enumerator, which a buffered
-    replay would silence.
+    replay would silence.  The CLI spellings ``"generation"`` and
+    ``"fine-to-coarse"`` are accepted as aliases.
     """
+    admission_order = _ADMISSION_ORDER_ALIASES.get(
+        admission_order, admission_order
+    )
     if admission_order not in {"auto", "fine_to_coarse", "insertion"}:
         raise ValueError(f"unknown admission order {admission_order!r}")
     if admission_order != "auto":
         return admission_order
     plain_stream = getattr(cls, "kind", None) == "graph" or max_extra_atoms <= 0
     return "fine_to_coarse" if plain_stream else "insertion"
+
+
+def _resolve_generation_mode(
+    generation: str, cls: QueryClass, max_extra_atoms: int, workers: int,
+    parallel: str, order: str,
+) -> str:
+    """The effective stage-1 generation regime for a pipeline run.
+
+    ``"auto"`` resolves by the run's structure:
+
+    * Plain quotient streams reduced **fine-to-coarse** (the default for
+      graph classes and extension-free hypergraph runs, serially and in
+      every shard worker) go ``"orbit"`` — the raw replay with
+      automorphism-orbit pruning.  Their reduction is *deferred* — the
+      stream is buffered in full before any candidate meets the frontier
+      — so stage-1 dedup can never be informed by downstream feedback,
+      and canonical keying is provably not worth its price: the reducer
+      defers canonicalization to the point of need (``late_key``), keying
+      a candidate only after the dominance memo, the refinement index,
+      and the class-status memo all missed, so the stream pays at most
+      the canonizations canonical generation pays, minus every one the
+      absorption machinery soaked up first.  The orbit filter stays on
+      because it is the opposite trade: on rigid bases (no automorphisms
+      — every benchmark workload) it costs literally nothing and the
+      regime degenerates to ``"raw"``, while on symmetric bases (cycles:
+      ~10x duplication) it prunes the flood with an O(n·aut) integer
+      test per candidate, where a pure raw stream would pay a late
+      canonization per duplicate.
+    * Plain streams reduced in **insertion order** go ``"model"``:
+      generation and reduction interleave, so the cost model's windowed
+      three-way controller can steer on live canonization cost, duplicate
+      rate, and absorption feedback — and flip mid-run.
+    * The pooled ``"checks"`` strategy on plain streams keeps the legacy
+      ``"adaptive"`` cutoff: it dispatches every candidate's class check
+      to the pool before the (buffered) reduction, so an undeduplicated
+      stream would multiply pool work rather than be absorbed.
+    * Extension-space runs keep ``"adaptive"``: their dedup keyspace is
+      shared between quotients and extensions, and the extension side
+      canonizes regardless.
+
+    Explicit regimes (``"canonical"``, ``"orbit"``, ``"raw"``,
+    ``"adaptive"``, ``"model"``) are forced as given.
+    """
+    if generation != "auto":
+        if generation not in {"adaptive", "model", *GENERATION_MODES}:
+            raise ValueError(f"unknown generation mode {generation!r}")
+        return generation
+    plain_stream = getattr(cls, "kind", None) == "graph" or max_extra_atoms <= 0
+    if not plain_stream:
+        return "adaptive"
+    if effective_workers(workers) > 1 and parallel == "checks":
+        return "adaptive"
+    if order == "fine_to_coarse":
+        return "orbit"
+    return "model"
 
 
 def run_pipeline(
@@ -1516,6 +1853,7 @@ def run_pipeline(
     max_extra_atoms: int = 1,
     allow_fresh: bool = True,
     admission_order: str = "auto",
+    generation: str = "auto",
 ) -> PipelineResult:
     """Run the three-stage pipeline and return the →-minimal frontier.
 
@@ -1526,11 +1864,25 @@ def run_pipeline(
     reduction order (:func:`_resolve_admission_order`): ``"auto"`` (the
     default) reduces plain quotient streams fine-to-coarse — bit-identical
     to ``"insertion"``, the historical generation order, via representative
-    repair — and extension streams in generation order.
+    repair — and extension streams in generation order.  ``generation``
+    selects stage 1's dedup regime (:func:`_resolve_generation_mode`):
+    ``"auto"`` replays fine-to-coarse plain streams orbit-pruned-raw
+    (canonicalization deferred to the reducer's point of need), runs
+    insertion-order plain streams under the cost model's windowed
+    three-way controller, and keeps pooled/extension runs on the legacy
+    adaptive cutoff; forcing ``"canonical"``/``"orbit"``/``"raw"`` pins
+    the regime.  Results are invariant — serial and pooled runs
+    bit-identical — across all generation regimes: stage-1 dedup only ever
+    prunes candidates isomorphic to earlier stream elements, and the
+    reducer's representative repair restores the first-generated member of
+    each class whatever survives.
     """
     if parallel not in {"checks", "shards"}:
         raise ValueError(f"unknown parallel strategy {parallel!r}")
     order = _resolve_admission_order(admission_order, cls, max_extra_atoms)
+    generation = _resolve_generation_mode(
+        generation, cls, max_extra_atoms, workers, parallel, order
+    )
     stats = PipelineStats()
     cost_model = DedupCostModel()
     automorphisms = _base_orbit_data(tableau, stats)
@@ -1545,6 +1897,7 @@ def run_pipeline(
             allow_fresh,
             automorphisms,
             order,
+            generation,
         )
         with make_executor(
             workers, initializer=_install_shard_context, initargs=(context,)
@@ -1555,7 +1908,10 @@ def run_pipeline(
                 [(index, shard_count) for index in range(shard_count)],
             ):
                 stats.absorb(PipelineStats(**shard_stats))
-                frontier.merge(decode_tableau(data) for data in encoded_members)
+                frontier.merge(
+                    [decode_tableau(data) for data, _ in encoded_members],
+                    [codes for _, codes in encoded_members],
+                )
             return PipelineResult(frontier.members, stats)
 
     with make_executor(workers) as executor:
@@ -1566,11 +1922,13 @@ def run_pipeline(
             allow_fresh=allow_fresh,
             cost_model=cost_model,
             automorphisms=automorphisms,
+            generation=generation,
         )
         if isinstance(executor, SerialExecutor):
             frontier = _reduce_inline(
                 candidates, cls, stats, cost_model, order=order
             )
+            stats.generation_switches += cost_model.mode_switches
             return PipelineResult(frontier.members, stats)
 
         # The pooled "checks" strategy is check-first by construction: the
@@ -1607,10 +1965,12 @@ def run_pipeline(
                     candidate,
                     key=dominance_key(candidate),
                     generation=candidate.generation,
+                    late_key=_deferred_class_key(candidate, stats),
                 )
                 if stats.hom_le_calls == calls_before:
                     stats.admissions_resolved_by_order += 1
             frontier.restore_generation_order()
+            stats.generation_switches += cost_model.mode_switches
             return PipelineResult(frontier.members, stats)
 
         for candidate, is_member in checked:
@@ -1630,4 +1990,5 @@ def run_pipeline(
                     candidate.codes,
                     dominance_key(candidate),
                 )
+        stats.generation_switches += cost_model.mode_switches
         return PipelineResult(frontier.members, stats)

@@ -37,6 +37,16 @@ the canonizer's effort caps pass through unkeyed.  Callers must not use
 ``dedup=True`` to *count* isomorphism classes.  The default stays
 ``dedup=False``: the raw stream is in bijection with set partitions, which
 ``quotient_count`` and several callers rely on.
+
+Canonicalization is **optional per run**: ``iter_quotient_candidates`` takes
+a ``generation`` regime — ``"canonical"`` (full fact-level dedup),
+``"orbit"`` (automorphism-orbit pruning only), ``"raw"`` (no stage-1 dedup;
+downstream memos and the refinement index absorb the repeats), the legacy
+one-shot ``"adaptive"`` cutoff, or ``"model"``, where the
+:class:`DedupCostModel`'s windowed three-way controller picks the regime
+live from measured canonization cost, duplicate rate, and downstream
+absorption.  Every regime prunes only candidates isomorphic to an earlier
+stream element, so downstream results are identical across regimes.
 """
 
 from __future__ import annotations
@@ -67,27 +77,64 @@ from repro.util.partitions import (
 _ADAPTIVE_PREFIX = 160
 _ADAPTIVE_MIN_DUP_RATE = 0.5
 
+#: Windowed three-way generation controller: review cadence (candidates),
+#: minimum measured samples per estimate, and the switch margin — a rival
+#: mode must look decisively (1/margin-fold) cheaper than the current one,
+#: in two consecutive windows, before the stream flips (the same hysteresis
+#: discipline as the pipeline's ``_OrderController``).
+_GENERATION_REVIEW_EVERY = 128
+_GENERATION_MIN_SAMPLES = 32
+_GENERATION_SWITCH_MARGIN = 0.5
+
+#: The three per-candidate generation regimes of the quotient stream.
+GENERATION_MODES = ("canonical", "orbit", "raw")
+
 
 class DedupCostModel:
-    """Measured break-even for the adaptive dedup cutoff.
+    """Measured costs of the three candidate-generation regimes.
 
-    Deduplication pays one canonization per candidate to save, per pruned
-    duplicate, the downstream cost of processing that duplicate (the class
-    membership check, and the frontier work behind it).  It is profitable
-    when ``duplicate_rate * downstream_cost >= canonization_cost``, so the
-    break-even duplicate rate is ``canonization_cost / downstream_cost``.
+    Historically this was the break-even model of the one-shot adaptive
+    dedup cutoff: deduplication pays one canonization per candidate to
+    save, per pruned duplicate, the downstream cost of processing that
+    duplicate, so it is profitable when ``duplicate_rate * downstream_cost
+    >= canonization_cost`` and the break-even duplicate rate is
+    ``canonization_cost / downstream_cost`` (:meth:`min_duplicate_rate`,
+    still serving the legacy ``generation="adaptive"`` path).
 
-    The seed heuristic hard-coded that ratio to ``0.5``.  This model measures
-    both sides instead: the candidate generators record per-candidate
-    canonization time (:meth:`record_canonization`), and the pipeline's
-    filter stage records per-candidate class-check time
-    (:meth:`record_downstream`).  Expensive membership tests — HW(k) checks
-    get pricier with ``k``, hypergraph classes pricier than graph ones —
-    push the threshold down, keeping dedup on at much lower duplicate rates;
-    cheap checks push it toward the ceiling so a barely-duplicated stream
-    stops paying for canonization.  Until both sides have at least one
-    measurement the model answers with the seed default, so plugging it in
-    never changes behavior on workloads too small to measure.
+    It is now a **three-way generation cost model**: the quotient stream
+    can run per-candidate in one of three regimes —
+
+    ``"canonical"``
+        orbit pruning plus fact-level canonical-key dedup (the historical
+        stage-1 path; duplicates cost one canonization and nothing else);
+    ``"orbit"``
+        orbit pruning only: automorphic repeats are dropped by an O(n·aut)
+        integer test, canonization is skipped, the remaining isomorphic
+        repeats flow downstream;
+    ``"raw"``
+        no stage-1 dedup at all: every partition is emitted and the
+        downstream memos (the class-check key memo, the dominance memo,
+        the refinement index) absorb the repeats.
+
+    Which regime is cheapest depends on three measured quantities: the
+    per-candidate canonization/orbit cost (:meth:`record_canonization` /
+    :meth:`record_orbit`), the duplicate rate of the stream (fed by the
+    enumerator while a dedup-capable regime runs), and the **downstream
+    absorption rate** — the fraction of candidates the reducer resolves
+    with zero engine searches and zero fresh class checks
+    (:meth:`record_absorption`, fed back from stage 3).  Member-heavy
+    fine-to-coarse runs absorb nearly every repeat through the refinement
+    index, so the raw stream beats paying canonization per candidate even
+    at high duplicate rates — the regime the one-shot cutoff always got
+    wrong, and the stage-1 tax this model exists to kill.
+
+    :meth:`observe_candidate` drives a windowed controller mirroring the
+    pipeline's ``_OrderController``: every ``review_every`` candidates the
+    three per-candidate cost estimates are recomputed and the mode flips
+    only when a rival looks decisively cheaper in two consecutive windows.
+    The controller starts in ``"canonical"`` (the only regime that can
+    measure the duplicate rate) and never flips before every estimate has
+    ``min_samples`` measurements, so small streams keep the seed behavior.
 
     Measurements are process-local: every pool worker builds and feeds its
     own model, mirroring the per-worker engine handles.
@@ -97,10 +144,28 @@ class DedupCostModel:
         "default_rate",
         "floor",
         "ceiling",
+        "review_every",
+        "min_samples",
+        "switch_margin",
+        "mode",
+        "mode_switches",
+        "_pending_mode",
+        "_observed",
+        "_review_at",
         "_canon_seconds",
         "_canon_count",
         "_downstream_seconds",
         "_downstream_count",
+        "_orbit_seconds",
+        "_orbit_count",
+        "_canonical_candidates",
+        "_canonical_duplicates",
+        "_orbit_candidates",
+        "_orbit_pruned",
+        "_absorbed",
+        "_absorptions",
+        "_window_absorbed",
+        "_window_absorptions",
     )
 
     def __init__(
@@ -109,16 +174,39 @@ class DedupCostModel:
         default_rate: float = _ADAPTIVE_MIN_DUP_RATE,
         floor: float = 0.02,
         ceiling: float = 0.9,
+        review_every: int = _GENERATION_REVIEW_EVERY,
+        min_samples: int = _GENERATION_MIN_SAMPLES,
+        switch_margin: float = _GENERATION_SWITCH_MARGIN,
     ) -> None:
         if not 0.0 < floor <= ceiling <= 1.0:
             raise ValueError("need 0 < floor <= ceiling <= 1")
         self.default_rate = default_rate
         self.floor = floor
         self.ceiling = ceiling
+        self.review_every = review_every
+        self.min_samples = min_samples
+        self.switch_margin = switch_margin
+        self.mode = "canonical"
+        self.mode_switches = 0
+        self._pending_mode: str | None = None
+        self._observed = 0
+        self._review_at = review_every
         self._canon_seconds = 0.0
         self._canon_count = 0
         self._downstream_seconds = 0.0
         self._downstream_count = 0
+        self._orbit_seconds = 0.0
+        self._orbit_count = 0
+        self._canonical_candidates = 0
+        self._canonical_duplicates = 0
+        self._orbit_candidates = 0
+        self._orbit_pruned = 0
+        self._absorbed = 0
+        self._absorptions = 0
+        self._window_absorbed = 0
+        self._window_absorptions = 0
+
+    # ----------------------------------------------------- raw measurements
 
     def record_canonization(self, seconds: float) -> None:
         self._canon_seconds += seconds
@@ -127,6 +215,38 @@ class DedupCostModel:
     def record_downstream(self, seconds: float) -> None:
         self._downstream_seconds += seconds
         self._downstream_count += 1
+
+    def record_orbit(self, seconds: float) -> None:
+        """One orbit-minimality test's wall time (model-driven streams)."""
+        self._orbit_seconds += seconds
+        self._orbit_count += 1
+
+    def record_absorption(self, absorbed: bool) -> None:
+        """Stage-3 feedback: was the candidate resolved for (nearly) free?
+
+        ``absorbed=True`` means the reducer settled the candidate with zero
+        engine ``hom_le`` calls and zero fresh class checks — a dominance-
+        memo hit, a refinement-index hit, or a memoized check carried it.
+        This is the rate at which downstream machinery soaks up whatever
+        stage 1 declines to deduplicate.
+        """
+        self._absorptions += 1
+        self._window_absorptions += 1
+        if absorbed:
+            self._absorbed += 1
+            self._window_absorbed += 1
+
+    def note_duplicate(self, *, orbit: bool = False) -> None:
+        """A stage-1 duplicate was detected (and pruned) by the current mode."""
+        if orbit:
+            self._orbit_pruned += 1
+        if self.mode == "canonical":
+            # Only canonical mode sees every duplicate, so only it may feed
+            # the duplicate-rate numerator (its denominator counts exactly
+            # the candidates observed under canonical mode).
+            self._canonical_duplicates += 1
+
+    # ------------------------------------------------------ derived costs
 
     @property
     def canonization_cost(self) -> float | None:
@@ -142,6 +262,27 @@ class DedupCostModel:
             return None
         return self._downstream_seconds / self._downstream_count
 
+    @property
+    def orbit_cost(self) -> float:
+        """Mean seconds per orbit-minimality test (0.0 before data)."""
+        if not self._orbit_count:
+            return 0.0
+        return self._orbit_seconds / self._orbit_count
+
+    @property
+    def duplicate_rate(self) -> float | None:
+        """Observed duplicate fraction (``None`` until canonical mode ran)."""
+        if not self._canonical_candidates:
+            return None
+        return self._canonical_duplicates / self._canonical_candidates
+
+    @property
+    def absorption_rate(self) -> float | None:
+        """Fraction of reducer resolutions that were free (``None``: no data)."""
+        if not self._absorptions:
+            return None
+        return self._absorbed / self._absorptions
+
     def min_duplicate_rate(self) -> float:
         """The duplicate rate below which dedup should switch itself off."""
         canon = self.canonization_cost
@@ -149,6 +290,88 @@ class DedupCostModel:
         if canon is None or downstream is None or downstream <= 0.0:
             return self.default_rate
         return min(max(canon / downstream, self.floor), self.ceiling)
+
+    # ------------------------------------------- the windowed mode controller
+
+    def observe_candidate(self) -> str:
+        """Advance the controller by one stream candidate; return the mode."""
+        self._observed += 1
+        if self._observed >= self._review_at:
+            self._review_at = self._observed + self.review_every
+            self._review()
+        if self.mode != "raw":
+            self._orbit_candidates += 1
+            if self.mode == "canonical":
+                self._canonical_candidates += 1
+        return self.mode
+
+    def generation_estimates(self) -> dict[str, float] | None:
+        """Estimated per-candidate seconds of each generation regime.
+
+        ``None`` while any required estimate lacks ``min_samples``
+        measurements.  The estimates: a unique candidate costs
+        ``downstream`` in every regime; a duplicate costs one canonization
+        under ``"canonical"``, one orbit test (plus, if it survives the
+        orbit filter, the partially-absorbed downstream) under
+        ``"orbit"``, and the partially-absorbed downstream under
+        ``"raw"`` — absorbed repeats cost ~0 (a memo or index hit), the
+        rest pay the full downstream mean.  The duplicate and orbit rates
+        are lifetime figures (they freeze while ``"raw"`` runs, which
+        cannot observe them); the absorption rate prefers the current
+        window so regime changes downstream — a cooling refinement index,
+        a filled memo — show up in the next review.
+        """
+        duplicate_rate = self.duplicate_rate
+        downstream = self.downstream_cost
+        canon = self.canonization_cost
+        if (
+            duplicate_rate is None
+            or canon is None
+            or downstream is None
+            or self._canon_count < self.min_samples
+            or self._downstream_count < self.min_samples
+            or self._absorptions < self.min_samples
+        ):
+            return None
+        if self._window_absorptions >= self.min_samples:
+            absorption = self._window_absorbed / self._window_absorptions
+        else:
+            absorption = self._absorbed / self._absorptions
+        orbit_rate = (
+            self._orbit_pruned / self._orbit_candidates
+            if self._orbit_candidates
+            else 0.0
+        )
+        unique = (1.0 - duplicate_rate) * downstream
+        leaked = (1.0 - absorption) * downstream
+        return {
+            "raw": unique + duplicate_rate * leaked,
+            "orbit": self.orbit_cost
+            + unique
+            + max(duplicate_rate - orbit_rate, 0.0) * leaked,
+            "canonical": self.orbit_cost + canon + unique,
+        }
+
+    def _review(self) -> None:
+        estimates = self.generation_estimates()
+        self._window_absorbed = 0
+        self._window_absorptions = 0
+        if estimates is None:
+            self._pending_mode = None
+            return
+        # Cheapest regime wins, with raw preferred on ties (least machinery).
+        rival = min(GENERATION_MODES[::-1], key=estimates.__getitem__)
+        if rival == self.mode or not (
+            estimates[rival] < self.switch_margin * estimates[self.mode]
+        ):
+            self._pending_mode = None
+            return
+        if self._pending_mode == rival:
+            self.mode = rival
+            self._pending_mode = None
+            self.mode_switches += 1
+        else:
+            self._pending_mode = rival
 
 
 def _shard_prefixes(
@@ -375,6 +598,12 @@ class QuotientCandidate:
         self._facts = facts
         self._tableau = tableau
 
+    @property
+    def base(self) -> Tableau:
+        """The base tableau this candidate is a quotient of (the reducer's
+        kernel-index equivalence tests factor homomorphisms through it)."""
+        return self._base
+
     @classmethod
     def from_tableau(cls, tableau: Tableau) -> "QuotientCandidate":
         """Adapter giving a plain tableau the stage-1 candidate interface.
@@ -420,8 +649,9 @@ def iter_quotient_candidates(
     shard: tuple[int, int] | None = None,
     automorphisms: list[list[int]] | None | object = _DERIVE,
     seen_keys: set | None = None,
+    generation: str = "adaptive",
 ) -> Iterator[QuotientCandidate]:
-    """The deduplicated quotient stream in lazy (unmaterialized) form.
+    """The quotient candidate stream in lazy (unmaterialized) form.
 
     This is the stage-1 engine behind ``iter_quotient_tableaux(dedup=True)``
     and the approximation pipeline: one candidate per surviving partition,
@@ -433,6 +663,25 @@ def iter_quotient_candidates(
     disjoint partition-prefix slices (dedup state is shard-local, so
     cross-shard duplicates survive and must be absorbed downstream).
 
+    ``generation`` selects the per-candidate regime:
+
+    * ``"adaptive"`` (default) — the historical one-shot cutoff: canonical
+      dedup with the early-prefix duplicate-rate decision (optionally
+      cost-modeled through ``min_duplicate_rate``).
+    * ``"canonical"`` / ``"orbit"`` / ``"raw"`` — force one regime for the
+      whole stream (see :class:`DedupCostModel`): full fact-level dedup,
+      orbit pruning only, or the raw partition stream with no stage-1
+      dedup at all.  Raw candidates carry codes and lazy facts but no
+      canonical ``key``; their isomorphic repeats must be absorbed
+      downstream (the pipeline's memos and refinement index do).
+    * ``"model"`` — per-window regime chosen live by the ``cost_model``'s
+      three-way controller (required; flips mid-run as measured costs
+      shift).
+
+    Whatever the regime decides, every pruned candidate is isomorphic to
+    an earlier stream element, so downstream frontiers are invariant —
+    including bit-identical serial results — across all generation modes.
+
     ``automorphisms`` takes precomputed base orbit data (the result of
     :func:`base_automorphism_inverses`) so repeated or distributed runs skip
     the endomorphism scan; the default derives it here.  ``seen_keys`` lets
@@ -442,6 +691,10 @@ def iter_quotient_candidates(
     because skipping a quotient also skips its whole extension family, which
     is only sound when the surviving isomorphic copy grows the same family.
     """
+    if generation not in {"adaptive", "model", *GENERATION_MODES}:
+        raise ValueError(f"unknown generation mode {generation!r}")
+    if generation == "model" and cost_model is None:
+        raise ValueError('generation="model" requires a cost_model')
     elements = sorted(tableau.structure.domain, key=repr)
     prefixes = _shard_prefixes(len(elements), shard)
     structure = tableau.structure
@@ -485,13 +738,16 @@ def iter_quotient_candidates(
         seen_keys = set()
     code = [0] * n_elements
     identity_facts = tuple(sorted(set(base_facts)))
-    # Deduplication pays for itself only when enough partitions actually
-    # collapse onto already-seen isomorphism classes (the canonization of a
-    # unique candidate is pure overhead).  Track the duplicate rate over an
-    # early prefix and fall back to plain enumeration when the base tableau
-    # turns out to be too asymmetric for dedup to win.
+    # Adaptive regime: deduplication pays for itself only when enough
+    # partitions actually collapse onto already-seen isomorphism classes
+    # (the canonization of a unique candidate is pure overhead).  Track the
+    # duplicate rate over an early prefix and fall back to plain
+    # enumeration when the base tableau turns out to be too asymmetric for
+    # dedup to win.  The "model" regime replaces this one-shot decision
+    # with the cost model's windowed three-way controller.
     checked = duplicates = 0
     dedup_active, decided = True, False
+    model_driven = generation == "model"
     for partition in _partition_stream(elements, prefixes):
         if len(partition) == n_elements:
             # The identity quotient: the only partition with |domain| blocks,
@@ -508,19 +764,27 @@ def iter_quotient_candidates(
                 facts=identity_facts,
             )
             continue
-        if not decided and checked >= _ADAPTIVE_PREFIX:
-            decided = True
-            min_rate = (
-                cost_model.min_duplicate_rate()
-                if cost_model is not None
-                else _ADAPTIVE_MIN_DUP_RATE
-            )
-            dedup_active = duplicates >= checked * min_rate
+        if generation == "adaptive":
+            if not decided and checked >= _ADAPTIVE_PREFIX:
+                decided = True
+                min_rate = (
+                    cost_model.min_duplicate_rate()
+                    if cost_model is not None
+                    else _ADAPTIVE_MIN_DUP_RATE
+                )
+                dedup_active = duplicates >= checked * min_rate
+            mode = "canonical" if dedup_active else "raw"
+        elif model_driven:
+            mode = cost_model.observe_candidate()
+        else:
+            mode = generation
         block_count = len(partition)
-        if not dedup_active:
-            for block_id, block in enumerate(partition):
-                for element in block:
-                    code[index_of[element]] = block_id
+        timed = cost_model is not None and mode != "raw"
+        started = time.perf_counter() if timed else 0.0
+        for block_id, block in enumerate(partition):
+            for element in block:
+                code[index_of[element]] = block_id
+        if mode == "raw":
             yield QuotientCandidate(
                 partition,
                 tuple(code),
@@ -531,15 +795,34 @@ def iter_quotient_candidates(
                 names,
             )
             continue
-        started = time.perf_counter() if cost_model is not None else 0.0
-        for block_id, block in enumerate(partition):
-            for element in block:
-                code[index_of[element]] = block_id
         checked += 1
         if automorphisms and not _orbit_minimal(code, n_elements, automorphisms):
             duplicates += 1
-            if cost_model is not None:
-                cost_model.record_canonization(time.perf_counter() - started)
+            if timed:
+                elapsed = time.perf_counter() - started
+                if model_driven:
+                    cost_model.record_orbit(elapsed)
+                    cost_model.note_duplicate(orbit=True)
+                else:
+                    cost_model.record_canonization(elapsed)
+            continue
+        if model_driven:
+            # Split the timings so the controller prices the orbit filter
+            # and the canonization separately (orbit mode pays only the
+            # former); legacy callers keep the single combined figure.
+            now = time.perf_counter()
+            cost_model.record_orbit(now - started)
+            started = now
+        if mode == "orbit":
+            yield QuotientCandidate(
+                partition,
+                tuple(code),
+                block_count,
+                tuple(code[value] for value in distinguished_idx),
+                tableau,
+                base_facts,
+                names,
+            )
             continue
         mapped_facts = tuple(
             sorted(
@@ -553,11 +836,13 @@ def iter_quotient_candidates(
         key = canonical_key_indexed(
             block_count, list(mapped_facts), mapped_distinguished
         )
-        if cost_model is not None:
+        if timed:
             cost_model.record_canonization(time.perf_counter() - started)
         if key is not None:
             if key in seen_keys:
                 duplicates += 1
+                if model_driven:
+                    cost_model.note_duplicate()
                 continue
             seen_keys.add(key)
         yield QuotientCandidate(
@@ -894,6 +1179,7 @@ def iter_extended_candidates(
     cost_model: DedupCostModel | None = None,
     shard: tuple[int, int] | None = None,
     automorphisms: list[list[int]] | None | object = _DERIVE,
+    generation: str = "adaptive",
 ) -> Iterator[QuotientCandidate | ExtensionCandidate]:
     """The deduplicated extension-space stream in lazy integer form.
 
@@ -928,14 +1214,23 @@ def iter_extended_candidates(
 
     ``shard`` splits at the quotient level, so each quotient's extension
     family stays in its shard; ``automorphisms`` is the *base* tableau's
-    orbit data as in :func:`iter_quotient_candidates`.  Bases outside the
-    integer fast path (isolated domain elements, vocabulary relations
-    without facts) fall back to the historical tableau-level enumeration,
-    wrapped via :meth:`QuotientCandidate.from_tableau`.
+    orbit data as in :func:`iter_quotient_candidates`; ``generation`` is
+    the quotient stream's regime knob (a raw quotient repeat re-grows no
+    family that survives — its extensions dedup against the shared
+    keyspace, and the reducer's ``extensions_dominated`` feedback cancels
+    the rest — so results stay bit-identical across regimes here too).
+    Bases outside the integer fast path (isolated domain elements,
+    vocabulary relations without facts) fall back to the historical
+    tableau-level enumeration, wrapped via
+    :meth:`QuotientCandidate.from_tableau`.
     """
     if max_extra_atoms <= 0:
         yield from iter_quotient_candidates(
-            tableau, cost_model=cost_model, shard=shard, automorphisms=automorphisms
+            tableau,
+            cost_model=cost_model,
+            shard=shard,
+            automorphisms=automorphisms,
+            generation=generation,
         )
         return
     structure = tableau.structure

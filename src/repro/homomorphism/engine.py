@@ -202,6 +202,38 @@ class HomEngine:
             self._canon_keys.store(cache_key, key)
         return key
 
+    def canonical_key_many(
+        self, tableaux: Iterable[Tableau]
+    ) -> list[tuple | None]:
+        """Batched :meth:`canonical_key`: one request for many tableaux.
+
+        The cache probe is hoisted out of the per-tableau path (one local
+        lookup pair instead of a method dispatch per key), and every
+        computed key lands in the shared cache before the next request —
+        so a batch with repeated or isomorphic-by-identity entries pays
+        one canonization per distinct tableau.  The frontier's ``merge``
+        uses this for shard results, where repeats across shards are the
+        common case; raw-mode streams route their rare key requests (a
+        collision needing an isomorphism-level verdict) through the same
+        entry.
+        """
+        lookup = self._canon_keys.lookup
+        store = self._canon_keys.store
+        keys: list[tuple | None] = []
+        for tableau in tableaux:
+            cache_key = (tableau.structure, tableau.distinguished)
+            key = lookup(cache_key, default=False)
+            if key is False:
+                key = canonical_key(
+                    tableau.structure,
+                    tableau.distinguished,
+                    max_domain=self.canon_max_domain,
+                    branch_budget=self.canon_branch_budget,
+                )
+                store(cache_key, key)
+            keys.append(key)
+        return keys
+
     # ------------------------------------------------------------- search
 
     def iter_homomorphisms(

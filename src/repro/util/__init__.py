@@ -1,8 +1,10 @@
 """Small shared helpers used across the library."""
 
 from repro.util.partitions import (
+    RefinementTrie,
     bell_number,
     canonical_partition,
+    code_coarsens,
     partition_to_mapping,
     refinements,
     rgs_codes,
@@ -14,8 +16,10 @@ from repro.util.naming import fresh_names
 
 __all__ = [
     "DisjointSet",
+    "RefinementTrie",
     "bell_number",
     "canonical_partition",
+    "code_coarsens",
     "fresh_names",
     "partition_to_mapping",
     "refinements",

@@ -116,6 +116,147 @@ def set_partitions(
         yield _blocks_of(items, codes)
 
 
+def code_coarsens(
+    fine: Sequence[int] | None, coarse: Sequence[int] | None
+) -> bool:
+    """Whether the partition coded by ``fine`` refines the one by ``coarse``.
+
+    Both arguments are restricted growth strings over the same element
+    order.  ``fine`` refines ``coarse`` when every block of ``fine`` lies
+    inside a single block of ``coarse`` — equivalently, the block map
+    ``fine[i] → coarse[i]`` is well defined.  When it is, the quotient map
+    ``T/fine → T/coarse`` is a homomorphism of the quotient tableaux, which
+    is what makes this an O(n) positive fast path for the frontier's order
+    queries.  ``None`` on either side means "no code available" and answers
+    ``False``.
+    """
+    if fine is None or coarse is None:
+        return False
+    image: dict[int, int] = {}
+    for f, c in zip(fine, coarse):
+        if image.setdefault(f, c) != c:
+            return False
+    return True
+
+
+class RefinementTrie:
+    """A trie over restricted-growth-string partition codes answering
+    "does some stored code refine this one?" in sublinear time.
+
+    Stored codes share one length (one base element order).  The trie
+    branches on code positions: a node at depth ``d`` keeps one child per
+    block id ever seen at position ``d`` below it.  A query walks the trie
+    with the candidate code ``c``, maintaining the partial block map of
+    :func:`code_coarsens` — since stored codes are restricted growth
+    strings, the blocks of a stored code appear in order ``0, 1, 2, …``,
+    so the partial map is just a list ``assigned`` with ``assigned[v]``
+    the ``c``-block that stored block ``v`` must land in.  A child ``v``
+    is compatible iff it is the next fresh block (``v == len(assigned)``,
+    which may land anywhere) or its assigned ``c``-block equals ``c[d]``.
+    Only compatible paths are explored, so a lookup touches the stored
+    codes sharing a compatible prefix instead of scanning every entry —
+    the linear antichain scan this structure replaces paid
+    ``O(entries · n)`` per query.
+
+    Each stored code carries a payload (the frontier's repair witness).
+    Any hit is as good as any other for the caller — see
+    :meth:`repro.core.pipeline.Frontier._refinement_lookup`'s uniqueness
+    argument — so the walk returns the first complete match it finds.
+    """
+
+    __slots__ = ("_root", "_size")
+
+    #: Leaf key for the payload — no block id is negative, so it can never
+    #: collide with a child edge.
+    _LEAF = -1
+
+    def __init__(self) -> None:
+        self._root: dict = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, codes: Sequence[int], payload: object = None) -> None:
+        """Store ``codes`` with ``payload`` (overwriting an equal code)."""
+        node = self._root
+        for value in codes:
+            node = node.setdefault(value, {})
+        if self._LEAF not in node:
+            self._size += 1
+        node[self._LEAF] = payload
+
+    def find_refinement(
+        self, codes: Sequence[int]
+    ) -> tuple[bool, object | None]:
+        """``(hit, payload)`` for some stored code refining ``codes``."""
+        codes = tuple(codes)
+        n = len(codes)
+        # Depth-first over compatible children; each stack frame is
+        # (node, depth, assigned-prefix).  ``assigned`` is shared copy-on-
+        # extend: fresh blocks append, so sibling branches need their own
+        # tuple — kept small by the restricted-growth structure.
+        stack: list[tuple[dict, int, tuple[int, ...]]] = [(self._root, 0, ())]
+        while stack:
+            node, depth, assigned = stack.pop()
+            if depth == n:
+                if self._LEAF in node:
+                    return True, node[self._LEAF]
+                continue
+            c_block = codes[depth]
+            fresh = len(assigned)
+            for value, child in node.items():
+                if value == self._LEAF:
+                    continue
+                if value == fresh:
+                    stack.append((child, depth + 1, assigned + (c_block,)))
+                elif value < fresh and assigned[value] == c_block:
+                    stack.append((child, depth + 1, assigned))
+        return False, None
+
+    def find_coarsening(
+        self, codes: Sequence[int]
+    ) -> tuple[bool, object | None]:
+        """``(hit, payload)`` for some stored code that ``codes`` refines.
+
+        The dual of :meth:`find_refinement`: a hit means every block of
+        ``codes`` lies inside a block of some stored code.  The walk
+        maintains the map *query-block → stored-block* instead — a child
+        is compatible when the query block at this position is unbound or
+        already bound to exactly this stored block.  (``codes`` need not be
+        a restricted growth string here; only its equality pattern
+        matters.)
+        """
+        codes = tuple(codes)
+        n = len(codes)
+        hit: list = [None]
+
+        def walk(node: dict, depth: int, image: dict) -> bool:
+            if depth == n:
+                if self._LEAF in node:
+                    hit[0] = node[self._LEAF]
+                    return True
+                return False
+            query_block = codes[depth]
+            bound = image.get(query_block)
+            for value, child in node.items():
+                if value == self._LEAF:
+                    continue
+                if bound is None:
+                    image[query_block] = value
+                    if walk(child, depth + 1, image):
+                        return True
+                    del image[query_block]
+                elif bound == value:
+                    if walk(child, depth + 1, image):
+                        return True
+            return False
+
+        if walk(self._root, 0, {}):
+            return True, hit[0]
+        return False, None
+
+
 def partition_to_mapping(
     partition: Iterable[Sequence[Hashable]],
 ) -> dict[Hashable, Hashable]:

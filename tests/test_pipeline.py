@@ -554,6 +554,233 @@ class TestOrderController:
         assert controller.stats.order_switches == 2
 
 
+class TestGenerationModes:
+    """Raw-stream generation must not change results, down to the bit.
+
+    Every stage-1 regime prunes only candidates isomorphic to an earlier
+    stream element, and the reducer's absorption machinery (dominance
+    memo, refinement index, class-status memo) plus representative repair
+    converge on the first-generated member of each →-minimal class — so
+    serial and pooled results are bit-identical across regimes, and
+    sharded runs are bit-identical *to each other* across regimes.
+    """
+
+    MEMBER_HEAVY = cycle_with_chords(8, ((0, 3), (1, 4), (2, 6)))
+    MEMBER_LIGHT = cycle_with_chords(7, ((0, 3),))
+
+    STREAMS = [
+        (MEMBER_HEAVY, HypertreeClass(2)),  # ~99% members
+        (MEMBER_LIGHT, TW1),                # ~1% members
+        (MEMBER_LIGHT, TW2),                # member-light, larger frontier
+    ]
+
+    @pytest.mark.parametrize("query,cls", STREAMS)
+    @pytest.mark.parametrize("generation", ["raw", "orbit", "model", "adaptive"])
+    def test_serial_bit_identical_to_canonical(self, query, cls, generation):
+        tableau = query.tableau()
+        canonical = run_pipeline(
+            tableau, cls, max_extra_atoms=0, generation="canonical"
+        )
+        other = run_pipeline(
+            tableau, cls, max_extra_atoms=0, generation=generation
+        )
+        assert other.frontier == canonical.frontier
+
+    @pytest.mark.parametrize("query,cls", STREAMS)
+    def test_raw_serial_insertion_order_bit_identical(self, query, cls):
+        tableau = query.tableau()
+        canonical = run_pipeline(
+            tableau,
+            cls,
+            max_extra_atoms=0,
+            generation="canonical",
+            admission_order="insertion",
+        )
+        raw = run_pipeline(
+            tableau,
+            cls,
+            max_extra_atoms=0,
+            generation="raw",
+            admission_order="insertion",
+        )
+        assert raw.frontier == canonical.frontier
+
+    def test_raw_stream_is_bell_sized(self):
+        tableau = self.MEMBER_HEAVY.tableau()
+        result = run_pipeline(
+            tableau, HypertreeClass(2), max_extra_atoms=0, generation="raw"
+        )
+        assert result.stats.generated == bell_number(
+            len(tableau.structure.domain)
+        )
+        assert result.stats.index_evictions == 0
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "query,cls",
+        [(MEMBER_HEAVY, HypertreeClass(2)), (MEMBER_LIGHT, TW2)],
+    )
+    def test_raw_pooled_checks_bit_identical(self, query, cls):
+        tableau = query.tableau()
+        serial_canonical = run_pipeline(
+            tableau, cls, max_extra_atoms=0, generation="canonical"
+        )
+        pooled_raw = run_pipeline(
+            tableau, cls, max_extra_atoms=0, generation="raw", workers=2
+        )
+        assert pooled_raw.frontier == serial_canonical.frontier
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "query,cls",
+        [(MEMBER_HEAVY, HypertreeClass(2)), (MEMBER_LIGHT, TW2)],
+    )
+    def test_raw_sharded_identical_to_canonical_sharded(self, query, cls):
+        tableau = query.tableau()
+        kwargs = dict(
+            max_extra_atoms=0, workers=2, parallel="shards"
+        )
+        sharded_canonical = run_pipeline(
+            tableau, cls, generation="canonical", **kwargs
+        )
+        sharded_raw = run_pipeline(tableau, cls, generation="raw", **kwargs)
+        # Shard-local reductions are bit-identical per shard and merges
+        # fold in the same order, so the whole run is bit-identical
+        # between regimes (each regime is only hom-equivalent to serial).
+        assert sharded_raw.frontier == sharded_canonical.frontier
+        serial = run_pipeline(tableau, cls, max_extra_atoms=0)
+        assert len(sharded_raw.frontier) == len(serial.frontier)
+        for member in sharded_raw.frontier:
+            assert any(
+                hom_equivalent(member, other) for other in serial.frontier
+            )
+
+    def test_extension_space_raw_quotients_bit_identical(self):
+        tableau = TERNARY.tableau()
+        canonical = run_pipeline(tableau, AC, allow_fresh=False)
+        raw = run_pipeline(
+            tableau, AC, allow_fresh=False, generation="raw"
+        )
+        assert raw.frontier == canonical.frontier
+
+    def test_unknown_generation_rejected(self):
+        with pytest.raises(ValueError):
+            run_pipeline(
+                TRIANGLE.tableau(), TW1, generation="telepathic"
+            )
+        with pytest.raises(ValueError):
+            list(
+                iter_quotient_candidates(
+                    TRIANGLE.tableau(), generation="telepathic"
+                )
+            )
+
+    def test_model_requires_cost_model(self):
+        with pytest.raises(ValueError):
+            list(
+                iter_quotient_candidates(
+                    TRIANGLE.tableau(), generation="model"
+                )
+            )
+
+    def test_orbit_mode_prunes_without_keys(self):
+        tableau = cycle_with_chords(6).tableau()
+        raw = list(iter_quotient_candidates(tableau, generation="raw"))
+        orbit = list(iter_quotient_candidates(tableau, generation="orbit"))
+        canonical = list(
+            iter_quotient_candidates(tableau, generation="canonical")
+        )
+        assert len(canonical) <= len(orbit) <= len(raw)
+        assert len(orbit) < len(raw)  # the symmetric cycle has orbits
+        assert all(c.key is None for c in orbit)
+        assert len(raw) == bell_number(6)
+
+
+class TestGenerationCostModel:
+    """The windowed three-way generation controller."""
+
+    def _measured_model(self, **kwargs):
+        model = DedupCostModel(**kwargs)
+        for _ in range(model.min_samples):
+            model.record_downstream(1e-4)
+        return model
+
+    def _run_window(self, model, *, duplicate_rate, absorbed_rate, canon_cost):
+        # Rates are fed before the window's closing review so the
+        # controller's estimates see them deterministically.
+        for _ in range(int(model.review_every * duplicate_rate)):
+            model.note_duplicate()
+        for _ in range(int(model.review_every * (1 - absorbed_rate))):
+            model.record_absorption(False)
+        for _ in range(model.review_every):
+            mode = model.observe_candidate()
+            if mode == "canonical":
+                model.record_orbit(canon_cost / 10)
+                model.record_canonization(canon_cost)
+            model.record_absorption(True)
+
+    def test_starts_canonical_and_never_flips_without_samples(self):
+        model = DedupCostModel()
+        assert model.mode == "canonical"
+        for _ in range(model.review_every * 3):
+            model.observe_candidate()
+        assert model.mode == "canonical"
+        assert model.mode_switches == 0
+
+    def test_high_absorption_flips_to_raw_after_two_windows(self):
+        # Expensive canonization, high duplicate rate, near-total
+        # downstream absorption: the member-heavy regime where raw wins.
+        model = self._measured_model()
+        self._run_window(
+            model, duplicate_rate=0.6, absorbed_rate=1.0, canon_cost=1e-3
+        )
+        assert model.mode == "canonical"  # first agreeing window: pending
+        self._run_window(
+            model, duplicate_rate=0.6, absorbed_rate=1.0, canon_cost=1e-3
+        )
+        assert model.mode == "raw"
+        assert model.mode_switches == 1
+
+    def test_single_window_does_not_flip(self):
+        model = self._measured_model()
+        self._run_window(
+            model, duplicate_rate=0.6, absorbed_rate=1.0, canon_cost=1e-3
+        )
+        # A contradicting window — downstream work got so expensive that
+        # the canonical tax no longer clears the switch margin — clears
+        # the pending flip instead of confirming it.
+        for _ in range(model.review_every):
+            model.record_downstream(1e-1)
+        self._run_window(
+            model, duplicate_rate=0.6, absorbed_rate=1.0, canon_cost=1e-3
+        )
+        assert model.mode == "canonical"
+        assert model.mode_switches == 0
+
+    def test_cheap_canonization_stays_canonical(self):
+        model = self._measured_model()
+        for _ in range(3):
+            self._run_window(
+                model, duplicate_rate=0.6, absorbed_rate=0.0, canon_cost=1e-7
+            )
+        assert model.mode == "canonical"
+        assert model.mode_switches == 0
+
+    def test_estimates_require_min_samples(self):
+        model = DedupCostModel()
+        assert model.generation_estimates() is None
+        model.record_canonization(1e-3)
+        model.record_downstream(1e-4)
+        model.record_absorption(True)
+        assert model.generation_estimates() is None  # below min_samples
+
+    def test_pipeline_reports_generation_switches(self):
+        result = run_pipeline(
+            cycle_with_chords(6).tableau(), TW1, max_extra_atoms=0
+        )
+        assert result.stats.generation_switches >= 0  # counter is wired
+
+
 class TestDedupCostModel:
     def test_defaults_until_measured(self):
         model = DedupCostModel()

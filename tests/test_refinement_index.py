@@ -1,0 +1,195 @@
+"""Tests for the sublinear (trie) refinement index.
+
+Satellite coverage for the PR that retired the ``_INDEX_CAP`` linear
+antichain scan: the trie's two dual queries must agree with the linear
+reference scan on randomized partition-code sets (antichains included),
+and refinement hits must surface repair-correct witnesses under
+eviction-free operation.
+"""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import Frontier, PipelineStats
+from repro.core.quotients import coarseness_ordered, iter_quotient_candidates
+from repro.cq import parse_query
+from repro.util import RefinementTrie, code_coarsens
+
+TRIANGLE = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
+
+
+def random_rgs(rng: random.Random, n: int) -> tuple[int, ...]:
+    """A uniform-ish random restricted growth string of length ``n``."""
+    code = [0]
+    for _ in range(n - 1):
+        code.append(rng.randint(0, max(code) + 1))
+    return tuple(code)
+
+
+def linear_find(entries, query, predicate):
+    """The reference linear antichain scan (first hit in insertion order)."""
+    for codes, payload in entries:
+        if predicate(codes, query):
+            return True, codes, payload
+    return False, None, None
+
+
+def antichain_of(entries):
+    """Filter to a refinement antichain, keeping earlier entries."""
+    kept = []
+    for codes, payload in entries:
+        if not any(
+            code_coarsens(codes, other) or code_coarsens(other, codes)
+            for other, _ in kept
+        ):
+            kept.append((codes, payload))
+    return kept
+
+
+class TestTrieAgreesWithLinearScan:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("n", [4, 6, 9])
+    def test_find_refinement_matches(self, seed, n):
+        rng = random.Random(seed)
+        entries = [
+            (random_rgs(rng, n), index) for index in range(rng.randint(1, 120))
+        ]
+        trie = RefinementTrie()
+        for codes, payload in entries:
+            trie.add(codes, payload)
+        payload_of = {payload: codes for codes, payload in entries}
+        for _ in range(200):
+            query = random_rgs(rng, n)
+            expected, _, _ = linear_find(
+                entries, query, lambda e, q: code_coarsens(e, q)
+            )
+            hit, payload = trie.find_refinement(query)
+            assert hit == expected
+            if hit:
+                # Any refining entry is a valid answer (the frontier's
+                # witness-uniqueness argument) — validate, not compare.
+                assert code_coarsens(payload_of[payload], query)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("n", [4, 6, 9])
+    def test_find_coarsening_matches(self, seed, n):
+        rng = random.Random(seed + 1000)
+        entries = [
+            (random_rgs(rng, n), index) for index in range(rng.randint(1, 120))
+        ]
+        trie = RefinementTrie()
+        for codes, payload in entries:
+            trie.add(codes, payload)
+        payload_of = {payload: codes for codes, payload in entries}
+        for _ in range(200):
+            query = random_rgs(rng, n)
+            expected, _, _ = linear_find(
+                entries, query, lambda e, q: code_coarsens(q, e)
+            )
+            hit, payload = trie.find_coarsening(query)
+            assert hit == expected
+            if hit:
+                assert code_coarsens(query, payload_of[payload])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_antichain_entries_match(self, seed):
+        # The index's production shape: a refinement antichain (a covered
+        # candidate is never added).
+        rng = random.Random(seed + 2000)
+        entries = antichain_of(
+            [(random_rgs(rng, 7), index) for index in range(80)]
+        )
+        trie = RefinementTrie()
+        for codes, payload in entries:
+            trie.add(codes, payload)
+        assert len(trie) == len(entries)
+        for _ in range(300):
+            query = random_rgs(rng, 7)
+            expected, _, _ = linear_find(
+                entries, query, lambda e, q: code_coarsens(e, q)
+            )
+            assert trie.find_refinement(query)[0] == expected
+
+    def test_duplicate_add_overwrites_payload(self):
+        trie = RefinementTrie()
+        trie.add((0, 1, 0), "first")
+        trie.add((0, 1, 0), "second")
+        assert len(trie) == 1
+        assert trie.find_refinement((0, 1, 0)) == (True, "second")
+
+    def test_exact_code_is_its_own_refinement_and_coarsening(self):
+        trie = RefinementTrie()
+        trie.add((0, 1, 1, 2), "x")
+        assert trie.find_refinement((0, 1, 1, 2)) == (True, "x")
+        assert trie.find_coarsening((0, 1, 1, 2)) == (True, "x")
+
+    def test_coarsening_query_accepts_non_rgs_labels(self):
+        # find_coarsening only reads the query's equality pattern.
+        trie = RefinementTrie()
+        trie.add((0, 0, 1), "y")
+        assert trie.find_coarsening((7, 7, 3))[0] is True
+        assert trie.find_coarsening((7, 3, 3))[0] is False
+
+    def test_empty_trie_misses(self):
+        trie = RefinementTrie()
+        assert trie.find_refinement((0, 0)) == (False, None)
+        assert trie.find_coarsening((0, 0)) == (False, None)
+
+
+class TestRepairWitnesses:
+    def test_refinement_hit_resolves_to_recorded_member(self):
+        # Eviction-free operation: one admitted member, no repairs — a hit
+        # on any coarsening of its partition must surface exactly that
+        # member as the repair witness.
+        stats = PipelineStats()
+        frontier = Frontier(stats=stats, ordered=True)
+        candidates = {
+            candidate.block_count: candidate
+            for candidate in iter_quotient_candidates(
+                TRIANGLE.tableau(), generation="raw"
+            )
+        }
+        identity = candidates[3]
+        assert (
+            frontier.resolve(identity, generation=0) == "admitted"
+        )  # membership=None: known member
+        hit, witness = frontier._refinement_lookup((0, 0, 0))
+        assert hit
+        assert witness is identity.materialize()
+        assert stats.evicted == 0
+        assert stats.representative_repairs == 0
+
+    def test_miss_on_uncovered_partition(self):
+        frontier = Frontier(stats=PipelineStats(), ordered=True)
+        candidates = list(
+            iter_quotient_candidates(TRIANGLE.tableau(), generation="raw")
+        )
+        two_block = next(c for c in candidates if c.block_count == 2)
+        assert frontier.resolve(two_block, generation=0) == "admitted"
+        # The identity partition is strictly finer than any 2-block entry,
+        # so it is not covered by the index.
+        hit, _ = frontier._refinement_lookup((0, 1, 2))
+        assert not hit
+
+    def test_index_runs_uncapped_without_evictions(self):
+        # The historical _INDEX_CAP silently truncated the index; the trie
+        # records every uncovered dominated-or-admitted candidate and the
+        # eviction tripwire stays zero.
+        stats = PipelineStats()
+        frontier = Frontier(stats=stats, ordered=True)
+        for generation, candidate in enumerate(
+            coarseness_ordered(
+                iter_quotient_candidates(
+                    TRIANGLE.tableau(), generation="raw"
+                )
+            )
+        ):
+            frontier.resolve(
+                candidate,
+                generation=candidate.generation,
+                membership=lambda: True,
+            )
+        assert not hasattr(Frontier, "_INDEX_CAP")
+        assert stats.index_evictions == 0
+        assert len(frontier._refinement_index) > 0
