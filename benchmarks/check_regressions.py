@@ -13,6 +13,15 @@ current change) pass as ``new``.  A tracker missing or unreadable in the
 working tree is an error: the perf-tracking surface is load-bearing
 (see :func:`paperfmt.bench_summary`).
 
+Baseline-side problems are *distinct* from regressions: a committed
+predecessor that exists but cannot be parsed (or carries no numeric
+headline), or a ``git`` invocation that fails outright, means the gate
+cannot render a verdict at all.  Those exit with code
+:data:`EXIT_BASELINE_ERROR` (2) and a diagnostic naming the offending
+baseline — regressions exit 1 — so CI can tell "perf got worse" from
+"the gate itself is broken".  Only a predecessor genuinely absent at
+``HEAD`` passes as ``new``.
+
 Run directly (``python benchmarks/check_regressions.py``) or through
 ``python benchmarks/paperfmt.py`` / ``scripts/verify.sh``, which both
 include the gate.
@@ -29,21 +38,46 @@ from paperfmt import BENCH_FILES, REPO_ROOT, table
 #: Allowed fractional headline loss vs. the committed predecessor.
 TOLERANCE = 0.20
 
+#: Exit code for "the committed baseline is unusable" (vs. 1 = regression).
+EXIT_BASELINE_ERROR = 2
 
-def _committed_payload(filename: str) -> dict | None:
-    """The tracker as committed at HEAD (``None``: no predecessor)."""
-    proc = subprocess.run(
-        ["git", "show", f"HEAD:{filename}"],
-        cwd=REPO_ROOT,
-        capture_output=True,
-        text=True,
-    )
+
+class BaselineError(RuntimeError):
+    """The committed predecessor exists but cannot anchor a comparison."""
+
+
+def _committed_payload(filename: str, repo_root=REPO_ROOT) -> dict | None:
+    """The tracker as committed at HEAD (``None``: no predecessor).
+
+    Raises :class:`BaselineError` when the predecessor *should* be
+    readable but is not: ``git`` itself missing or failing for a reason
+    other than "path not in HEAD", or a committed payload that is not
+    valid JSON.  Silently coercing those to ``None`` would let a
+    corrupted baseline pass the gate as ``new`` forever.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "show", f"HEAD:{filename}"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+        )
+    except (FileNotFoundError, OSError) as error:
+        raise BaselineError(f"{filename}: cannot run git ({error})") from None
     if proc.returncode != 0:
-        return None
+        stderr = proc.stderr.strip()
+        if "does not exist" in stderr or "exists on disk, but not in" in stderr:
+            return None  # genuinely new tracker: no predecessor at HEAD
+        raise BaselineError(
+            f"{filename}: git show failed "
+            f"({stderr or f'exit code {proc.returncode}'})"
+        )
     try:
         return json.loads(proc.stdout)
-    except json.JSONDecodeError:
-        return None
+    except json.JSONDecodeError as error:
+        raise BaselineError(
+            f"{filename}: committed baseline is not valid JSON ({error})"
+        ) from None
 
 
 def _headline_speedup(payload: dict | None) -> float | None:
@@ -56,12 +90,19 @@ def _headline_speedup(payload: dict | None) -> float | None:
     return float(speedup) if isinstance(speedup, (int, float)) else None
 
 
-def check_regressions() -> int:
-    """Print the gate's verdict table; return a process exit code."""
+def check_regressions(bench_files=BENCH_FILES, repo_root=REPO_ROOT) -> int:
+    """Print the gate's verdict table; return a process exit code.
+
+    ``0`` — every tracker passes; ``1`` — at least one regression (or a
+    working-tree tracker missing/unreadable); :data:`EXIT_BASELINE_ERROR`
+    — a committed baseline is unusable, so no verdict was possible.  The
+    parameters exist for tests; production callers use the defaults.
+    """
     rows: list[list[object]] = []
     failures: list[str] = []
-    for filename in BENCH_FILES:
-        path = REPO_ROOT / filename
+    baseline_errors: list[str] = []
+    for filename in bench_files:
+        path = repo_root / filename
         if not path.exists():
             failures.append(f"{filename}: missing from the working tree")
             continue
@@ -73,9 +114,24 @@ def check_regressions() -> int:
         if current is None:
             failures.append(f"{filename}: no headline speedup")
             continue
-        committed = _headline_speedup(_committed_payload(filename))
-        if committed is None:
+        try:
+            committed_payload = _committed_payload(filename, repo_root)
+        except BaselineError as error:
+            baseline_errors.append(str(error))
+            rows.append([filename, f"{current}x", "?", "BASELINE ERROR"])
+            continue
+        committed = _headline_speedup(committed_payload)
+        if committed_payload is None:
             rows.append([filename, f"{current}x", "—", "new"])
+            continue
+        if committed is None:
+            # The predecessor parsed but carries no numeric headline:
+            # still unusable as an anchor, still a baseline-side fault.
+            baseline_errors.append(
+                f"{filename}: committed baseline has no numeric "
+                "headline.speedup"
+            )
+            rows.append([filename, f"{current}x", "?", "BASELINE ERROR"])
             continue
         floor = (1.0 - TOLERANCE) * committed
         if current < floor:
@@ -89,6 +145,14 @@ def check_regressions() -> int:
             status = "ok"
         rows.append([filename, f"{current}x", f"{committed}x", status])
     print(table(["tracker", "headline", "committed", "status"], rows))
+    if baseline_errors:
+        print(
+            "check_regressions: committed baselines unusable — "
+            + "; ".join(baseline_errors)
+            + " (repair or recommit the named BENCH_*.json)",
+            file=sys.stderr,
+        )
+        return EXIT_BASELINE_ERROR
     if failures:
         print(
             "check_regressions: " + "; ".join(failures),

@@ -25,6 +25,7 @@ BENCH_FILES = (
     "BENCH_extension_stream.json",
     "BENCH_frontier_reduction.json",
     "BENCH_raw_stream.json",
+    "BENCH_robustness.json",
 )
 
 

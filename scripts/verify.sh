@@ -5,13 +5,16 @@
 #
 # Runs the tier-1 suite without the wall-clock perf-smoke / process-pool
 # tests (the `slow` marker — run `PYTHONPATH=src python -m pytest -x -q`
-# for the full tier), then checks every committed BENCH_*.json headline
+# for the full tier), re-runs the robustness benchmark (cheap, and its
+# internal assertions gate budget overhead and fault-recovery
+# bit-identity), then checks every committed BENCH_*.json headline
 # against its predecessor (benchmarks/check_regressions.py: >20% loss
-# fails).  Exits nonzero on the first failure.
+# exits 1; an unusable committed baseline exits 2).
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q -m "not slow"
+(cd benchmarks && PYTHONPATH=../src${PYTHONPATH:+:$PYTHONPATH} python bench_robustness.py)
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/check_regressions.py

@@ -21,6 +21,7 @@ from repro.cq import is_contained_in, minimize, parse_query
 from repro.core import (
     AcyclicClass,
     ApproximationConfig,
+    DEFAULT_CONFIG,
     GeneralizedHypertreeClass,
     HypertreeClass,
     QueryClass,
@@ -29,6 +30,26 @@ from repro.core import (
     approximate,
     classify_boolean_graph_query,
 )
+
+
+def _parse_memory_limit(text: str) -> int:
+    """Bytes from a human-friendly size (plain bytes, or k/m/g suffix)."""
+    text = text.strip().lower()
+    multiplier = 1
+    for suffix, scale in (("g", 1 << 30), ("m", 1 << 20), ("k", 1 << 10)):
+        if text.endswith(suffix):
+            text, multiplier = text[: -len(suffix)], scale
+            break
+    try:
+        value = int(float(text) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid memory limit {text!r} (use bytes or a k/m/g suffix, "
+            "e.g. 512m)"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("memory limit must be positive")
+    return value
 
 
 def _parse_class(name: str) -> QueryClass:
@@ -59,7 +80,73 @@ def _build_parser() -> argparse.ArgumentParser:
     approx.add_argument("--cls", type=_parse_class, default=TreewidthClass(1))
     approx.add_argument("--all", action="store_true", help="list C-APPR_min(Q)")
     approx.add_argument("--method", choices=["auto", "exact", "greedy"], default="auto")
-    approx.add_argument("--exact-limit", type=int, default=8)
+    # Inherit the library default so both entry points agree on the cap.
+    approx.add_argument(
+        "--exact-limit", type=int, default=DEFAULT_CONFIG.exact_limit
+    )
+    approx.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget for the exact pipeline; on expiry the run "
+            "stops gracefully and returns the best-so-far (sound, possibly "
+            "incomplete) frontier, marked exhausted in the stats"
+        ),
+    )
+    approx.add_argument(
+        "--memory-limit",
+        type=_parse_memory_limit,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "memory ceiling for the exact pipeline (bytes, k/m/g suffixes "
+            "accepted, e.g. 512m): tracked frontier/memo sizes plus an RSS "
+            "probe; exceeding it stops the run gracefully like --deadline"
+        ),
+    )
+    approx.add_argument(
+        "--max-candidates",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "cap on stage-1 candidates drawn by the exact pipeline; the "
+            "first N candidates are fully reduced and the partial frontier "
+            "is returned marked exhausted"
+        ),
+    )
+    approx.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "periodically snapshot the run's frontier and stream cursor to "
+            "PATH, and resume from PATH if it exists (serial plain-quotient "
+            "runs only); the file is removed when the run completes"
+        ),
+    )
+    approx.add_argument(
+        "--batch-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-batch timeout for pooled membership checks (--workers > 1): "
+            "a batch stuck longer is quarantined (its candidates skipped, "
+            "recorded in the stats) instead of hanging the run"
+        ),
+    )
+    approx.add_argument(
+        "--greedy-fallback",
+        action="store_true",
+        help=(
+            "when a budgeted exact run exhausts its budget with an empty "
+            "frontier, fall back to the greedy descent instead of returning "
+            "nothing"
+        ),
+    )
     approx.add_argument(
         "--workers",
         type=int,
@@ -134,8 +221,17 @@ def main(argv: list[str] | None = None) -> int:
             exact_limit=args.exact_limit,
             workers=args.workers,
             admission_order=args.admission_order,
+            deadline=args.deadline,
+            memory_limit=args.memory_limit,
+            max_candidates=args.max_candidates,
+            checkpoint_path=args.checkpoint,
+            batch_timeout=args.batch_timeout,
+            greedy_fallback=args.greedy_fallback,
         )
-        stats = PipelineStats() if args.stats else None
+        budgeted = config.budget() is not None
+        # Budgeted runs always collect stats: the exhausted flag must reach
+        # the output surface even when --stats was not requested.
+        stats = PipelineStats() if (args.stats or budgeted) else None
         started = time.perf_counter()
         if args.all:
             results = all_approximations(query, args.cls, config, stats=stats)
@@ -160,6 +256,10 @@ def main(argv: list[str] | None = None) -> int:
                 "seconds": round(elapsed, 6),
             }
             if stats is not None:
+                payload["exhausted"] = stats.exhausted
+                if stats.exhausted:
+                    payload["exhaustion_reason"] = stats.exhaustion_reason
+            if args.stats and stats is not None:
                 payload["stats"] = {
                     name: round(value, 6) if isinstance(value, float) else value
                     for name, value in stats.as_dict().items()
@@ -168,7 +268,14 @@ def main(argv: list[str] | None = None) -> int:
         else:
             for result in results:
                 print(result)
-            if stats is not None:
+            if stats is not None and stats.exhausted:
+                print(
+                    "warning: budget exhausted "
+                    f"({stats.exhaustion_reason}); the answer is sound but "
+                    "may be incomplete",
+                    file=sys.stderr,
+                )
+            if args.stats and stats is not None:
                 print("-- pipeline stats --")
                 if stats.generated == 0:
                     print(

@@ -36,6 +36,7 @@ from repro.cq.query import ConjunctiveQuery
 from repro.cq.tableau import Tableau
 from repro.core.classes import QueryClass
 from repro.core.pipeline import PipelineStats, run_pipeline
+from repro.runtime.budget import RunBudget
 from repro.core.quotients import (
     iter_extended_tableaux,
     iter_quotient_tableaux,
@@ -73,6 +74,19 @@ class ApproximationConfig:
     bit-identical to generation order via representative repair — and
     keeps extension streams in generation order; ``"generation"`` (the
     insertion-order baseline) and ``"fine-to-coarse"`` force one order.
+
+    The budget knobs turn the exact enumeration *anytime*: ``deadline``
+    (seconds of wall clock), ``memory_limit`` (bytes, combining an RSS
+    probe with tracked frontier/memo sizes), ``max_candidates`` and
+    ``max_checks`` each stop the run gracefully when exceeded — the
+    partial frontier comes back with ``PipelineStats.exhausted`` set, and
+    every member of it is still a sound C-overapproximation (only
+    minimality/completeness is forfeited).  ``greedy_fallback`` falls back
+    to the greedy descent when an exhausted run produced an *empty*
+    frontier, so a budgeted call still returns a sound answer.
+    ``checkpoint_path`` enables periodic snapshot/resume of serial
+    plain-quotient-stream runs; ``batch_timeout`` (seconds) quarantines
+    hung/poisoned pool batches instead of killing pooled runs.
     """
 
     exact_limit: int = 9
@@ -85,6 +99,29 @@ class ApproximationConfig:
     parallel: str = "checks"
     batch_size: int = 128
     admission_order: str = "auto"
+    deadline: float | None = None
+    memory_limit: int | None = None
+    max_candidates: int | None = None
+    max_checks: int | None = None
+    checkpoint_path: str | None = None
+    batch_timeout: float | None = None
+    greedy_fallback: bool = False
+
+    def budget(self) -> "RunBudget | None":
+        """The run budget these knobs describe (``None`` when unbudgeted)."""
+        if (
+            self.deadline is None
+            and self.memory_limit is None
+            and self.max_candidates is None
+            and self.max_checks is None
+        ):
+            return None
+        return RunBudget(
+            deadline=self.deadline,
+            memory_limit=self.memory_limit,
+            max_candidates=self.max_candidates,
+            max_checks=self.max_checks,
+        )
 
 
 DEFAULT_CONFIG = ApproximationConfig()
@@ -158,6 +195,9 @@ def approximation_frontier(
         max_extra_atoms=config.max_extra_atoms,
         allow_fresh=config.allow_fresh,
         admission_order=config.admission_order,
+        budget=config.budget(),
+        checkpoint=config.checkpoint_path,
+        batch_timeout=config.batch_timeout,
     )
     if stats is not None:
         stats.absorb(result.stats)
@@ -180,6 +220,13 @@ def all_approximations(
     ``config.max_extra_atoms`` (Claim 6.2's full bound is polynomial but
     large).  Raises ``ValueError`` beyond ``exact_limit`` — use
     :func:`approximate` with the greedy method there.
+
+    Under a budget (see :class:`ApproximationConfig`) the result may be a
+    *partial* answer — check ``stats.exhausted``: every returned query is
+    still a sound C-overapproximation, but queries of the full answer set
+    may be missing.  With ``config.greedy_fallback`` an exhausted run that
+    found *nothing* falls back to the greedy descent instead of returning
+    an empty list.
     """
     if tableau is None:
         tableau = query.tableau()
@@ -191,9 +238,12 @@ def all_approximations(
     if cls.contains_tableau(tableau):
         return [minimize(query)]
 
+    run_stats = stats if stats is not None else PipelineStats()
     frontier = approximation_frontier(
-        query, cls, config, tableau=tableau, stats=stats
+        query, cls, config, tableau=tableau, stats=run_stats
     )
+    if not frontier and run_stats.exhausted and config.greedy_fallback:
+        return [greedy_approximate(query, cls, config, tableau=tableau)]
     return [
         ConjunctiveQuery.from_tableau(core_tableau(t), prefix="a")
         for t in frontier

@@ -94,9 +94,11 @@ Engine handles are never pickled: pool workers rebuild their own
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from itertools import islice
 from typing import Iterable, Iterator
 
 import networkx as nx
@@ -117,11 +119,14 @@ from repro.cq.tableau import Tableau, pin_for
 from repro.homomorphism.engine import HomEngine, default_engine
 from repro.hypergraphs.hypergraph import Hypergraph
 from repro.parallel import (
+    BatchFault,
     ProcessExecutor,
     SerialExecutor,
     effective_workers,
     make_executor,
 )
+from repro.runtime.budget import RunBudget
+from repro.runtime.checkpoint import CheckpointManager
 from repro.util.partitions import RefinementTrie, code_coarsens
 
 #: Candidates funneled into one pool task (strategy ``"checks"``).
@@ -377,23 +382,70 @@ class PipelineStats:
     #: model's windowed three-way controller deciding canonical dedup vs.
     #: orbit-only pruning vs. the raw partition stream).
     generation_switches: int = 0
+    #: Whether a :class:`~repro.runtime.budget.RunBudget` stopped the run
+    #: before the candidate space was exhausted.  A partial frontier is
+    #: still *sound* — every member is a class member the base maps into,
+    #: hence a C-overapproximation of the query — but minimality and
+    #: completeness are forfeited: members of the true frontier may be
+    #: missing, and surviving members may be dominated by unseen
+    #: candidates.  Consumers must surface this flag.
+    exhausted: bool = False
+    #: Which budget dimension tripped (empty while within budget).
+    exhaustion_reason: str = ""
+    #: Process pools respawned after a ``BrokenProcessPool`` (killed/OOM'd
+    #: workers).  Respawns are transparent — in-flight work is resubmitted
+    #: in order, so results are unaffected.
+    pool_respawns: int = 0
+    #: Per-batch timeouts that expired while waiting on a pool batch.
+    batch_timeouts: int = 0
+    #: Candidates whose class check was lost to a quarantined (timed-out or
+    #: raising) pool batch.  They are skipped — a sound omission: skipping
+    #: forfeits completeness only, like a budget stop.
+    quarantined: int = 0
+    #: Snapshots written by the checkpoint manager this run.
+    checkpoints_written: int = 0
+    #: Candidates skipped on resume because a checkpoint already covered
+    #: them (the restored ``generated`` count still includes them).
+    resumed_candidates: int = 0
 
     def absorb(self, other: "PipelineStats") -> None:
         for name in self.__dataclass_fields__:
-            setattr(self, name, getattr(self, name) + getattr(other, name))
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if isinstance(mine, bool):
+                setattr(self, name, mine or theirs)
+            elif isinstance(mine, str):
+                if not mine:
+                    setattr(self, name, theirs)
+            else:
+                setattr(self, name, mine + theirs)
 
     def as_dict(self) -> dict:
         return {
             name: getattr(self, name) for name in self.__dataclass_fields__
         }
 
+    @classmethod
+    def numeric_fields(cls) -> tuple[str, ...]:
+        """The summable counter/timer fields (excludes flags and reasons)."""
+        return tuple(
+            name
+            for name, spec in cls.__dataclass_fields__.items()
+            if spec.type in ("int", "float")
+        )
+
 
 @dataclass
 class PipelineResult:
-    """The →-minimal frontier plus the run's observability payload."""
+    """The →-minimal frontier plus the run's observability payload.
+
+    ``faults`` carries the structured :class:`~repro.parallel.BatchFault`
+    records of quarantined pool batches (empty on fault-free runs): what
+    kind of failure, the stringified cause, and how long the wait lasted.
+    """
 
     frontier: list[Tableau]
     stats: PipelineStats
+    faults: list = field(default_factory=list)
 
 
 # -------------------------------------------------------------------- stage 2
@@ -671,6 +723,34 @@ def _check_pooled(
                 memo[key] = verdict
                 pending_keys.discard(key)
 
+    def _resolve_batch_failed() -> None:
+        """Quarantine a lost batch (timeout or raising worker).
+
+        Every candidate of the batch resolves to verdict ``None`` — treated
+        as a non-member downstream, a *sound* omission (a skipped candidate
+        forfeits completeness only, exactly like a budget stop).  Entries
+        elsewhere in the queue that were riding on a key this batch was
+        supposed to resolve are quarantined too: their key is no longer
+        pending and no later batch will dispatch it for them, so leaving
+        them would stall the drain forever.
+        """
+        lost_keys: set = set()
+        for entry, key in submitted.popleft():
+            stats.quarantined += 1
+            entry[1], entry[2] = "verdict", None
+            if key is not None:
+                pending_keys.discard(key)
+                lost_keys.add(key)
+        if lost_keys:
+            for entry in entries:
+                if (
+                    entry[1] == "key"
+                    and entry[2] in lost_keys
+                    and entry[2] not in memo
+                ):
+                    stats.quarantined += 1
+                    entry[1], entry[2] = "verdict", None
+
     def _drain() -> Iterator[tuple[object, bool | None]]:
         while entries:
             candidate, kind, value = entries[0]
@@ -706,11 +786,18 @@ def _check_pooled(
     while True:
         # A one-batch-tighter lookahead window than the executor default:
         # verdict feedback lands a batch earlier, and the gate keeps the
-        # pool from starving on held families either way.
-        for verdicts, seconds in executor.imap(
-            _check_batch, payloads(), inflight=executor.workers + 1
+        # pool from starving on held families either way.  Batch failures
+        # surface as BatchFault records (failures="yield") in the failed
+        # batch's result slot, so quarantine keeps submission-order
+        # bookkeeping intact.
+        for outcome in executor.imap(
+            _check_batch, payloads(), inflight=executor.workers + 1,
+            failures="yield",
         ):
-            _resolve_batch(verdicts, seconds)
+            if isinstance(outcome, BatchFault):
+                _resolve_batch_failed()
+            else:
+                _resolve_batch(*outcome)
             yield from _drain()
         yield from _drain()
         if not entries:
@@ -1357,6 +1444,57 @@ class Frontier:
         """
         self.members.sort(key=lambda member: self._generation.get(id(member), -1))
 
+    def tracked_entries(self) -> int:
+        """Entry count of the frontier's growable structures — the memory
+        budget's tracked-size probe (see :meth:`RunBudget.register_probe`)."""
+        return (
+            len(self.members)
+            + len(self._dominated_keys)
+            + len(self._undominated_keys)
+            + len(self._class_status)
+            + len(self._refinement_index)
+        )
+
+    def snapshot(self) -> list[tuple]:
+        """The frontier's resumable state, picklable.
+
+        Members in admission order, each with its partition codes and
+        generation stamp.  The perf-only structures (dominance memo,
+        class-status memo, refinement index beyond admitted members, kernel
+        tries) are deliberately *not* captured: every verdict they
+        short-circuit is reproduced identically by the full scan they
+        replace, so a restore that drops them changes counters, never the
+        frontier.
+        """
+        return [
+            (
+                encode_tableau(member),
+                self._codes.get(id(member)),
+                self._generation.get(id(member)),
+            )
+            for member in self.members
+        ]
+
+    def restore(self, snapshot: Iterable[tuple]) -> None:
+        """Rebuild members (plus codes/generations) from :meth:`snapshot`.
+
+        Only valid on an empty frontier.  Admitted members are re-seeded
+        into the refinement index (ordered reductions record them there on
+        admission), so resumed runs keep the index's positive fast path for
+        everything already admitted.
+        """
+        if self.members:
+            raise ValueError("restore() needs an empty frontier")
+        for encoded, codes, generation in snapshot:
+            member = decode_tableau(encoded)
+            self.members.append(member)
+            self._scan.append(member)
+            if codes is not None:
+                self._codes[id(member)] = codes
+            if generation is not None:
+                self._generation[id(member)] = generation
+            self._record_refinement(codes, member)
+
     def merge(
         self,
         members: Iterable[Tableau],
@@ -1436,6 +1574,7 @@ def _candidate_source(
     shard: tuple[int, int] | None = None,
     automorphisms: list[list[int]] | None = None,
     generation: str = "adaptive",
+    cursor: int = 0,
 ) -> Iterator:
     """Stage 1: the class-appropriate candidate stream.
 
@@ -1446,7 +1585,9 @@ def _candidate_source(
     pipeline supports now shares the same lazy fast path.  ``automorphisms``
     is the precomputed base orbit data from :func:`_base_orbit_data`;
     ``generation`` is the stage-1 regime (see
-    :func:`_resolve_generation_mode`).
+    :func:`_resolve_generation_mode`); ``cursor`` skips the first emitted
+    candidates (checkpoint resume on insertion-order runs — plain quotient
+    streams only).
     """
     if getattr(cls, "kind", None) == "graph" or max_extra_atoms <= 0:
         return iter_quotient_candidates(
@@ -1455,6 +1596,11 @@ def _candidate_source(
             shard=shard,
             automorphisms=automorphisms,
             generation=generation,
+            cursor=cursor,
+        )
+    if cursor:
+        raise ValueError(
+            "resume cursors are only supported on plain quotient streams"
         )
     return iter_extended_candidates(
         tableau,
@@ -1539,10 +1685,12 @@ class _OrderController:
         if stats.generated < self._review_at:
             return
         self._review_at = stats.generated + _ORDER_REVIEW_EVERY
+        # Delta over the numeric counters only — the exhaustion flag/reason
+        # are not rates and do not subtract.
         window = PipelineStats(
             **{
                 name: getattr(stats, name) - getattr(self._baseline, name)
-                for name in PipelineStats.__dataclass_fields__
+                for name in PipelineStats.numeric_fields()
             }
         )
         self._baseline = PipelineStats(**stats.as_dict())
@@ -1598,6 +1746,100 @@ def _deferred_class_key(candidate, stats: PipelineStats):
     return compute
 
 
+def _budget_gate(candidates, budget: RunBudget, stats: PipelineStats):
+    """Stop drawing stage-1 candidates once the budget trips.
+
+    The earliest possible stop: nothing downstream of the gate sees another
+    candidate, so in-flight pool batches drain naturally (the batcher's
+    intake just ends) and buffering reducers stop growing their buffer.
+    The candidate cap is enforced against ``stats.generated``, which the
+    consumer increments — exact on lazy (one-in-one-out) streams; during a
+    fine-to-coarse buffering phase only the deadline and the memory ceiling
+    can truncate the buffer, and the cap binds in the reduction loop
+    instead.
+    """
+    for candidate in candidates:
+        if budget.exceeded(stats) is not None:
+            return
+        yield candidate
+
+
+def _note_exhaustion(budget: RunBudget | None, stats: PipelineStats) -> None:
+    """Mark the run exhausted if its budget tripped (idempotent)."""
+    if budget is not None and budget.reason is not None:
+        stats.exhausted = True
+        if not stats.exhaustion_reason:
+            stats.exhaustion_reason = budget.reason
+
+
+def _harvest_executor(executor, stats: PipelineStats) -> list[BatchFault]:
+    """Fold the executor's fault bookkeeping into the run's stats."""
+    stats.pool_respawns += getattr(executor, "respawns", 0)
+    stats.batch_timeouts += getattr(executor, "timeouts", 0)
+    return list(getattr(executor, "faults", ()))
+
+
+class _CheckpointSession:
+    """One run's binding of a checkpoint manager to pipeline state.
+
+    Tracks the *cursor* — how many stage-3 candidates (in reduction order)
+    have been fully processed — and snapshots ``(cursor, frontier, stats)``
+    at the manager's cadence.  On resume the frontier and stats are
+    restored and the first ``cursor`` candidates are skipped: for
+    insertion-order runs at the stream source (a cheap skip inside
+    :func:`~repro.core.quotients.iter_quotient_candidates`), for
+    fine-to-coarse runs after the coarseness reordering (the full stream is
+    regenerated — generation is cheap next to checks — so the reordering
+    and the generation stamps are reproduced exactly).
+    """
+
+    __slots__ = ("manager", "run_key", "stats", "cursor")
+
+    def __init__(
+        self, manager: CheckpointManager, run_key: tuple, stats: PipelineStats
+    ) -> None:
+        self.manager = manager
+        self.run_key = run_key
+        self.stats = stats
+        self.cursor = 0
+
+    def load(self) -> dict | None:
+        return self.manager.load(self.run_key)
+
+    def _payload(self, frontier: Frontier) -> dict:
+        return {
+            "cursor": self.cursor,
+            "frontier": frontier.snapshot(),
+            "stats": self.stats.as_dict(),
+        }
+
+    def restore(self, payload: dict, frontier: Frontier) -> None:
+        self.cursor = payload["cursor"]
+        frontier.restore(payload["frontier"])
+        for name, value in payload["stats"].items():
+            if name in PipelineStats.__dataclass_fields__:
+                setattr(self.stats, name, value)
+        # Exhaustion is a property of the run that *saved* the snapshot
+        # (e.g. a tripped budget); the resumed run decides its own.
+        self.stats.exhausted = False
+        self.stats.exhaustion_reason = ""
+        self.stats.resumed_candidates = self.cursor
+
+    def after_candidate(self, frontier: Frontier) -> None:
+        self.cursor += 1
+        if self.manager.maybe_save(
+            self.run_key, lambda: self._payload(frontier)
+        ):
+            self.stats.checkpoints_written += 1
+
+    def save_now(self, frontier: Frontier) -> None:
+        self.manager.save(self.run_key, self._payload(frontier))
+        self.stats.checkpoints_written += 1
+
+    def finalize(self) -> None:
+        self.manager.finalize()
+
+
 def _mark_family_dominated(candidate, parent) -> None:
     """Record that the frontier now holds a member mapping into ``candidate``.
 
@@ -1623,6 +1865,9 @@ def _reduce_inline(
     *,
     engine: HomEngine | None = None,
     order: str = "insertion",
+    budget: RunBudget | None = None,
+    checkpoint: _CheckpointSession | None = None,
+    resume: dict | None = None,
 ) -> Frontier:
     """Stages 2+3 in one process, with cost-modeled stage ordering.
 
@@ -1649,9 +1894,27 @@ def _reduce_inline(
     reorder = order == "fine_to_coarse"
     frontier = Frontier(engine=engine, stats=stats, ordered=reorder)
     controller = _OrderController(stats)
+    if budget is not None:
+        budget.start()
+        budget.register_probe(frontier.tracked_entries)
+        budget.register_probe(lambda: len(tester._memo))
+        if reorder and checkpoint is None:
+            # Fine-to-coarse buffers the whole stream before reducing, so
+            # the deadline/memory stop must reach stage 1 directly.  Under
+            # checkpointing the gate stays off: a truncated buffer would
+            # reorder differently from the full stream, breaking the
+            # cursor's alignment on resume — budget stops then align to
+            # stage-3 candidate boundaries instead.
+            candidates = _budget_gate(candidates, budget, stats)
+    if resume is not None and checkpoint is not None:
+        checkpoint.restore(resume, frontier)
     if reorder:
         candidates = coarseness_ordered(candidates)
+        if checkpoint is not None and checkpoint.cursor:
+            candidates = islice(candidates, checkpoint.cursor, None)
     for candidate in candidates:
+        if budget is not None and budget.exceeded(stats) is not None:
+            break
         stats.generated += 1
         parent = getattr(candidate, "parent", None)
         if parent is not None and parent.extensions_dominated and not reorder:
@@ -1688,6 +1951,16 @@ def _reduce_inline(
             if reorder and stats.hom_le_calls == calls_before:
                 stats.admissions_resolved_by_order += 1
         controller.update()
+        if checkpoint is not None:
+            checkpoint.after_candidate(frontier)
+    _note_exhaustion(budget, stats)
+    if checkpoint is not None:
+        if stats.exhausted:
+            # A budget stop keeps the snapshot (and refreshes it): rerun
+            # with a bigger budget and the run resumes where it stopped.
+            checkpoint.save_now(frontier)
+        else:
+            checkpoint.finalize()
     if reorder:
         frontier.restore_generation_order()
     return frontier
@@ -1727,10 +2000,16 @@ def _shard_task(shard: tuple[int, int]) -> tuple[tuple[tuple, ...], dict]:
         automorphisms,
         order,
         generation,
+        budget_spec,
     ) = _SHARD_CONTEXT
     base = decode_tableau(base_data)
     stats = PipelineStats()
     cost_model = DedupCostModel()
+    # Budgets apply per shard: each worker rebuilds the spec (the remaining
+    # deadline and the caps are frozen at dispatch time), so a shard that
+    # exhausts its slice of the budget returns its partial frontier and the
+    # driver's absorb ORs the ``exhausted`` flags together.
+    budget = RunBudget(**budget_spec) if budget_spec is not None else None
     candidates = _candidate_source(
         base,
         cls,
@@ -1741,7 +2020,9 @@ def _shard_task(shard: tuple[int, int]) -> tuple[tuple[tuple, ...], dict]:
         automorphisms=automorphisms,
         generation=generation,
     )
-    frontier = _reduce_inline(candidates, cls, stats, cost_model, order=order)
+    frontier = _reduce_inline(
+        candidates, cls, stats, cost_model, order=order, budget=budget
+    )
     stats.generation_switches += cost_model.mode_switches
     return (
         tuple(
@@ -1854,6 +2135,9 @@ def run_pipeline(
     allow_fresh: bool = True,
     admission_order: str = "auto",
     generation: str = "auto",
+    budget: RunBudget | None = None,
+    checkpoint: CheckpointManager | str | None = None,
+    batch_timeout: float | None = None,
 ) -> PipelineResult:
     """Run the three-stage pipeline and return the →-minimal frontier.
 
@@ -1876,6 +2160,21 @@ def run_pipeline(
     prunes candidates isomorphic to earlier stream elements, and the
     reducer's representative repair restores the first-generated member of
     each class whatever survives.
+
+    ``budget`` (a :class:`~repro.runtime.budget.RunBudget`) turns the run
+    *anytime*: when a budget dimension trips, stage 1 stops producing, any
+    in-flight pool batches drain, and the best-so-far frontier is returned
+    with ``stats.exhausted`` set — every member still a sound
+    C-overapproximation, only minimality/completeness forfeited.  Under
+    ``parallel="shards"`` the budget applies per shard (remaining deadline
+    and caps frozen at dispatch).  ``checkpoint`` (a
+    :class:`~repro.runtime.checkpoint.CheckpointManager` or a path) enables
+    periodic snapshot/resume — serial plain-quotient-stream runs only, and
+    the timing-dependent generation regimes are forced down to ``"orbit"``
+    so the resumed stream is reproduced exactly.  ``batch_timeout`` bounds
+    the wait on any one pooled check batch; an expired batch is quarantined
+    into ``result.faults`` (its candidates skipped, counted in
+    ``stats.quarantined``) instead of killing the run.
     """
     if parallel not in {"checks", "shards"}:
         raise ValueError(f"unknown parallel strategy {parallel!r}")
@@ -1883,13 +2182,48 @@ def run_pipeline(
     generation = _resolve_generation_mode(
         generation, cls, max_extra_atoms, workers, parallel, order
     )
+    checkpoint_manager = (
+        CheckpointManager(checkpoint)
+        if isinstance(checkpoint, (str, os.PathLike))
+        else checkpoint
+    )
+    if checkpoint_manager is not None:
+        if effective_workers(workers) > 1:
+            raise ValueError("checkpointing requires a serial run (workers=1)")
+        plain_stream = (
+            getattr(cls, "kind", None) == "graph" or max_extra_atoms <= 0
+        )
+        if not plain_stream:
+            raise ValueError(
+                "checkpointing requires a plain quotient stream (the "
+                "extension enumerator's dominance feedback makes its stream "
+                "non-resumable); set max_extra_atoms=0"
+            )
+        if generation in ("adaptive", "model"):
+            # Timing-dependent regimes emit different streams run to run;
+            # a resume cursor needs the exact original stream, so force the
+            # deterministic orbit regime.
+            generation = "orbit"
     stats = PipelineStats()
     cost_model = DedupCostModel()
+    if budget is not None:
+        budget.start()
     automorphisms = _base_orbit_data(tableau, stats)
 
     if effective_workers(workers) > 1 and parallel == "shards":
         shard_count = effective_workers(workers) * _SHARDS_PER_WORKER
         stats.shards = shard_count
+        budget_spec = None
+        if budget is not None:
+            remaining = budget.remaining_deadline()
+            budget_spec = {
+                # An already-expired deadline still ships as a (tiny)
+                # positive allowance: each shard trips on its first check.
+                "deadline": max(remaining, 1e-9) if remaining is not None else None,
+                "memory_limit": budget.memory_limit,
+                "max_candidates": budget.max_candidates,
+                "max_checks": budget.max_checks,
+            }
         context = (
             encode_tableau(tableau),
             cls,
@@ -1898,6 +2232,7 @@ def run_pipeline(
             automorphisms,
             order,
             generation,
+            budget_spec,
         )
         with make_executor(
             workers, initializer=_install_shard_context, initargs=(context,)
@@ -1912,9 +2247,28 @@ def run_pipeline(
                     [decode_tableau(data) for data, _ in encoded_members],
                     [codes for _, codes in encoded_members],
                 )
-            return PipelineResult(frontier.members, stats)
+            faults = _harvest_executor(executor, stats)
+            return PipelineResult(frontier.members, stats, faults)
 
-    with make_executor(workers) as executor:
+    session = None
+    resume = None
+    source_cursor = 0
+    if checkpoint_manager is not None:
+        run_key = (
+            "pipeline-checkpoint-v1",
+            encode_tableau(tableau),
+            cls.name,
+            max_extra_atoms,
+            allow_fresh,
+            order,
+            generation,
+        )
+        session = _CheckpointSession(checkpoint_manager, run_key, stats)
+        resume = session.load()
+        if resume is not None and order == "insertion":
+            source_cursor = resume["cursor"]
+
+    with make_executor(workers, batch_timeout=batch_timeout) as executor:
         candidates = _candidate_source(
             tableau,
             cls,
@@ -1923,10 +2277,18 @@ def run_pipeline(
             cost_model=cost_model,
             automorphisms=automorphisms,
             generation=generation,
+            cursor=source_cursor,
         )
         if isinstance(executor, SerialExecutor):
             frontier = _reduce_inline(
-                candidates, cls, stats, cost_model, order=order
+                candidates,
+                cls,
+                stats,
+                cost_model,
+                order=order,
+                budget=budget,
+                checkpoint=session,
+                resume=resume,
             )
             stats.generation_switches += cost_model.mode_switches
             return PipelineResult(frontier.members, stats)
@@ -1938,6 +2300,13 @@ def run_pipeline(
         # stages (serial runs and shard workers), where both orders execute
         # in the same process.
         frontier = Frontier(stats=stats, ordered=order == "fine_to_coarse")
+        if budget is not None:
+            budget.register_probe(frontier.tracked_entries)
+            # A tripped budget simply ends the batcher's intake; the
+            # batches already in flight drain through the executor's
+            # bounded window — at most ``inflight`` batch waits, so the
+            # drain is bounded by the in-flight work, not the stream.
+            candidates = _budget_gate(candidates, budget, stats)
         checked = _iter_membership_candidates(
             candidates,
             cls,
@@ -1952,6 +2321,9 @@ def run_pipeline(
             # path — repair plus the final generation-order sort keep the
             # result bit-identical to it for any worker count.  (Plain
             # streams have no families, so nothing here races feedback.)
+            # On a budget stop the buffer holds exactly the candidates
+            # whose checks were paid; reducing them all returns the
+            # best-so-far frontier rather than throwing the work away.
             verdicts: dict[int, bool] = {}
             buffered: list = []
             for candidate, is_member in checked:
@@ -1971,7 +2343,9 @@ def run_pipeline(
                     stats.admissions_resolved_by_order += 1
             frontier.restore_generation_order()
             stats.generation_switches += cost_model.mode_switches
-            return PipelineResult(frontier.members, stats)
+            _note_exhaustion(budget, stats)
+            faults = _harvest_executor(executor, stats)
+            return PipelineResult(frontier.members, stats, faults)
 
         for candidate, is_member in checked:
             parent = getattr(candidate, "parent", None)
@@ -1991,4 +2365,6 @@ def run_pipeline(
                     dominance_key(candidate),
                 )
         stats.generation_switches += cost_model.mode_switches
-        return PipelineResult(frontier.members, stats)
+        _note_exhaustion(budget, stats)
+        faults = _harvest_executor(executor, stats)
+        return PipelineResult(frontier.members, stats, faults)

@@ -650,6 +650,7 @@ def iter_quotient_candidates(
     automorphisms: list[list[int]] | None | object = _DERIVE,
     seen_keys: set | None = None,
     generation: str = "adaptive",
+    cursor: int = 0,
 ) -> Iterator[QuotientCandidate]:
     """The quotient candidate stream in lazy (unmaterialized) form.
 
@@ -690,11 +691,27 @@ def iter_quotient_candidates(
     only ever *added to* — quotient-level pruning stays quotient-vs-quotient,
     because skipping a quotient also skips its whole extension family, which
     is only sound when the surviving isomorphic copy grows the same family.
+
+    ``cursor`` skips the first ``cursor`` *emitted* candidates without
+    building them (checkpoint resume).  Exact only under the stateless
+    regimes — ``"orbit"`` and ``"raw"`` decide each emission from the
+    partition alone, so the suffix after a skip is the exact suffix of the
+    original stream.  The stateful regimes (``"canonical"``'s ``seen_keys``,
+    the timing-dependent ``"adaptive"``/``"model"``) are rejected with a
+    nonzero cursor: their emission decisions depend on history the skip
+    would not replay.
     """
     if generation not in {"adaptive", "model", *GENERATION_MODES}:
         raise ValueError(f"unknown generation mode {generation!r}")
     if generation == "model" and cost_model is None:
         raise ValueError('generation="model" requires a cost_model')
+    if cursor < 0:
+        raise ValueError(f"cursor must be >= 0, got {cursor}")
+    if cursor and generation not in ("orbit", "raw"):
+        raise ValueError(
+            "resume cursors need a stateless generation regime ('orbit' or "
+            f"'raw'); got {generation!r}"
+        )
     elements = sorted(tableau.structure.domain, key=repr)
     prefixes = _shard_prefixes(len(elements), shard)
     structure = tableau.structure
@@ -715,6 +732,11 @@ def iter_quotient_candidates(
         # domain) would defeat the integer fast path's refinement; fall back
         # to tableau-level canonical forms, which handle them.  Candidates
         # on this path are pre-materialized and carry no integer facts.
+        if cursor:
+            raise ValueError(
+                "resume cursors are unsupported on the isolated-element "
+                "fallback path (its dedup is stateful)"
+            )
         seen = _CanonicalSeen()
         for partition in _partition_stream(elements, prefixes):
             quotient = tableau.rename(partition_to_mapping(partition))
@@ -748,11 +770,15 @@ def iter_quotient_candidates(
     checked = duplicates = 0
     dedup_active, decided = True, False
     model_driven = generation == "model"
+    skip = cursor
     for partition in _partition_stream(elements, prefixes):
         if len(partition) == n_elements:
             # The identity quotient: the only partition with |domain| blocks,
             # and isomorphism preserves block count, so it cannot duplicate
             # (or be duplicated by) anything — skip the canonization.
+            if skip:
+                skip -= 1
+                continue
             yield QuotientCandidate(
                 partition,
                 tuple(range(n_elements)),
@@ -785,6 +811,9 @@ def iter_quotient_candidates(
             for element in block:
                 code[index_of[element]] = block_id
         if mode == "raw":
+            if skip:
+                skip -= 1
+                continue
             yield QuotientCandidate(
                 partition,
                 tuple(code),
@@ -814,6 +843,9 @@ def iter_quotient_candidates(
             cost_model.record_orbit(now - started)
             started = now
         if mode == "orbit":
+            if skip:
+                skip -= 1
+                continue
             yield QuotientCandidate(
                 partition,
                 tuple(code),

@@ -8,7 +8,7 @@ touch ``concurrent.futures`` directly:
   ``workers <= 1``.  The serial path therefore has no serialization, no
   processes, and no behavioral difference from calling the task function in
   a loop.
-* :class:`ProcessExecutor` — a thin wrapper over
+* :class:`ProcessExecutor` — a wrapper over
   ``concurrent.futures.ProcessPoolExecutor`` whose :meth:`~ProcessExecutor.
   imap` preserves submission order while keeping a bounded number of tasks
   in flight, so a lazy task stream overlaps generation with execution
@@ -30,18 +30,57 @@ in :func:`repro.homomorphism.engine.default_engine`.
 On POSIX the pool uses the ``fork`` start method explicitly — workers
 inherit the imported library (no re-import cost) but, by the pid check
 above, not the parent's engine handle.
+
+Fault tolerance
+---------------
+A worker killed by the OOM killer (or a segfaulting native extension)
+breaks the whole ``ProcessPoolExecutor``: every outstanding future raises
+``BrokenProcessPool`` and the pool is unusable.  :meth:`ProcessExecutor.
+imap` recovers transparently: it respawns the pool with capped exponential
+backoff and resubmits every in-flight task *in submission order*, so the
+result stream the consumer sees is unchanged — same tasks, same function,
+same order — and determinism guarantees downstream are preserved.  After
+``max_respawns`` pool deaths the executor gives up on processes and runs
+the remaining tasks inline (serial fallback), which is slow but always
+completes.
+
+Orthogonally, an optional per-batch ``timeout`` bounds how long ``imap``
+blocks on the oldest in-flight task.  On expiry the (possibly hung) pool
+is torn down, the *head* task is quarantined as a structured
+:class:`BatchFault` record, and the remaining in-flight tasks are
+resubmitted to a fresh pool.  A task that raises inside the worker
+("poisoned") is likewise quarantined without a respawn — the pool itself
+is fine.  With ``failures="yield"`` the :class:`BatchFault` takes the
+failed task's slot in the result stream, letting consumers skip exactly
+the lost work instead of losing the run; the default ``failures="raise"``
+re-raises (timeouts raise the original ``TimeoutError``) for callers that
+prefer fail-fast.
+
+Note the timeout clock starts when ``imap`` *blocks on* the head result,
+not when the task was submitted.  Under the bounded in-flight window the
+head is always the oldest outstanding task, so a hung worker is detected
+within one window's worth of consumption plus the timeout — tight enough
+to bound drain latency, cheap enough to need no watchdog thread.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Iterator, TypeVar
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, TypeVar
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
+
+#: Backoff schedule for pool respawns: ``RESPAWN_BACKOFF_BASE * 2**attempt``
+#: seconds, capped at :data:`RESPAWN_BACKOFF_CAP`.
+RESPAWN_BACKOFF_BASE = 0.1
+RESPAWN_BACKOFF_CAP = 2.0
 
 
 def effective_workers(workers: int | None) -> int:
@@ -55,10 +94,39 @@ def effective_workers(workers: int | None) -> int:
     return workers
 
 
+@dataclass
+class BatchFault:
+    """Structured record of one quarantined task.
+
+    ``kind`` is ``"timeout"`` (the per-batch timeout expired while waiting
+    on this task) or ``"error"`` (the task raised inside the worker).  The
+    original payload rides along so consumers can resolve exactly the work
+    that was lost, and ``error`` holds the stringified cause for logs and
+    :class:`~repro.core.pipeline.PipelineResult` fault reports.
+    """
+
+    kind: str
+    task: Any
+    error: str
+    elapsed: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "error": self.error,
+            "elapsed": round(self.elapsed, 6),
+        }
+
+
 class SerialExecutor:
     """Inline execution with the executor interface (the ``workers=1`` path)."""
 
     workers = 1
+
+    def __init__(self) -> None:
+        self.faults: list[BatchFault] = []
+        self.respawns = 0
+        self.timeouts = 0
 
     def imap(
         self,
@@ -66,11 +134,20 @@ class SerialExecutor:
         tasks: Iterable[Task],
         *,
         inflight: int | None = None,
+        failures: str = "raise",
     ) -> Iterator[Result]:
         for task in tasks:
-            yield fn(task)
+            if failures == "yield":
+                try:
+                    yield fn(task)
+                except Exception as exc:  # noqa: BLE001 - quarantine boundary
+                    fault = BatchFault(kind="error", task=task, error=repr(exc))
+                    self.faults.append(fault)
+                    yield fault
+            else:
+                yield fn(task)
 
-    def close(self) -> None:  # pragma: no cover - nothing to release
+    def close(self, force: bool = False) -> None:  # pragma: no cover - no-op
         pass
 
     def __enter__(self) -> "SerialExecutor":
@@ -81,7 +158,7 @@ class SerialExecutor:
 
 
 class ProcessExecutor:
-    """Ordered, bounded-lookahead mapping over a process pool.
+    """Ordered, bounded-lookahead, fault-tolerant mapping over a process pool.
 
     ``inflight`` bounds how many tasks are submitted ahead of the consumer;
     the default (``workers + 2``) keeps every worker busy while the oldest
@@ -97,6 +174,10 @@ class ProcessExecutor:
     families at the source — therefore see verdicts at the earliest
     possible moment instead of only when the lookahead window fills, which
     is what lets feedback land before a family is enqueued.
+
+    ``batch_timeout`` and ``max_respawns`` configure the fault-tolerance
+    behavior described in the module docstring; ``faults``, ``respawns``
+    and ``timeouts`` expose what happened for stats reporting.
     """
 
     def __init__(
@@ -106,22 +187,94 @@ class ProcessExecutor:
         inflight: int | None = None,
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
+        batch_timeout: float | None = None,
+        max_respawns: int = 3,
     ) -> None:
         if workers < 2:
             raise ValueError("ProcessExecutor needs at least 2 workers")
-        context = (
+        if batch_timeout is not None and batch_timeout <= 0:
+            raise ValueError("batch_timeout must be positive")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        self.workers = workers
+        self.inflight = inflight if inflight is not None else workers + 2
+        self.batch_timeout = batch_timeout
+        self.max_respawns = max_respawns
+        self._initializer = initializer
+        self._initargs = initargs
+        self._context = (
             multiprocessing.get_context("fork")
             if hasattr(os, "fork")
             else multiprocessing.get_context()
         )
-        self.workers = workers
-        self.inflight = inflight if inflight is not None else workers + 2
-        self._pool = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=context,
-            initializer=initializer,
-            initargs=initargs,
+        self.faults: list[BatchFault] = []
+        self.respawns = 0
+        self.timeouts = 0
+        self._serial_fallback = False
+        self._initializer_ran_inline = False
+        self._pool: ProcessPoolExecutor | None = self._spawn_pool()
+
+    # ------------------------------------------------------------ pool mgmt
+
+    def _spawn_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self._context,
+            initializer=self._initializer,
+            initargs=self._initargs,
         )
+
+    def _teardown_pool(self, *, kill: bool) -> None:
+        """Release the current pool; ``kill`` terminates live workers first
+        (needed when a worker is hung — ``shutdown`` alone would block on
+        it forever)."""
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        if kill:
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover - already-dead worker
+                    pass
+        try:
+            pool.shutdown(wait=not kill, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken pool cleanup
+            pass
+
+    def _respawn_pool(self, *, kill: bool) -> bool:
+        """Tear down and respawn the pool with capped exponential backoff.
+
+        Returns ``False`` once the respawn budget is spent, flipping the
+        executor into serial-fallback mode.
+        """
+        self._teardown_pool(kill=kill)
+        if self.respawns >= self.max_respawns:
+            self._serial_fallback = True
+            return False
+        delay = min(RESPAWN_BACKOFF_CAP, RESPAWN_BACKOFF_BASE * (2**self.respawns))
+        self.respawns += 1
+        time.sleep(delay)
+        self._pool = self._spawn_pool()
+        return True
+
+    def _run_inline(self, fn, task, failures):
+        """Serial-fallback execution of one task (after pool give-up)."""
+        if self._initializer is not None and not self._initializer_ran_inline:
+            self._initializer(*self._initargs)
+            self._initializer_ran_inline = True
+        if failures == "yield":
+            try:
+                return fn(task)
+            except Exception as exc:  # noqa: BLE001 - quarantine boundary
+                fault = BatchFault(kind="error", task=task, error=repr(exc))
+                self.faults.append(fault)
+                return fault
+        return fn(task)
+
+    # ------------------------------------------------------------------ imap
 
     def imap(
         self,
@@ -129,6 +282,7 @@ class ProcessExecutor:
         tasks: Iterable[Task],
         *,
         inflight: int | None = None,
+        failures: str = "raise",
     ) -> Iterator[Result]:
         """Map ``fn`` over ``tasks`` with submission-order results.
 
@@ -138,24 +292,126 @@ class ProcessExecutor:
         always yielded in submission order; finished head-of-queue results
         are yielded eagerly — before the next task is pulled — so the
         consumer's feedback reaches the task stream as early as possible.
-        """
-        window = self.inflight if inflight is None else max(1, inflight)
-        pending: deque = deque()
-        for task in tasks:
-            pending.append(self._pool.submit(fn, task))
-            while pending and (len(pending) >= window or pending[0].done()):
-                yield pending.popleft().result()
-        while pending:
-            yield pending.popleft().result()
 
-    def close(self) -> None:
-        self._pool.shutdown()
+        ``failures="yield"`` substitutes a :class:`BatchFault` for the
+        result of a task that raised or timed out (see the module
+        docstring); the default re-raises.  Pool breakage is never surfaced
+        either way — it is repaired transparently by resubmission, which
+        preserves the result stream exactly.
+        """
+        if failures not in ("raise", "yield"):
+            raise ValueError(f"failures must be 'raise' or 'yield', got {failures!r}")
+        window = self.inflight if inflight is None else max(1, inflight)
+        # (task, future) pairs: the payload is kept so in-flight work can be
+        # resubmitted verbatim after a pool death.
+        pending: deque = deque()
+
+        def submit(task):
+            while True:
+                if self._serial_fallback or self._pool is None:
+                    return None
+                try:
+                    return self._pool.submit(fn, task)
+                except BrokenProcessPool:
+                    if not self._recover(pending, fn):
+                        return None
+
+        def consume_head():
+            """Resolve the oldest in-flight task to a yieldable value.
+
+            Loops until the head either produces a result, is quarantined,
+            or (after repeated pool deaths) runs inline.
+            """
+            while True:
+                if self._serial_fallback:
+                    task, future = pending.popleft()
+                    if future is None:
+                        return self._run_inline(fn, task, failures)
+                    # A future may survive from before the fallback flip.
+                    try:
+                        return future.result(timeout=0)
+                    except Exception:
+                        return self._run_inline(fn, task, failures)
+                task, future = pending[0]
+                started = time.monotonic()
+                try:
+                    result = future.result(timeout=self.batch_timeout)
+                except BrokenProcessPool:
+                    self._recover(pending, fn)
+                    continue
+                except FutureTimeoutError:
+                    self.timeouts += 1
+                    pending.popleft()
+                    fault = BatchFault(
+                        kind="timeout",
+                        task=task,
+                        error=f"batch exceeded {self.batch_timeout:g}s timeout",
+                        elapsed=time.monotonic() - started,
+                    )
+                    self.faults.append(fault)
+                    # The worker holding this task may be hung: kill the
+                    # pool, respawn, resubmit everything *except* the
+                    # quarantined head.
+                    self._recover(pending, fn, kill=True)
+                    if failures == "yield":
+                        return fault
+                    raise
+                except Exception as exc:  # noqa: BLE001 - quarantine boundary
+                    pending.popleft()
+                    if failures == "yield":
+                        fault = BatchFault(kind="error", task=task, error=repr(exc))
+                        self.faults.append(fault)
+                        return fault
+                    raise
+                else:
+                    pending.popleft()
+                    return result
+
+        for task in tasks:
+            pending.append((task, submit(task)))
+            while pending and (
+                len(pending) >= window
+                or self._serial_fallback
+                or (pending[0][1] is not None and pending[0][1].done())
+            ):
+                yield consume_head()
+        while pending:
+            yield consume_head()
+
+    def _recover(self, pending: deque, fn, *, kill: bool = False) -> bool:
+        """Respawn the pool and resubmit all in-flight tasks in order.
+
+        Returns whether a live pool exists afterwards; on ``False`` the
+        in-flight futures are cleared (payloads kept) and the caller runs
+        tasks inline via serial fallback.
+        """
+        alive = self._respawn_pool(kill=kill)
+        if alive:
+            for index, (task, _old_future) in enumerate(pending):
+                pending[index] = (task, self._pool.submit(fn, task))
+        else:
+            for index, (task, _old_future) in enumerate(pending):
+                pending[index] = (task, None)
+        return alive
+
+    # ----------------------------------------------------------------- close
+
+    def close(self, force: bool = False) -> None:
+        """Release the pool.
+
+        ``force`` skips waiting for outstanding work and cancels queued
+        futures — the interrupt-safe path, used by ``__exit__`` when the
+        block is being unwound by an exception (``KeyboardInterrupt``
+        included) so an aborted run neither leaks worker processes nor
+        hangs at interpreter exit.
+        """
+        self._teardown_pool(kill=force)
 
     def __enter__(self) -> "ProcessExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(force=exc_type is not None)
 
 
 def make_executor(
@@ -164,6 +420,8 @@ def make_executor(
     inflight: int | None = None,
     initializer: Callable[..., None] | None = None,
     initargs: tuple = (),
+    batch_timeout: float | None = None,
+    max_respawns: int = 3,
 ) -> SerialExecutor | ProcessExecutor:
     """The executor for a worker-count knob (serial for ``workers <= 1``).
 
@@ -176,4 +434,11 @@ def make_executor(
         if initializer is not None:
             initializer(*initargs)
         return SerialExecutor()
-    return ProcessExecutor(count, inflight=inflight, initializer=initializer, initargs=initargs)
+    return ProcessExecutor(
+        count,
+        inflight=inflight,
+        initializer=initializer,
+        initargs=initargs,
+        batch_timeout=batch_timeout,
+        max_respawns=max_respawns,
+    )

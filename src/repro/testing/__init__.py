@@ -1,0 +1,10 @@
+"""Deterministic test instrumentation for the pipeline.
+
+:mod:`repro.testing.faults` injects worker kills, delays, raising checks,
+and simulated OOM at the pipeline's stage-2/stage-3 seams — see that
+module for the exactly-once cross-process firing protocol.
+"""
+
+from repro.testing.faults import FaultInjected, FaultPlan, FaultyClass
+
+__all__ = ["FaultInjected", "FaultPlan", "FaultyClass"]

@@ -1,0 +1,142 @@
+"""Deterministic fault injection at the pipeline's stage-2 seam.
+
+The robustness machinery (pool respawn, batch-timeout quarantine,
+checkpoint/resume, budget stops) is about what happens when something
+*external* goes wrong — a worker OOM-killed, a check that hangs, a process
+that dies mid-run.  To test it deterministically, this module wraps a
+:class:`~repro.core.classes.QueryClass` in a :class:`FaultyClass` whose
+membership tests fire a scripted fault (:class:`FaultPlan`) the *n*-th
+time they run:
+
+* ``kind="kill"`` — ``SIGKILL`` to the current process.  Inside a pool
+  worker this breaks the whole ``ProcessPoolExecutor`` (the
+  ``BrokenProcessPool`` path); in the driver it simulates process death
+  for checkpoint/resume tests.
+* ``kind="delay"`` — sleep ``delay`` seconds, simulating a hung check for
+  the per-batch timeout path.
+* ``kind="raise"`` — raise :class:`FaultInjected`, the poisoned-candidate
+  path.
+
+Faults fire **exactly once across processes**: the plan claims a *token
+file* with ``O_CREAT | O_EXCL`` — an atomic filesystem test-and-set every
+fork shares — before firing, so a respawned pool (which re-runs the lost
+batch, reaching the same n-th check again) does not re-fire and the run
+can complete.  Everything is picklable, so a ``FaultyClass`` travels to
+pool workers exactly like a real class.
+
+Simulated OOM needs no wrapper: inject an ``rss_probe`` returning an
+over-limit figure into :class:`~repro.runtime.budget.RunBudget`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+__all__ = ["FaultInjected", "FaultPlan", "FaultyClass"]
+
+
+class FaultInjected(RuntimeError):
+    """The scripted exception of a ``kind="raise"`` fault."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A scripted fault: fire ``kind`` on the ``at_check``-th check.
+
+    ``at_check`` counts membership-test invocations (1-based) *in the
+    process where the count is reached* — each pool worker counts its own
+    checks, so under a pool the fault fires in whichever worker reaches
+    the count first (the token file keeps it to one firing overall).
+    ``token_path`` must point into a fresh per-test directory.
+    """
+
+    kind: str  # "kill" | "delay" | "raise"
+    at_check: int
+    token_path: str
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("kill", "delay", "raise"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at_check < 1:
+            raise ValueError("at_check is 1-based and must be >= 1")
+
+    def claim(self) -> bool:
+        """Atomically claim the single firing (False: already fired)."""
+        try:
+            fd = os.open(self.token_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def fire(self) -> None:
+        if self.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif self.kind == "delay":
+            time.sleep(self.delay)
+        else:
+            raise FaultInjected(
+                f"scripted fault at check #{self.at_check} "
+                f"(pid {os.getpid()})"
+            )
+
+
+class FaultyClass:
+    """A query-class wrapper whose membership tests run a fault plan.
+
+    Delegates ``kind``/``name`` and every membership entry point to the
+    wrapped class, counting invocations; when the count hits the plan's
+    ``at_check`` and the plan's token is successfully claimed, the fault
+    fires *before* the real check runs.  The invocation count is
+    per-process instance state (each worker's unpickled copy counts its
+    own checks); the token file is the cross-process coordinator.
+    """
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._plan = plan
+        self._checks = 0
+
+    @property
+    def kind(self):
+        return self._inner.kind
+
+    @property
+    def name(self):
+        return self._inner.name
+
+    def _maybe_fire(self) -> None:
+        self._checks += 1
+        if self._checks == self._plan.at_check and self._plan.claim():
+            self._plan.fire()
+
+    def contains_tableau(self, tableau):
+        self._maybe_fire()
+        return self._inner.contains_tableau(tableau)
+
+    def contains_structure(self, structure):
+        self._maybe_fire()
+        return self._inner.contains_structure(structure)
+
+    def contains_graph(self, graph):
+        self._maybe_fire()
+        return self._inner.contains_graph(graph)
+
+    def contains_hypergraph(self, hypergraph):
+        self._maybe_fire()
+        return self._inner.contains_hypergraph(hypergraph)
+
+    def __getattr__(self, attribute):
+        return getattr(self._inner, attribute)
+
+    def __getstate__(self):
+        return {"inner": self._inner, "plan": self._plan, "checks": self._checks}
+
+    def __setstate__(self, state):
+        self._inner = state["inner"]
+        self._plan = state["plan"]
+        self._checks = state["checks"]
