@@ -26,6 +26,7 @@ BENCH_FILES = (
     "BENCH_frontier_reduction.json",
     "BENCH_raw_stream.json",
     "BENCH_robustness.json",
+    "BENCH_data_eval.json",
 )
 
 

@@ -1,3 +1,26 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.7.0",
+    description=(
+        "Efficient approximations of conjunctive queries (PODS 2012): "
+        "C-approximation pipeline, evaluation engines, quality harness"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "networkx",
+    ],
+    extras_require={
+        # The columnar evaluation engine runs pure-python by default;
+        # numpy unlocks its vectorized hash-join fast path.
+        "fast": ["numpy"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

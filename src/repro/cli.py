@@ -207,6 +207,76 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["auto", "yannakakis", "treewidth", "hypertree", "backtracking", "naive"],
         default="auto",
     )
+    evaluate.add_argument(
+        "--engine",
+        choices=["columnar", "tuple"],
+        default="columnar",
+        help=(
+            "relational kernels: 'columnar' (hash-batch engine, numpy fast "
+            "path when installed) or 'tuple' (the set-of-tuples oracle)"
+        ),
+    )
+    evaluate.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "report the engine's counters (per-operator rows scanned/"
+            "hashed/emitted); with --json they join the payload under "
+            "\"stats\""
+        ),
+    )
+    evaluate.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (answers, method, engine, timing)",
+    )
+
+    quality = sub.add_parser(
+        "quality-bench",
+        help=(
+            "approximate Q in a class, evaluate Q and the approximation on "
+            "the same instance, report recall / containment gap / wall-time "
+            "ratio"
+        ),
+    )
+    quality.add_argument("query")
+    quality.add_argument("--cls", type=_parse_class, default=TreewidthClass(1))
+    quality.add_argument(
+        "--db", default=None, help="JSON database file (omit to generate)"
+    )
+    quality.add_argument(
+        "--nodes",
+        type=int,
+        default=2000,
+        help="generated digraph: number of nodes (ignored with --db)",
+    )
+    quality.add_argument(
+        "--edges",
+        type=int,
+        default=20000,
+        help="generated digraph: number of edges drawn (ignored with --db)",
+    )
+    quality.add_argument(
+        "--skew",
+        type=float,
+        default=0.0,
+        help="Zipf exponent of the generated value distribution (0 = uniform)",
+    )
+    quality.add_argument("--seed", type=int, default=0)
+    quality.add_argument(
+        "--engine", choices=["columnar", "tuple"], default="columnar"
+    )
+    quality.add_argument(
+        "--approx-method",
+        choices=["auto", "exact", "greedy"],
+        default="auto",
+        help="approximation search method (mirrors 'approximate --method')",
+    )
+    quality.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report (recall, gap, wall-time ratio, timing)",
+    )
     return parser
 
 
@@ -333,18 +403,91 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if verdict else 1
 
     if args.command == "evaluate":
+        from repro.evaluation import EvalStats
         from repro.evaluation import evaluate as run
         from repro.io import load_structure
 
         query = parse_query(args.query)
         db = load_structure(args.db)
-        answers = run(query, db, method=args.method)
-        if query.is_boolean:
-            print("true" if answers else "false")
+        stats = EvalStats() if args.stats else None
+        started = time.perf_counter()
+        answers = run(
+            query, db, method=args.method, engine=args.engine, stats=stats
+        )
+        elapsed = time.perf_counter() - started
+        if args.json:
+            payload = {
+                "command": "evaluate",
+                "query": args.query,
+                "method": args.method,
+                "engine": args.engine,
+                "boolean": query.is_boolean,
+                "answer_count": len(answers),
+                "answers": sorted((list(row) for row in answers), key=repr),
+                "seconds": round(elapsed, 6),
+            }
+            if stats is not None:
+                payload["stats"] = stats.as_dict()
+            print(json.dumps(payload))
         else:
-            for row in sorted(answers, key=repr):
-                print("\t".join(map(str, row)))
+            if query.is_boolean:
+                print("true" if answers else "false")
+            else:
+                for row in sorted(answers, key=repr):
+                    print("\t".join(map(str, row)))
+            if stats is not None:
+                print("-- evaluation stats --", file=sys.stderr)
+                for name, value in stats.as_dict().items():
+                    if name == "operators":
+                        for op, bucket in value.items():
+                            counters = " ".join(
+                                f"{k}={v}" for k, v in bucket.items()
+                            )
+                            print(f"op:{op:12} {counters}", file=sys.stderr)
+                    elif name != "notes":
+                        print(f"{name:20} {value}", file=sys.stderr)
         return 0
+
+    if args.command == "quality-bench":
+        from repro.core import approximate_then_evaluate
+        from repro.workloads import scaled_digraph_db
+
+        query = parse_query(args.query)
+        if args.db is not None:
+            from repro.io import load_structure
+
+            db = load_structure(args.db)
+        else:
+            db = scaled_digraph_db(
+                args.nodes, args.edges, skew=args.skew, seed=args.seed
+            )
+        report = approximate_then_evaluate(
+            query,
+            args.cls,
+            db,
+            engine=args.engine,
+            approx_method=args.approx_method,
+        )
+        if args.json:
+            payload = {"command": "quality-bench", **report.as_dict()}
+            print(json.dumps(payload))
+        else:
+            print(f"query          : {report.query}")
+            print(f"approximation  : {report.approximation}")
+            print(f"class          : {report.cls}")
+            print(f"db tuples      : {report.db_tuples}")
+            print(f"exact answers  : {report.exact_answers}")
+            print(f"recall         : {report.recall:.4f}")
+            print(f"containment gap: {report.containment_gap}")
+            print(f"sound          : {report.is_sound}")
+            print(
+                "wall time      : "
+                f"exact {report.exact_eval_seconds:.4f}s, "
+                f"approx {report.approx_eval_seconds:.4f}s "
+                f"(ratio {report.walltime_ratio:.1f}x; approximation "
+                f"search {report.approximation_seconds:.4f}s)"
+            )
+        return 0 if report.is_sound else 1
 
     raise AssertionError("unreachable")
 

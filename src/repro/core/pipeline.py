@@ -98,7 +98,7 @@ import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from itertools import islice
+from itertools import chain, islice
 from typing import Iterable, Iterator
 
 import networkx as nx
@@ -110,6 +110,7 @@ from repro.core.quotients import (
     DedupCostModel,
     QuotientCandidate,
     base_automorphism_inverses,
+    coarseness_buckets,
     coarseness_ordered,
     iter_extended_candidates,
     iter_quotient_candidates,
@@ -382,6 +383,17 @@ class PipelineStats:
     #: model's windowed three-way controller deciding canonical dedup vs.
     #: orbit-only pruning vs. the raw partition stream).
     generation_switches: int = 0
+    #: Candidates class-checked by the fine-to-coarse member-rate probe
+    #: (the first sizable bucket of the buffered stream).  The checks are
+    #: memoized, so the reduction replays them as memo hits — the probe
+    #: front-loads work, it does not add any.
+    generation_probe_candidates: int = 0
+    #: Probe verdicts that canonically re-keyed the buffered stream up
+    #: front: on a member-light first bucket (rate at most
+    #: :data:`_PROBE_MEMBER_RATE`) nearly every raw duplicate would miss
+    #: the refinement index and pay a late canonization anyway, so the
+    #: buffer is deduplicated before the reduction starts.
+    generation_probe_switches: int = 0
     #: Whether a :class:`~repro.runtime.budget.RunBudget` stopped the run
     #: before the candidate space was exhausted.  A partial frontier is
     #: still *sound* — every member is a class member the base maps into,
@@ -1746,6 +1758,83 @@ def _deferred_class_key(candidate, stats: PipelineStats):
     return compute
 
 
+#: Fine-to-coarse member-rate probe: the first buffered bucket with at
+#: least this many candidates is class-checked up front (memoized — the
+#: reduction replays the verdicts as memo hits) to estimate the stream's
+#: member rate before any reduction work is ordered.
+_PROBE_MIN_SAMPLE = 8
+#: At or below this member rate the raw stream cannot win: nearly every
+#: duplicate is a non-member, misses the refinement index, and is absorbed
+#: by the class-status memo at one *late* canonization each — so raw pays
+#: canonical's keying cost plus per-duplicate reducer overhead.  The probe
+#: then canonically deduplicates the buffer up front instead.
+_PROBE_MEMBER_RATE = 0.05
+
+
+def _probe_generation_regime(
+    buckets: list[list],
+    tester: "MembershipTester",
+    stats: PipelineStats,
+    cost_model: DedupCostModel | None,
+) -> list[list]:
+    """Pick the generation regime for a buffered fine-to-coarse stream.
+
+    The cost model steers stage 1 blind — it only sees duplicate rates and
+    per-candidate costs, never the member rate, so on ultra-member-light
+    frontiers (~1% members, e.g. C9/TW1) it happily settles on the raw
+    stream and pays ~5% over canonical in late canonizations.  Once the
+    stream is buffered the member rate is one memoized check pass away:
+    class-check the first sizable bucket (finest candidates, reduced first
+    anyway), and if at most :data:`_PROBE_MEMBER_RATE` of it are members,
+    re-key and deduplicate the whole buffer by fact-level canonical form
+    before the reduction starts — exactly what ``generation="canonical"``
+    would have produced, so the frontier is bit-identical either way (the
+    first occurrence of each form is kept, and duplicates, being
+    later-generated, can never win a representative repair).
+    """
+    sample = next(
+        (bucket for bucket in buckets if len(bucket) >= _PROBE_MIN_SAMPLE),
+        None,
+    )
+    if sample is None:
+        return buckets
+    stats.generation_probe_candidates += len(sample)
+    members = sum(1 for candidate in sample if tester(candidate))
+    if members > _PROBE_MEMBER_RATE * len(sample):
+        return buckets
+    seen: set = set()
+    rekeyed = False
+    deduped: list[list] = []
+    for bucket in buckets:
+        kept = []
+        for candidate in bucket:
+            key = candidate.key
+            if key is None:
+                facts = candidate.facts()
+                if facts is not None:
+                    started = time.perf_counter()
+                    key = canonical_key_indexed(
+                        candidate.block_count,
+                        list(facts),
+                        candidate.distinguished,
+                    )
+                    if cost_model is not None:
+                        cost_model.record_canonization(
+                            time.perf_counter() - started
+                        )
+                    candidate.key = key
+                    rekeyed = True
+            if key is not None:
+                if key in seen:
+                    continue
+                seen.add(key)
+            kept.append(candidate)
+        deduped.append(kept)
+    if rekeyed:
+        stats.generation_probe_switches += 1
+    return deduped
+
+
 def _budget_gate(candidates, budget: RunBudget, stats: PipelineStats):
     """Stop drawing stage-1 candidates once the budget trips.
 
@@ -1909,7 +1998,15 @@ def _reduce_inline(
     if resume is not None and checkpoint is not None:
         checkpoint.restore(resume, frontier)
     if reorder:
-        candidates = coarseness_ordered(candidates)
+        buckets = coarseness_buckets(candidates)
+        if checkpoint is None:
+            # Dedup shifts stream positions, which would break the
+            # checkpoint cursor's alignment on resume — the probe stays
+            # off under checkpointing (like the stage-1 budget gate).
+            buckets = _probe_generation_regime(
+                buckets, tester, stats, cost_model
+            )
+        candidates = chain.from_iterable(buckets)
         if checkpoint is not None and checkpoint.cursor:
             candidates = islice(candidates, checkpoint.cursor, None)
     for candidate in candidates:

@@ -909,12 +909,23 @@ def coarseness_ordered(candidates: Iterable) -> Iterator:
     The pipeline therefore applies it to *plain quotient* streams only
     (graph classes, and hypergraph classes with the extension space off).
     """
+    for bucket in coarseness_buckets(candidates):
+        yield from bucket
+
+
+def coarseness_buckets(candidates: Iterable) -> list[list]:
+    """The buffered fine-to-coarse buckets behind :func:`coarseness_ordered`.
+
+    Same contract (full buffering, ``generation`` stamps, descending
+    ``block_count``, generation order within a bucket), exposed as a list of
+    buckets so the pipeline can inspect the buffered stream — e.g. probe
+    the member rate of the first sizable bucket — before replaying it.
+    """
     buckets: dict[int, list] = {}
     for generation, candidate in enumerate(candidates):
         candidate.generation = generation
         buckets.setdefault(candidate.block_count or 0, []).append(candidate)
-    for block_count in sorted(buckets, reverse=True):
-        yield from buckets[block_count]
+    return [buckets[count] for count in sorted(buckets, reverse=True)]
 
 
 def iter_quotient_tableaux(

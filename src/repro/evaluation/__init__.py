@@ -1,6 +1,19 @@
 """Query evaluation: Yannakakis, junction trees, hypertrees, baselines."""
 
 from repro.evaluation.stats import EvalStats
+from repro.evaluation.backend import (
+    BACKENDS,
+    backend_name,
+    numpy_available,
+    set_backend,
+)
+from repro.evaluation.columnar import ColumnarBindings, ColumnarKernel
+from repro.evaluation.kernels import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    TupleKernel,
+    make_kernel,
+)
 from repro.evaluation.relation import (
     Bindings,
     atom_bindings,
@@ -35,10 +48,17 @@ from repro.evaluation.engine import (
 
 __all__ = [
     "AUTO_TREEWIDTH_LIMIT",
+    "BACKENDS",
     "Bindings",
+    "ColumnarBindings",
+    "ColumnarKernel",
     "CyclicQueryError",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "EvalStats",
+    "TupleKernel",
     "atom_bindings",
+    "backend_name",
     "atom_join_tree",
     "backtracking_evaluate",
     "boolean_answer",
@@ -48,11 +68,14 @@ __all__ = [
     "hypertree_evaluate",
     "is_in_answer",
     "join",
+    "make_kernel",
     "naive_join_evaluate",
+    "numpy_available",
     "product_extend",
     "project",
     "project_answer",
     "semijoin",
+    "set_backend",
     "tree_join_evaluate",
     "treewidth_evaluate",
     "unit",

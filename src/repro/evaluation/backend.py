@@ -1,0 +1,77 @@
+"""Soft numpy dependency for the columnar evaluation kernels.
+
+numpy is an *optional extra* (``pip install repro[fast]``): the columnar
+engine runs on a pure-python fallback when it is absent, and every kernel
+must produce identical answers on both backends (the differential suite
+parametrizes over them).  This module is the single import point — kernels
+ask :func:`active_numpy` for the module and get ``None`` when the python
+backend is in force, either because numpy is missing or because a caller
+(or the ``REPRO_EVAL_BACKEND`` environment variable) forced it off.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - exercised through both backend parametrizations
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - depends on the environment
+    _numpy = None
+
+BACKENDS = ("auto", "numpy", "python")
+
+#: Programmatic override (set via :func:`set_backend`); ``None`` defers to
+#: the ``REPRO_EVAL_BACKEND`` environment variable, then to availability.
+_forced: str | None = None
+
+
+def numpy_available() -> bool:
+    """Whether the numpy fast path can be selected at all."""
+    return _numpy is not None
+
+
+def set_backend(name: str | None) -> None:
+    """Force the columnar backend (``"numpy"``/``"python"``/``"auto"``).
+
+    ``None`` or ``"auto"`` restores availability-based selection.  Forcing
+    ``"numpy"`` with numpy missing raises immediately rather than failing
+    deep inside a kernel.
+    """
+    global _forced
+    if name is None:
+        _forced = None
+        return
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r} (use one of {BACKENDS})")
+    if name == "numpy" and _numpy is None:
+        raise RuntimeError(
+            "numpy backend requested but numpy is not installed "
+            "(pip install repro[fast])"
+        )
+    _forced = None if name == "auto" else name
+
+
+def backend_name() -> str:
+    """The backend currently in force: ``"numpy"`` or ``"python"``."""
+    choice = _forced
+    if choice is None:
+        choice = os.environ.get("REPRO_EVAL_BACKEND", "").strip().lower() or "auto"
+        if choice not in BACKENDS:
+            raise ValueError(
+                f"REPRO_EVAL_BACKEND={choice!r} is not one of {BACKENDS}"
+            )
+    if choice == "numpy":
+        if _numpy is None:
+            raise RuntimeError(
+                "REPRO_EVAL_BACKEND=numpy but numpy is not installed "
+                "(pip install repro[fast])"
+            )
+        return "numpy"
+    if choice == "python":
+        return "python"
+    return "numpy" if _numpy is not None else "python"
+
+
+def active_numpy():
+    """The numpy module when the numpy backend is in force, else ``None``."""
+    return _numpy if backend_name() == "numpy" else None

@@ -17,6 +17,7 @@ from typing import Callable, Literal
 
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.structure import Structure
+from repro.evaluation.kernels import DEFAULT_ENGINE
 from repro.evaluation.naive import (
     backtracking_evaluate,
     hom_evaluate,
@@ -44,18 +45,22 @@ def evaluate(
     *,
     method: Method = "auto",
     stats: EvalStats | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> Answer:
     """Evaluate ``query`` on ``db``; returns the set of answer tuples.
 
     A Boolean query returns ``{()}`` for true and ``{}`` for false, matching
-    the convention of Section 2.
+    the convention of Section 2.  ``engine`` selects the relational kernels
+    (``"columnar"`` hash-batch engine, or ``"tuple"`` — the original
+    set-of-tuples oracle); ``backtracking`` and ``hom`` have no
+    materialized relations and ignore it.
     """
     strategies: dict[str, Callable[[], Answer]] = {
-        "yannakakis": lambda: yannakakis_evaluate(query, db, stats),
-        "treewidth": lambda: treewidth_evaluate(query, db, None, stats),
-        "hypertree": lambda: hypertree_evaluate(query, db, None, stats),
+        "yannakakis": lambda: yannakakis_evaluate(query, db, stats, engine=engine),
+        "treewidth": lambda: treewidth_evaluate(query, db, None, stats, engine=engine),
+        "hypertree": lambda: hypertree_evaluate(query, db, None, stats, engine=engine),
         "backtracking": lambda: backtracking_evaluate(query, db, stats),
-        "naive": lambda: naive_join_evaluate(query, db, stats),
+        "naive": lambda: naive_join_evaluate(query, db, stats, engine=engine),
         "hom": lambda: hom_evaluate(query, db),
     }
     if method != "auto":
@@ -64,10 +69,10 @@ def evaluate(
         return strategies[method]()
 
     if is_acyclic_query(query):
-        return yannakakis_evaluate(query, db, stats)
+        return yannakakis_evaluate(query, db, stats, engine=engine)
     width = treewidth_exact(query.graph())
     if width <= AUTO_TREEWIDTH_LIMIT:
-        return treewidth_evaluate(query, db, width, stats)
+        return treewidth_evaluate(query, db, width, stats, engine=engine)
     return backtracking_evaluate(query, db, stats)
 
 
@@ -82,8 +87,9 @@ def is_in_answer(
     candidate: tuple,
     *,
     method: Method = "auto",
+    engine: str = DEFAULT_ENGINE,
 ) -> bool:
     """Membership test ``candidate ∈ Q(D)`` (the paper's decision problem)."""
     if len(candidate) != len(query.head):
         raise ValueError("candidate arity differs from the query head")
-    return candidate in evaluate(query, db, method=method)
+    return candidate in evaluate(query, db, method=method, engine=engine)

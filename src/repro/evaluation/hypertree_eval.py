@@ -13,7 +13,7 @@ from typing import Hashable
 
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.structure import Structure
-from repro.evaluation.relation import Bindings, atom_bindings, join, project, semijoin, unit
+from repro.evaluation.kernels import DEFAULT_ENGINE, make_kernel
 from repro.evaluation.stats import EvalStats
 from repro.evaluation.treejoin import tree_join_evaluate
 from repro.hypergraphs.hypergraph import hypergraph_of_query
@@ -30,6 +30,7 @@ def hypertree_evaluate(
     stats: EvalStats | None = None,
     *,
     generalized: bool = False,
+    engine: str = DEFAULT_ENGINE,
 ) -> Answer:
     """Evaluate along a (generalized) hypertree decomposition of ``H(Q)``.
 
@@ -54,16 +55,17 @@ def hypertree_evaluate(
     for atom in query.atoms:
         atoms_by_edge.setdefault(atom.variables, []).append(atom)
 
+    kernel = make_kernel(engine, stats)
     tree = decomposition.tree.to_undirected()
-    node_bindings: dict[Hashable, Bindings] = {}
+    node_bindings: dict[Hashable, object] = {}
     for node in tree.nodes:
         bag = decomposition.chi[node]
-        current = unit()
+        current = kernel.unit()
         for edge in decomposition.guards[node]:
             for atom in atoms_by_edge.get(edge, ()):
-                current = join(current, atom_bindings(db, atom, stats), stats)
+                current = kernel.join(current, kernel.atom_bindings(db, atom))
         keep = [c for c in current.columns if c in bag]
-        current = project(current, keep, stats)
+        current = kernel.project(current, keep)
         node_bindings[node] = current
 
     # Every atom must be enforced at some node whose bag covers its
@@ -74,8 +76,8 @@ def hypertree_evaluate(
             node for node in tree.nodes
             if atom.variables <= decomposition.chi[node]
         )
-        node_bindings[holder] = semijoin(
-            node_bindings[holder], atom_bindings(db, atom, stats), stats
+        node_bindings[holder] = kernel.semijoin(
+            node_bindings[holder], kernel.atom_bindings(db, atom)
         )
 
-    return tree_join_evaluate(tree, node_bindings, query.head, stats)
+    return tree_join_evaluate(tree, node_bindings, query.head, stats, kernel=kernel)

@@ -16,7 +16,7 @@ from typing import Hashable
 
 from repro.cq.query import Atom, ConjunctiveQuery
 from repro.cq.structure import Structure
-from repro.evaluation.relation import atom_bindings, join, project_answer, unit
+from repro.evaluation.kernels import DEFAULT_ENGINE, make_kernel
 from repro.evaluation.stats import EvalStats
 
 Value = Hashable
@@ -39,15 +39,20 @@ def _ordered_atoms(query: ConjunctiveQuery) -> list[Atom]:
 
 
 def naive_join_evaluate(
-    query: ConjunctiveQuery, db: Structure, stats: EvalStats | None = None
+    query: ConjunctiveQuery,
+    db: Structure,
+    stats: EvalStats | None = None,
+    *,
+    engine: str = DEFAULT_ENGINE,
 ) -> Answer:
     """Left-to-right materialized join — the ``|D|^O(|Q|)`` baseline."""
-    current = unit()
+    kernel = make_kernel(engine, stats)
+    current = kernel.unit()
     for atom in _ordered_atoms(query):
-        current = join(current, atom_bindings(db, atom, stats), stats)
+        current = kernel.join(current, kernel.atom_bindings(db, atom))
         if current.is_empty:
             return frozenset()
-    return project_answer(current, query.head)
+    return kernel.project_answer(current, query.head)
 
 
 def backtracking_evaluate(

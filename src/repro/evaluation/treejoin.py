@@ -4,7 +4,9 @@ Yannakakis evaluation, bounded-treewidth evaluation and hypertree evaluation
 all reduce to the same skeleton: a tree whose nodes carry bindings relations,
 processed with an upward semijoin sweep, a downward semijoin sweep, and a
 final upward join-project that keeps only head variables plus connectors.
-This module implements that skeleton once.
+This module implements that skeleton once, over an operator *kernel*
+(columnar or tuple-at-a-time — see :mod:`repro.evaluation.kernels`); the
+node relations must come from the same kernel.
 """
 
 from __future__ import annotations
@@ -13,7 +15,6 @@ from typing import Hashable, Mapping, Sequence
 
 import networkx as nx
 
-from repro.evaluation.relation import Bindings, join, project, project_answer, semijoin
 from repro.evaluation.stats import EvalStats
 
 Answer = frozenset[tuple]
@@ -21,17 +22,26 @@ Answer = frozenset[tuple]
 
 def tree_join_evaluate(
     tree: nx.Graph,
-    bindings: Mapping[Hashable, Bindings],
+    bindings: Mapping[Hashable, object],
     head: Sequence[str],
     stats: EvalStats | None = None,
+    *,
+    kernel=None,
 ) -> Answer:
     """Evaluate an acyclic join of ``bindings`` along ``tree``.
 
     ``tree`` must be a tree (or a single node) whose node set equals the keys
     of ``bindings``; the bindings must satisfy the join-tree property (shared
     variables of two nodes appear along the path between them).  ``head``
-    variables must each occur in some node.
+    variables must each occur in some node.  ``kernel`` defaults to the
+    tuple-at-a-time algebra for backward compatibility with callers holding
+    plain :class:`~repro.evaluation.relation.Bindings`.
     """
+    if kernel is None:
+        from repro.evaluation.kernels import TupleKernel
+
+        kernel = TupleKernel(stats)
+
     nodes = list(tree.nodes)
     if set(nodes) != set(bindings):
         raise ValueError("tree nodes and bindings keys differ")
@@ -39,7 +49,7 @@ def tree_join_evaluate(
         return frozenset({()}) if not head else frozenset()
 
     head = tuple(head)
-    local: dict[Hashable, Bindings] = dict(bindings)
+    local: dict[Hashable, object] = dict(bindings)
     root = nodes[0]
     order = list(nx.dfs_postorder_nodes(tree, source=root))
     parent: dict[Hashable, Hashable] = {
@@ -51,7 +61,7 @@ def tree_join_evaluate(
         if node == root:
             continue
         par = parent[node]
-        local[par] = semijoin(local[par], local[node], stats)
+        local[par] = kernel.semijoin(local[par], local[node])
         if local[par].is_empty:
             return frozenset()
 
@@ -59,18 +69,18 @@ def tree_join_evaluate(
     for node in reversed(order):
         for child in tree.neighbors(node):
             if parent.get(child) == node:
-                local[child] = semijoin(local[child], local[node], stats)
+                local[child] = kernel.semijoin(local[child], local[node])
 
     # Final upward join, projecting to head variables plus the connector to
     # the parent — the Yannakakis answer-computation pass.
     head_set = set(head)
-    results: dict[Hashable, Bindings] = {}
+    results: dict[Hashable, object] = {}
 
     for node in order:
         current = local[node]
         for child in tree.neighbors(node):
             if parent.get(child) == node:
-                current = join(current, results[child], stats)
+                current = kernel.join(current, results[child])
         if node == root:
             keep = [c for c in current.columns if c in head_set]
         else:
@@ -80,7 +90,7 @@ def tree_join_evaluate(
                 for c in current.columns
                 if c in head_set or c in parent_columns
             ]
-        results[node] = project(current, keep, stats)
+        results[node] = kernel.project(current, keep)
 
     final = results[root]
     missing = head_set - set(final.columns)
@@ -88,4 +98,4 @@ def tree_join_evaluate(
         raise ValueError(
             f"head variables {sorted(map(repr, missing))} not covered by the tree"
         )
-    return project_answer(final, head)
+    return kernel.project_answer(final, head)

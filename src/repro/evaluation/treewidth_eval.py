@@ -14,14 +14,7 @@ from typing import Hashable
 
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.structure import Structure
-from repro.evaluation.relation import (
-    Bindings,
-    atom_bindings,
-    join,
-    product_extend,
-    project,
-    unit,
-)
+from repro.evaluation.kernels import DEFAULT_ENGINE, make_kernel
 from repro.evaluation.stats import EvalStats
 from repro.evaluation.treejoin import tree_join_evaluate
 from repro.hypergraphs.treewidth import tree_decomposition, treewidth_exact
@@ -31,15 +24,15 @@ Value = Hashable
 
 
 def _variable_candidates(
-    query: ConjunctiveQuery, db: Structure, stats: EvalStats | None
+    query: ConjunctiveQuery, db: Structure, kernel
 ) -> dict[str, set[Value]]:
     """Per-variable candidate values: the intersection over the atoms using
     the variable of their projections (a sound unary filter)."""
     candidates: dict[str, set[Value]] = {}
     for atom in query.atoms:
-        bindings = atom_bindings(db, atom, stats)
+        bindings = kernel.atom_bindings(db, atom)
         for variable in bindings.columns:
-            values = bindings.values_of(variable)
+            values = kernel.values_of(bindings, variable)
             if variable in candidates:
                 candidates[variable] &= values
             else:
@@ -52,6 +45,8 @@ def treewidth_evaluate(
     db: Structure,
     k: int | None = None,
     stats: EvalStats | None = None,
+    *,
+    engine: str = DEFAULT_ENGINE,
 ) -> Answer:
     """Evaluate via a width-``k`` tree decomposition of ``G(Q)``.
 
@@ -64,7 +59,8 @@ def treewidth_evaluate(
     if decomposition is None:
         raise ValueError(f"query treewidth exceeds {k}")
 
-    candidates = _variable_candidates(query, db, stats)
+    kernel = make_kernel(engine, stats)
+    candidates = _variable_candidates(query, db, kernel)
     if any(not values for values in candidates.values()):
         return frozenset()
 
@@ -78,18 +74,18 @@ def treewidth_evaluate(
         )
         bag_atoms[holder].append(atom)
 
-    bag_bindings: dict[Hashable, Bindings] = {}
+    bag_bindings: dict[Hashable, object] = {}
     for node in decomposition.tree.nodes:
         bag = decomposition.bags[node]
-        current = unit()
+        current = kernel.unit()
         for atom in bag_atoms[node]:
-            current = join(current, atom_bindings(db, atom, stats), stats)
+            current = kernel.join(current, kernel.atom_bindings(db, atom))
         uncovered = sorted(
             (v for v in bag if v not in set(current.columns)), key=repr
         )
-        current = product_extend(current, uncovered, candidates, stats)
-        bag_bindings[node] = project(current, sorted(bag, key=repr), stats)
+        current = kernel.product_extend(current, uncovered, candidates)
+        bag_bindings[node] = kernel.project(current, sorted(bag, key=repr))
 
     return tree_join_evaluate(
-        decomposition.tree, bag_bindings, query.head, stats
+        decomposition.tree, bag_bindings, query.head, stats, kernel=kernel
     )

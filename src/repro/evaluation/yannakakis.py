@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.structure import Structure
-from repro.evaluation.relation import atom_bindings
+from repro.evaluation.kernels import DEFAULT_ENGINE, make_kernel
 from repro.evaluation.stats import EvalStats
 from repro.evaluation.treejoin import tree_join_evaluate
 from repro.hypergraphs.gyo import gyo_join_tree
@@ -32,23 +32,32 @@ def atom_join_tree(query: ConjunctiveQuery):
 
 
 def yannakakis_evaluate(
-    query: ConjunctiveQuery, db: Structure, stats: EvalStats | None = None
+    query: ConjunctiveQuery,
+    db: Structure,
+    stats: EvalStats | None = None,
+    *,
+    engine: str = DEFAULT_ENGINE,
 ) -> Answer:
     """Evaluate an acyclic CQ with the full-reducer algorithm."""
     tree = atom_join_tree(query)
     if tree is None:
         raise CyclicQueryError(f"query is not acyclic: {query}")
+    kernel = make_kernel(engine, stats)
     bindings = {
-        index: atom_bindings(db, atom, stats)
+        index: kernel.atom_bindings(db, atom)
         for index, atom in enumerate(query.atoms)
     }
-    return tree_join_evaluate(tree, bindings, query.head, stats)
+    return tree_join_evaluate(tree, bindings, query.head, stats, kernel=kernel)
 
 
 def yannakakis_boolean(
-    query: ConjunctiveQuery, db: Structure, stats: EvalStats | None = None
+    query: ConjunctiveQuery,
+    db: Structure,
+    stats: EvalStats | None = None,
+    *,
+    engine: str = DEFAULT_ENGINE,
 ) -> bool:
     """Boolean acyclic evaluation (true iff the answer is non-empty)."""
     if not query.is_boolean:
         raise ValueError("yannakakis_boolean expects a Boolean query")
-    return bool(yannakakis_evaluate(query, db, stats))
+    return bool(yannakakis_evaluate(query, db, stats, engine=engine))

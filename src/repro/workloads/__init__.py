@@ -7,14 +7,21 @@ from repro.workloads.random_queries import (
     random_graph_query,
 )
 from repro.workloads.random_data import (
+    chain_join_db,
+    chain_join_query,
     path_heavy_db,
     random_database,
     random_digraph_db,
+    scaled_database,
+    scaled_digraph_db,
     social_network_db,
+    stream_tuples,
     union_with_pattern,
 )
 
 __all__ = [
+    "chain_join_db",
+    "chain_join_query",
     "cycle_with_chords",
     "grid_query",
     "path_heavy_db",
@@ -22,6 +29,9 @@ __all__ = [
     "random_database",
     "random_digraph_db",
     "random_graph_query",
+    "scaled_database",
+    "scaled_digraph_db",
     "social_network_db",
+    "stream_tuples",
     "union_with_pattern",
 ]

@@ -87,6 +87,89 @@ class TestCli:
         assert main(["evaluate", "Q() :- E(x,y)", "--db", str(path)]) == 0
         assert "true" in capsys.readouterr().out
 
+    def test_evaluate_engines_agree(self, tmp_path, capsys):
+        db = {"relations": {"E": [[1, 2], [2, 3], [3, 1], [2, 4]]}}
+        path = tmp_path / "g.json"
+        path.write_text(json.dumps(db))
+        query = "Q(x, z) :- E(x,y), E(y,z)"
+        outs = []
+        for engine in ("columnar", "tuple"):
+            assert main(
+                ["evaluate", query, "--db", str(path), "--engine", engine]
+            ) == 0
+            outs.append(capsys.readouterr().out)
+        assert outs[0] == outs[1]
+
+    def test_evaluate_stats_on_stderr(self, tmp_path, capsys):
+        db = {"relations": {"E": [[1, 2], [2, 3]]}}
+        path = tmp_path / "g.json"
+        path.write_text(json.dumps(db))
+        assert main(
+            ["evaluate", "Q(x) :- E(x,y)", "--db", str(path), "--stats"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "evaluation stats" in captured.err
+        assert "op:scan" in captured.err
+        assert "op:" not in captured.out
+
+    def test_evaluate_json_payload(self, tmp_path, capsys):
+        db = {"relations": {"E": [[1, 2], [2, 3]]}}
+        path = tmp_path / "g.json"
+        path.write_text(json.dumps(db))
+        assert main(
+            [
+                "evaluate",
+                "Q(x, z) :- E(x,y), E(y,z)",
+                "--db",
+                str(path),
+                "--engine",
+                "columnar",
+                "--stats",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "columnar"
+        assert payload["answer_count"] == 1
+        assert payload["answers"] == [[1, 3]]
+        assert payload["stats"]["tuples_scanned"] > 0
+        assert "scan" in payload["stats"]["operators"]
+        assert payload["stats"]["operators"]["scan"]["rows_scanned"] > 0
+
+    def test_quality_bench_generated_db(self, capsys):
+        assert main(
+            [
+                "quality-bench",
+                "Q(x) :- E(x, y), E(y, z), E(z, w), E(w, x)",
+                "--nodes", "60",
+                "--edges", "500",
+                "--skew", "0.5",
+                "--seed", "3",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "quality-bench"
+        assert payload["is_sound"] is True
+        assert payload["wrong_answers"] == 0
+        assert 0.0 <= payload["recall"] <= 1.0
+        assert payload["db_tuples"] > 0
+
+    def test_quality_bench_db_file(self, tmp_path, capsys):
+        db = {"relations": {"E": [[1, 2], [2, 3], [3, 1]]}}
+        path = tmp_path / "g.json"
+        path.write_text(json.dumps(db))
+        assert main(
+            [
+                "quality-bench",
+                "Q() :- E(x, y), E(y, z), E(z, x)",
+                "--cls", "TW1",
+                "--db", str(path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recall" in out and "containment gap" in out
+
     def test_unknown_class(self):
         with pytest.raises(SystemExit):
             main(["approximate", "Q() :- E(x,y)", "--cls", "WAT"])

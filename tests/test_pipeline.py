@@ -696,6 +696,102 @@ class TestGenerationModes:
         assert len(raw) == bell_number(6)
 
 
+class TestGenerationProbe:
+    """The fine-to-coarse member-rate probe on the buffered stream.
+
+    The stage-1 cost model never sees the member rate, so on ultra-
+    member-light streams it can settle on raw generation and pay late
+    canonizations for nearly every duplicate.  Once the stream is
+    buffered for fine-to-coarse replay, the probe class-checks the first
+    sizable bucket (memoized — the reduction replays the verdicts free)
+    and canonically deduplicates the buffer up front when at most 5% are
+    members.  Either way the frontier must stay bit-identical to
+    ``generation="canonical"``.
+    """
+
+    class _AcceptAll(QueryClass):
+        kind = "graph"
+        name = "ALL"
+
+        def contains_structure(self, structure):
+            return True
+
+        def contains_graph(self, graph):
+            return True
+
+    class _RejectAll(QueryClass):
+        kind = "graph"
+        name = "NONE"
+
+        def contains_structure(self, structure):
+            return False
+
+        def contains_graph(self, graph):
+            return False
+
+    QUERY = cycle_with_chords(5)
+
+    def test_member_light_stream_switches_to_canonical_dedup(self):
+        tableau = self.QUERY.tableau()
+        cls = self._RejectAll()
+        raw = run_pipeline(tableau, cls, max_extra_atoms=0, generation="raw")
+        canonical = run_pipeline(
+            tableau, cls, max_extra_atoms=0, generation="canonical"
+        )
+        assert raw.frontier == canonical.frontier == []
+        assert raw.stats.generation_probe_candidates > 0
+        assert raw.stats.generation_probe_switches == 1
+        # The up-front dedup leaves exactly the canonical stream: one
+        # candidate per fact-level canonical form reaches the reducer.
+        assert raw.stats.generated == canonical.stats.generated
+        # Every check call is either a probe check or a reduction call;
+        # nothing is silently re-run outside the memo.
+        assert (
+            raw.stats.checks_run + raw.stats.check_memo_hits
+            == raw.stats.generation_probe_candidates + raw.stats.generated
+        )
+        assert raw.stats.check_memo_hits > 0  # the reduction replays probe verdicts
+
+    def test_member_heavy_stream_keeps_the_raw_buffer(self):
+        tableau = self.QUERY.tableau()
+        cls = self._AcceptAll()
+        raw = run_pipeline(tableau, cls, max_extra_atoms=0, generation="raw")
+        canonical = run_pipeline(
+            tableau, cls, max_extra_atoms=0, generation="canonical"
+        )
+        assert raw.frontier == canonical.frontier
+        assert raw.stats.generation_probe_candidates > 0
+        assert raw.stats.generation_probe_switches == 0
+        assert raw.stats.generated == bell_number(5)
+
+    def test_real_member_light_class_bit_identical(self):
+        # The motivating case (ROADMAP residual note): a ~1%-member
+        # TW(1) frontier, where raw ≈ canonical by construction and the
+        # probe should pick canonical up front.
+        tableau = cycle_with_chords(7, ((0, 3),)).tableau()
+        raw = run_pipeline(tableau, TW1, max_extra_atoms=0, generation="raw")
+        canonical = run_pipeline(
+            tableau, TW1, max_extra_atoms=0, generation="canonical"
+        )
+        assert raw.frontier == canonical.frontier
+        assert raw.stats.generation_probe_switches == 1
+        assert raw.stats.late_canonizations == 0
+
+    def test_probe_disabled_under_checkpointing(self, tmp_path):
+        tableau = self.QUERY.tableau()
+        cls = self._RejectAll()
+        result = run_pipeline(
+            tableau,
+            cls,
+            max_extra_atoms=0,
+            generation="raw",
+            checkpoint=str(tmp_path / "ckpt.json"),
+        )
+        assert result.frontier == []
+        assert result.stats.generation_probe_candidates == 0
+        assert result.stats.generation_probe_switches == 0
+
+
 class TestGenerationCostModel:
     """The windowed three-way generation controller."""
 

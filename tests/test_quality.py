@@ -1,13 +1,17 @@
 """Tests for the empirical quality measurement (Section 7 direction)."""
 
+import pytest
+
 from repro.core import (
     TW1,
     approximate,
+    approximate_then_evaluate,
     disagreement,
     random_database_stream,
 )
 from repro.cq import parse_query
-from repro.workloads import random_digraph_db
+from repro.evaluation import evaluate
+from repro.workloads import random_digraph_db, scaled_digraph_db
 
 
 TRIANGLE = parse_query("Q() :- E(x, y), E(y, z), E(z, x)")
@@ -54,3 +58,49 @@ class TestQualityReport:
         report = disagreement(TRIANGLE, TRIANGLE, [])
         assert report.samples == 0
         assert report.agreement_rate == 1.0
+
+
+C4 = parse_query("Q(x) :- E(x, y), E(y, z), E(z, w), E(w, x)")
+
+
+class TestApproximateThenEvaluate:
+    @pytest.mark.parametrize("engine", ["columnar", "tuple"])
+    def test_sound_and_counts_consistent(self, engine):
+        db = scaled_digraph_db(60, 500, skew=0.5, seed=3)
+        report = approximate_then_evaluate(C4, TW1, db, engine=engine)
+        assert report.is_sound
+        assert report.wrong_answers == 0
+        assert report.engine == engine
+        assert report.db_tuples == db.total_tuples
+        assert (
+            report.approx_answers + report.missed_answers
+            == report.exact_answers
+        )
+        assert 0.0 <= report.recall <= 1.0
+        assert report.containment_gap == report.missed_answers
+
+    def test_counts_match_direct_evaluation(self):
+        db = scaled_digraph_db(40, 300, skew=0.5, seed=1)
+        report = approximate_then_evaluate(C4, TW1, db)
+        exact = evaluate(C4, db)
+        approx = evaluate(approximate(C4, TW1), db)
+        assert report.exact_answers == len(exact)
+        assert report.approx_answers == len(approx & exact)
+        assert report.missed_answers == len(exact - approx)
+
+    def test_exact_approximation_has_full_recall(self):
+        # An acyclic query is its own TW(1) approximation: zero gap.
+        path = parse_query("Q(x) :- E(x, y), E(y, z)")
+        db = scaled_digraph_db(30, 200, seed=2)
+        report = approximate_then_evaluate(path, TW1, db)
+        assert report.recall == 1.0
+        assert report.containment_gap == 0
+
+    def test_as_dict_round_trip(self):
+        import json
+
+        db = scaled_digraph_db(25, 150, skew=0.3, seed=4)
+        payload = approximate_then_evaluate(C4, TW1, db).as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["is_sound"] is True
+        assert payload["cls"] == TW1.name
