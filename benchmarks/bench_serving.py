@@ -1,0 +1,474 @@
+"""EXP SERVING — warm-cache speedup of the resident daemon, plus the
+three fault drills.
+
+PR 8 turns the one-shot pipeline into a resident service
+(:mod:`repro.serve`): one engine per process behind a JSON-lines socket,
+fronted by a canonical-form result cache.  This benchmark drives a
+**Zipfian-skewed query log** — a handful of distinct queries, each
+phrased with per-request variable renamings so the canonical key (not
+string equality) has to do the unification — through a live server and
+reports:
+
+* **Headline**: mean *warm-hit* latency vs. the mean *cold pipeline*
+  time of the distinct queries (each measured under a fresh engine).
+  ``headline.speedup = cold_s / warm_hit_s`` with target 50x, plus the
+  replay's hit rate and queries/sec.
+* **Fault drills**, asserted here (not just in the test suite):
+
+  1. a pool worker SIGKILLed mid-request — the request heals (pool
+     respawn) and its answer is bit-identical to the fault-free one;
+  2. a corrupted disk-cache entry — quarantined on probe, recomputed
+     bit-identically, slot healed;
+  3. ``SIGTERM`` under load on the real CLI daemon — the in-flight
+     request's response still arrives, exit code 0, the cache index is
+     flushed, and a restarted daemon answers warm and bit-identically.
+
+``--smoke`` runs a scaled-down log and the same drills with the
+assertions on (minus the 50x bar, which needs the full-size queries) and
+does not rewrite the committed JSON.  Writes ``BENCH_serving.json`` at
+the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import random
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import repro.homomorphism.engine as engine_module
+from repro.core import ApproximationConfig, TreewidthClass, approximate
+from repro.cq import ConjunctiveQuery
+from repro.homomorphism.engine import HomEngine
+from repro.serve import (
+    ApproximationServer,
+    ServeClient,
+    ServerConfig,
+    wait_for_server,
+)
+from repro.testing import FaultPlan
+from repro.workloads import cycle_with_chords
+from paperfmt import table, write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_serving.json"
+
+CLS = TreewidthClass(1)
+METHOD = "exact"
+ZIPF_EXPONENT = 1.1
+
+# Distinct queries of the replayed log: chorded cycles, none of them in
+# TW(1), with cold pipeline times from tens to hundreds of ms.
+FULL_TEMPLATES = [
+    cycle_with_chords(6, ((0, 3),)),
+    cycle_with_chords(7, ((0, 3),)),
+    cycle_with_chords(7, ((1, 4), (2, 5))),
+    cycle_with_chords(7, ((2, 6),)),
+    cycle_with_chords(8, ((0, 4),)),
+    # NB not (1, 5): that chord is a rotation of (0, 4) and the canonical
+    # cache would (correctly) fold the two into one slot.
+    cycle_with_chords(8, ((0, 3),)),
+]
+FULL_LOG_LENGTH = 60
+
+SMOKE_TEMPLATES = [
+    cycle_with_chords(5),
+    cycle_with_chords(6, ((0, 3),)),
+    cycle_with_chords(6, ((0, 2), (3, 5))),
+]
+SMOKE_LOG_LENGTH = 15
+
+
+# --------------------------------------------------------------------------
+# Server hosting + workload synthesis
+# --------------------------------------------------------------------------
+
+
+class _Hosted:
+    """An :class:`ApproximationServer` on a background thread."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.server = ApproximationServer(config)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self._host, daemon=True)
+
+    def _host(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.run())
+        self.loop.close()
+
+    def __enter__(self) -> "_Hosted":
+        self.thread.start()
+        wait_for_server(self.server.config.socket_path)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.loop.call_soon_threadsafe(self.server.request_shutdown)
+        self.thread.join(timeout=60)
+        assert not self.thread.is_alive(), "server failed to drain"
+
+
+def _rename(query: ConjunctiveQuery, rng: random.Random) -> str:
+    """The same query phrased with shuffled variable names."""
+    variables = sorted(query.tableau().structure.domain, key=repr)
+    shuffled = list(range(len(variables)))
+    rng.shuffle(shuffled)
+    mapping = {v: f"r{shuffled[i]}" for i, v in enumerate(variables)}
+    return str(ConjunctiveQuery.from_tableau(query.tableau().rename(mapping)))
+
+
+def _zipf_log(
+    templates, length: int, seed: int = 0
+) -> list[tuple[int, str]]:
+    """``length`` requests: Zipf-ranked template choice, fresh renaming each."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** ZIPF_EXPONENT for rank in range(len(templates))]
+    picks = rng.choices(range(len(templates)), weights=weights, k=length)
+    return [(index, _rename(templates[index], rng)) for index in picks]
+
+
+def _cold_pipeline_seconds(templates) -> list[float]:
+    """Direct (no server) pipeline time per template, fresh engine each."""
+    seconds = []
+    config = ApproximationConfig(max_extra_atoms=0)
+    for query in templates:
+        saved = engine_module.DEFAULT_ENGINE
+        engine_module.DEFAULT_ENGINE = HomEngine()
+        try:
+            started = time.perf_counter()
+            approximate(query, CLS, method=METHOD, config=config)
+            seconds.append(time.perf_counter() - started)
+        finally:
+            engine_module.DEFAULT_ENGINE = saved
+    return seconds
+
+
+# --------------------------------------------------------------------------
+# The replay experiment
+# --------------------------------------------------------------------------
+
+
+def replay_zipfian(templates, log_length: int) -> dict:
+    log = _zipf_log(templates, log_length)
+    cold_seconds = _cold_pipeline_seconds(templates)
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ServerConfig(
+            socket_path=os.path.join(tmp, "serve.sock"),
+            cache_dir=os.path.join(tmp, "cache"),
+            max_extra_atoms=0,
+        )
+        with _Hosted(config) as host, ServeClient(
+            config.socket_path, timeout=600.0
+        ) as client:
+            warm_hits, cold_serves = [], []
+            replay_started = time.perf_counter()
+            for _, query_text in log:
+                started = time.perf_counter()
+                response = client.approximate(query_text, "TW1", method=METHOD)
+                elapsed = time.perf_counter() - started
+                (warm_hits if response["cached"] else cold_serves).append(elapsed)
+            replay_seconds = time.perf_counter() - replay_started
+            stats = client.stats()
+    assert len(cold_serves) == len(templates), (
+        "canonical unification failed: every renamed phrasing past the "
+        f"first should hit ({len(cold_serves)} cold serves for "
+        f"{len(templates)} distinct queries)"
+    )
+    hit_rate = stats["cache"]["hit_rate"]
+    cold_s = statistics.mean(cold_seconds)
+    warm_s = statistics.mean(warm_hits)
+    return {
+        "workload": (
+            f"zipf(s={ZIPF_EXPONENT}) x{len(log)} over "
+            f"{len(templates)} distinct TW1 queries"
+        ),
+        "class": CLS.name,
+        "log_length": len(log),
+        "distinct_queries": len(templates),
+        "hit_rate": hit_rate,
+        "queries_per_s": round(len(log) / replay_seconds, 1),
+        "plain_s": round(cold_s, 4),
+        "budgeted_s": round(warm_s, 6),
+        "warm_hit_ms": round(1000 * warm_s, 3),
+        "speedup": round(cold_s / warm_s, 1) if warm_s else None,
+    }
+
+
+# --------------------------------------------------------------------------
+# Fault drills (each asserts its recovery property)
+# --------------------------------------------------------------------------
+
+
+def drill_worker_kill() -> dict:
+    """A SIGKILLed pool worker degrades the request, not the server."""
+    query = str(cycle_with_chords(7, ((1, 4), (2, 5))))
+    with tempfile.TemporaryDirectory() as tmp:
+        clean_config = ServerConfig(
+            socket_path=os.path.join(tmp, "clean.sock"),
+            workers=2,
+            max_extra_atoms=0,
+        )
+        with _Hosted(clean_config) as host, ServeClient(
+            clean_config.socket_path, timeout=600.0
+        ) as client:
+            started = time.perf_counter()
+            clean = client.approximate(query, "TW1", method=METHOD)
+            clean_s = time.perf_counter() - started
+        drill_config = ServerConfig(
+            socket_path=os.path.join(tmp, "drill.sock"),
+            workers=2,
+            max_extra_atoms=0,
+            fault_plan=FaultPlan("kill", 5, os.path.join(tmp, "token")),
+        )
+        with _Hosted(drill_config) as host, ServeClient(
+            drill_config.socket_path, timeout=600.0
+        ) as client:
+            started = time.perf_counter()
+            recovered = client.approximate(query, "TW1", method=METHOD)
+            faulted_s = time.perf_counter() - started
+            follow_up = client.approximate(query, "TW1", method=METHOD)
+    assert recovered["pool_respawns"] >= 1, "kill fault did not break the pool"
+    assert recovered["approximations"] == clean["approximations"], (
+        "worker-kill recovery not bit-identical"
+    )
+    assert follow_up["ok"], "server poisoned after a worker death"
+    return {
+        "workload": "drill: worker SIGKILL mid-request",
+        "class": CLS.name,
+        "pool_respawns": recovered["pool_respawns"],
+        "plain_s": round(clean_s, 4),
+        "budgeted_s": round(faulted_s, 4),
+        "speedup": round(clean_s / faulted_s, 3) if faulted_s else None,
+        "recovery_cost_s": round(faulted_s - clean_s, 4),
+    }
+
+
+def drill_corrupt_entry(template) -> dict:
+    """A torn disk entry is quarantined and recomputed bit-identically."""
+    query, renamed = str(template), _rename(template, random.Random(7))
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        sabotaged = ServerConfig(
+            socket_path=os.path.join(tmp, "a.sock"),
+            cache_dir=cache_dir,
+            max_extra_atoms=0,
+            fault_plan=FaultPlan("corrupt", 1, os.path.join(tmp, "token")),
+        )
+        with _Hosted(sabotaged) as host, ServeClient(
+            sabotaged.socket_path, timeout=600.0
+        ) as client:
+            cold = client.approximate(query, "TW1", method=METHOD)
+        clean = ServerConfig(
+            socket_path=os.path.join(tmp, "b.sock"),
+            cache_dir=cache_dir,
+            max_extra_atoms=0,
+        )
+        with _Hosted(clean) as host, ServeClient(
+            clean.socket_path, timeout=600.0
+        ) as client:
+            started = time.perf_counter()
+            recomputed = client.approximate(renamed, "TW1", method=METHOD)
+            recompute_s = time.perf_counter() - started
+            healed = client.approximate(query, "TW1", method=METHOD)
+            quarantined = host.server.cache.stats.quarantined
+    assert quarantined == 1, "corrupt entry was not quarantined"
+    assert not recomputed["cached"], "corrupt entry served as a hit"
+    assert recomputed["approximations"] == cold["approximations"], (
+        "post-corruption recompute not bit-identical"
+    )
+    assert healed["cached"], "cache slot did not heal after recomputation"
+    return {
+        "workload": "drill: corrupted disk-cache entry",
+        "class": CLS.name,
+        "quarantined": quarantined,
+        "plain_s": None,
+        "budgeted_s": round(recompute_s, 4),
+        "speedup": None,
+    }
+
+
+def drill_sigterm_under_load(template) -> dict:
+    """SIGTERM on the CLI daemon: drain, flush, warm bit-identical restart."""
+    query, renamed = str(template), _rename(template, random.Random(11))
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+
+    def spawn(*extra: str) -> subprocess.Popen:
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--socket", sock, "--cache-dir", cache_dir, *extra,
+            ],
+            env=env, cwd=REPO_ROOT,
+            stderr=subprocess.DEVNULL, text=True,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sock = os.path.join(tmp, "serve.sock")
+        cache_dir = os.path.join(tmp, "cache")
+        daemon = spawn("--enable-test-ops")
+        try:
+            wait_for_server(sock, deadline=60.0)
+            with ServeClient(sock, timeout=600.0) as client:
+                cold = client.approximate(query, "TW1", method=METHOD)
+            occupant = ServeClient(sock, timeout=600.0)
+            inflight: list[dict] = []
+            worker = threading.Thread(
+                target=lambda: inflight.append(occupant.sleep(1.0))
+            )
+            worker.start()
+            time.sleep(0.3)  # let the request be admitted
+            drain_started = time.perf_counter()
+            daemon.send_signal(signal.SIGTERM)
+            exit_code = daemon.wait(timeout=60)
+            drain_s = time.perf_counter() - drain_started
+            worker.join(timeout=60)
+            occupant.close()
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+        assert exit_code == 0, f"daemon exited {exit_code} on SIGTERM"
+        assert inflight and inflight[0]["ok"], "in-flight request dropped"
+        index = json.loads(Path(cache_dir, "index.json").read_text())
+        assert index["disk_entries"] >= 1, "cache index not flushed on drain"
+
+        restarted = spawn()
+        try:
+            wait_for_server(sock, deadline=60.0)
+            with ServeClient(sock, timeout=600.0) as client:
+                started = time.perf_counter()
+                warm = client.approximate(renamed, "TW1", method=METHOD)
+                warm_s = time.perf_counter() - started
+                client.shutdown()
+            assert restarted.wait(timeout=60) == 0
+        finally:
+            if restarted.poll() is None:
+                restarted.kill()
+    assert warm["cached"], "restarted daemon did not come up warm"
+    assert warm["approximations"] == cold["approximations"], (
+        "warm restart not bit-identical"
+    )
+    return {
+        "workload": "drill: SIGTERM under load + warm restart",
+        "class": CLS.name,
+        "drain_s": round(drain_s, 3),
+        "plain_s": None,
+        "budgeted_s": round(warm_s, 4),
+        "speedup": None,
+    }
+
+
+# --------------------------------------------------------------------------
+# Entry points
+# --------------------------------------------------------------------------
+
+
+def run_all(templates, log_length: int) -> dict:
+    rows = [
+        replay_zipfian(templates, log_length),
+        drill_worker_kill(),
+        drill_corrupt_entry(templates[0]),
+        drill_sigterm_under_load(templates[0]),
+    ]
+    headline = rows[0]
+    return {
+        "benchmark": "serving",
+        "description": (
+            "resident daemon replaying a Zipfian query log of per-request "
+            "renamed (hom-equivalent) phrasings: warm canonical-cache hits "
+            "vs the cold pipeline, plus the worker-kill, cache-corruption, "
+            "and SIGTERM-drain fault drills (asserted bit-identical)"
+        ),
+        "cpu_count": os.cpu_count(),
+        "workloads": rows,
+        "headline": {
+            "name": headline["workload"],
+            "class": headline["class"],
+            "speedup": headline["speedup"],
+            "target_speedup": 50.0,
+            "hit_rate": headline["hit_rate"],
+            "queries_per_s": headline["queries_per_s"],
+            "note": (
+                "mean warm-hit latency vs mean cold pipeline time over the "
+                "distinct queries of the log; >= 50x means a cache hit "
+                "costs protocol overhead, not pipeline work"
+            ),
+        },
+    }
+
+
+def _report(payload: dict) -> None:
+    body = table(
+        ["workload", "cold(s)", "served(s)", "speedup", "extra"],
+        [
+            [
+                row["workload"],
+                row.get("plain_s", "-") if row.get("plain_s") is not None else "-",
+                row["budgeted_s"],
+                f"{row['speedup']}x" if row.get("speedup") else "-",
+                (
+                    f"hit rate {row['hit_rate']}, {row['queries_per_s']} q/s"
+                    if "hit_rate" in row
+                    else f"{row['pool_respawns']} respawn(s)"
+                    if "pool_respawns" in row
+                    else f"{row['quarantined']} quarantined"
+                    if "quarantined" in row
+                    else f"drain {row['drain_s']}s"
+                ),
+            ]
+            for row in payload["workloads"]
+        ],
+    )
+    write_report(
+        "bench_serving",
+        "Approximation-as-a-service: warm-cache replay and fault drills",
+        body,
+    )
+
+
+def smoke() -> None:
+    payload = run_all(SMOKE_TEMPLATES, SMOKE_LOG_LENGTH)
+    headline = payload["headline"]
+    # The smoke queries are deliberately tiny, so the warm/cold gap is
+    # modest; the bar here is the drills' assertions plus a sane cache.
+    assert headline["hit_rate"] > 0.5, f"hit rate {headline['hit_rate']}"
+    assert headline["speedup"] > 1.0, f"no warm speedup: {headline['speedup']}"
+    print(
+        f"smoke ok: warm hits {headline['speedup']}x over cold, "
+        f"hit rate {headline['hit_rate']}, "
+        f"{headline['queries_per_s']} q/s; all three fault drills passed"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="scaled-down replay + the three drills; no JSON rewrite",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        smoke()
+        return
+    payload = run_all(FULL_TEMPLATES, FULL_LOG_LENGTH)
+    headline = payload["headline"]
+    assert headline["speedup"] >= headline["target_speedup"], (
+        f"warm-hit speedup regressed: {headline['speedup']}x "
+        f"< target {headline['target_speedup']}x"
+    )
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    _report(payload)
+    print(f"wrote {JSON_PATH}")
+
+
+if __name__ == "__main__":
+    main()

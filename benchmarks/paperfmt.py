@@ -27,6 +27,7 @@ BENCH_FILES = (
     "BENCH_raw_stream.json",
     "BENCH_robustness.json",
     "BENCH_data_eval.json",
+    "BENCH_serving.json",
 )
 
 

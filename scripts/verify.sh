@@ -7,10 +7,12 @@
 # tests (the `slow` marker — run `PYTHONPATH=src python -m pytest -x -q`
 # for the full tier), re-runs the robustness benchmark (cheap, and its
 # internal assertions gate budget overhead and fault-recovery
-# bit-identity), runs the data-eval benchmark in --smoke mode (asserts
-# the columnar engine beats the tuple oracle and the approximation stays
-# sound, without rewriting the committed JSON), then checks every
-# committed BENCH_*.json headline
+# bit-identity), runs the data-eval and serving benchmarks in --smoke
+# mode (data-eval asserts the columnar engine beats the tuple oracle and
+# the approximation stays sound; serving replays a scaled-down Zipfian
+# log through a live daemon and runs the worker-kill / cache-corruption /
+# SIGTERM-drain fault drills — all without rewriting the committed
+# JSON), then checks every committed BENCH_*.json headline
 # against its predecessor (benchmarks/check_regressions.py: >20% loss
 # exits 1; an unusable committed baseline exits 2).
 
@@ -21,4 +23,5 @@ cd "$(dirname "$0")/.."
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q -m "not slow"
 (cd benchmarks && PYTHONPATH=../src${PYTHONPATH:+:$PYTHONPATH} python bench_robustness.py)
 (cd benchmarks && PYTHONPATH=../src${PYTHONPATH:+:$PYTHONPATH} python bench_data_eval.py --smoke)
+(cd benchmarks && PYTHONPATH=../src${PYTHONPATH:+:$PYTHONPATH} python bench_serving.py --smoke)
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/check_regressions.py

@@ -8,6 +8,8 @@ Examples::
     python -m repro width "Q() :- R(x,y,z), R(z,u,w)"
     python -m repro contains "Q() :- E(x,y), E(y,z)" "Q() :- E(x,y)"
     python -m repro evaluate "Q(x) :- E(x,y)" --db graph.json
+    python -m repro serve --socket /tmp/repro.sock --cache-dir /tmp/repro-cache
+    python -m repro client --socket /tmp/repro.sock "Q() :- E(x,y), E(y,x)"
 """
 
 from __future__ import annotations
@@ -19,15 +21,13 @@ import time
 
 from repro.cq import is_contained_in, minimize, parse_query
 from repro.core import (
-    AcyclicClass,
     ApproximationConfig,
     DEFAULT_CONFIG,
-    GeneralizedHypertreeClass,
-    HypertreeClass,
     QueryClass,
     TreewidthClass,
     all_approximations,
     approximate,
+    class_from_name,
     classify_boolean_graph_query,
 )
 
@@ -53,19 +53,10 @@ def _parse_memory_limit(text: str) -> int:
 
 
 def _parse_class(name: str) -> QueryClass:
-    name = name.upper()
-    if name == "AC":
-        return AcyclicClass()
-    for prefix, factory in (
-        ("GHTW", GeneralizedHypertreeClass),
-        ("HTW", HypertreeClass),
-        ("TW", TreewidthClass),
-    ):
-        if name.startswith(prefix) and name[len(prefix):].isdigit():
-            return factory(int(name[len(prefix):]))
-    raise argparse.ArgumentTypeError(
-        f"unknown class {name!r} (use TW<k>, AC, HTW<k> or GHTW<k>)"
-    )
+    try:
+        return class_from_name(name)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -277,6 +268,150 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="machine-readable report (recall, gap, wall-time ratio, timing)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident approximation daemon",
+        description=(
+            "Host one engine process behind a unix or TCP socket speaking a "
+            "JSON-lines protocol (one JSON object per line; ops: "
+            "approximate, stats/health, shutdown). Results are cached by "
+            "the canonical form of the query's core, so hom-equivalent "
+            "requests share one slot; with --cache-dir the cache survives "
+            "restarts (corrupt entries are quarantined, never fatal). "
+            "Admission control sheds load past --queue-limit with a "
+            "structured 'overloaded' response; SIGTERM drains in-flight "
+            "requests, flushes the cache index, and exits."
+        ),
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH", help="unix socket to listen on"
+    )
+    serve.add_argument(
+        "--host", default=None, help="TCP host to bind (alternative to --socket)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        help="max requests admitted at once; excess load is shed",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=2,
+        help="request-executor threads (pipelines running at once)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-request wall-clock policy: every request gets a RunBudget "
+            "with at most this deadline (clients may ask for less, never "
+            "more); exhausted runs are served as explicitly-partial sound "
+            "frontiers"
+        ),
+    )
+    serve.add_argument(
+        "--memory-limit",
+        type=_parse_memory_limit,
+        default=None,
+        metavar="BYTES",
+        help="per-request memory ceiling (bytes, k/m/g suffixes accepted)",
+    )
+    serve.add_argument(
+        "--max-candidates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-request cap on stage-1 candidates",
+    )
+    serve.add_argument(
+        "--exact-limit", type=int, default=DEFAULT_CONFIG.exact_limit
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size inside each request's pipeline",
+    )
+    serve.add_argument(
+        "--batch-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-batch quarantine timeout for pooled membership checks",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "disk tier of the result cache (atomic per-entry files); a "
+            "restarted server answers warm from here"
+        ),
+    )
+    serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=1024,
+        help="in-memory LRU capacity (entries)",
+    )
+    serve.add_argument(
+        "--enable-test-ops",
+        action="store_true",
+        help="enable the 'sleep' op (lifecycle tests and fault drills)",
+    )
+
+    client = sub.add_parser(
+        "client",
+        help="query a running approximation daemon",
+        description=(
+            "Send one request to a repro serve daemon and print its "
+            "response. With a query argument, sends an approximate op; "
+            "--server-stats and --shutdown send those ops instead."
+        ),
+    )
+    client.add_argument(
+        "query", nargs="?", default=None, help="CQ to approximate (rule notation)"
+    )
+    client.add_argument(
+        "--socket", default=None, metavar="PATH", help="daemon's unix socket"
+    )
+    client.add_argument("--host", default=None, help="daemon's TCP host")
+    client.add_argument("--port", type=int, default=None, help="daemon's TCP port")
+    client.add_argument("--cls", default="TW1", help="target class spec (e.g. TW1, AC)")
+    client.add_argument("--all", action="store_true", help="ask for C-APPR_min(Q)")
+    client.add_argument(
+        "--method", choices=["auto", "exact", "greedy"], default="auto"
+    )
+    client.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="request deadline (the server clamps it to its own policy)",
+    )
+    client.add_argument(
+        "--server-stats",
+        action="store_true",
+        help="fetch the daemon's health/stats payload instead of approximating",
+    )
+    client.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the daemon to drain and exit instead of approximating",
+    )
+    client.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw JSON response frame",
+    )
     return parser
 
 
@@ -298,18 +433,22 @@ def main(argv: list[str] | None = None) -> int:
             batch_timeout=args.batch_timeout,
             greedy_fallback=args.greedy_fallback,
         )
+        # Stats are always collected: exhaustion and quarantined-batch
+        # surfacing must reach the output even when --stats was not
+        # requested, and the counters are cheap next to the pipeline.
         budgeted = config.budget() is not None
-        # Budgeted runs always collect stats: the exhausted flag must reach
-        # the output surface even when --stats was not requested.
-        stats = PipelineStats() if (args.stats or budgeted) else None
+        stats = PipelineStats()
+        faults: list = []
         started = time.perf_counter()
         if args.all:
-            results = all_approximations(query, args.cls, config, stats=stats)
+            results = all_approximations(
+                query, args.cls, config, stats=stats, faults=faults
+            )
         else:
             results = [
                 approximate(
                     query, args.cls, method=args.method, config=config,
-                    stats=stats,
+                    stats=stats, faults=faults,
                 )
             ]
         elapsed = time.perf_counter() - started
@@ -325,10 +464,13 @@ def main(argv: list[str] | None = None) -> int:
                 "approximations": [str(result) for result in results],
                 "seconds": round(elapsed, 6),
             }
-            if stats is not None:
+            if budgeted:
                 payload["exhausted"] = stats.exhausted
                 if stats.exhausted:
                     payload["exhaustion_reason"] = stats.exhaustion_reason
+            if stats.quarantined or faults:
+                payload["quarantined"] = stats.quarantined
+                payload["faults"] = [fault.as_dict() for fault in faults]
             if args.stats and stats is not None:
                 payload["stats"] = {
                     name: round(value, 6) if isinstance(value, float) else value
@@ -343,6 +485,17 @@ def main(argv: list[str] | None = None) -> int:
                     "warning: budget exhausted "
                     f"({stats.exhaustion_reason}); the answer is sound but "
                     "may be incomplete",
+                    file=sys.stderr,
+                )
+            if stats is not None and (stats.quarantined or faults):
+                kinds = ", ".join(
+                    f"{fault.kind}: {fault.error}" for fault in faults
+                )
+                print(
+                    f"warning: {stats.quarantined} candidate check(s) lost "
+                    f"to {len(faults)} quarantined pool batch(es)"
+                    f"{' (' + kinds + ')' if kinds else ''}; the answer is "
+                    "sound but may be incomplete",
                     file=sys.stderr,
                 )
             if args.stats and stats is not None:
@@ -488,6 +641,95 @@ def main(argv: list[str] | None = None) -> int:
                 f"search {report.approximation_seconds:.4f}s)"
             )
         return 0 if report.is_sound else 1
+
+    if args.command == "serve":
+        import asyncio
+
+        from repro.serve import ApproximationServer, ServerConfig
+
+        if (args.socket is None) == (args.host is None):
+            print("repro serve: set exactly one of --socket or --host", file=sys.stderr)
+            return 2
+        server = ApproximationServer(
+            ServerConfig(
+                socket_path=args.socket,
+                host=args.host,
+                port=args.port,
+                queue_limit=args.queue_limit,
+                concurrency=args.concurrency,
+                request_deadline=args.deadline,
+                memory_limit=args.memory_limit,
+                max_candidates=args.max_candidates,
+                exact_limit=args.exact_limit,
+                workers=args.workers,
+                batch_timeout=args.batch_timeout,
+                cache_capacity=args.cache_capacity,
+                cache_dir=args.cache_dir,
+                enable_test_ops=args.enable_test_ops,
+            )
+        )
+        asyncio.run(server.run())
+        return 0
+
+    if args.command == "client":
+        from repro.serve import ServeClient, ServeError
+
+        ops = sum([args.query is not None, args.server_stats, args.shutdown])
+        if ops != 1:
+            print(
+                "repro client: give exactly one of a query, --server-stats, "
+                "or --shutdown",
+                file=sys.stderr,
+            )
+            return 2
+        if (args.socket is None) == (args.host is None):
+            print(
+                "repro client: set exactly one of --socket or --host/--port",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            with ServeClient(args.socket, args.host, args.port) as conn:
+                if args.server_stats:
+                    response = conn.stats()
+                elif args.shutdown:
+                    response = conn.shutdown()
+                else:
+                    response = conn.approximate(
+                        args.query,
+                        args.cls,
+                        all_=args.all,
+                        method=args.method,
+                        deadline=args.deadline,
+                    )
+        except ServeError as exc:
+            # Structured rejection (overloaded / shutting-down / bad-request):
+            # surface the frame, exit nonzero.
+            if args.json:
+                print(json.dumps(exc.response))
+            else:
+                print(f"repro client: {exc}", file=sys.stderr)
+            return 1
+        if args.json or args.server_stats or args.shutdown:
+            print(json.dumps(response))
+        else:
+            for approximation in response.get("approximations", []):
+                print(approximation)
+            if response.get("exhausted"):
+                print(
+                    "warning: server budget exhausted "
+                    f"({response.get('exhaustion_reason')}); the answer is "
+                    "sound but may be incomplete",
+                    file=sys.stderr,
+                )
+            if response.get("quarantined") or response.get("faults"):
+                print(
+                    f"warning: {response.get('quarantined', 0)} candidate "
+                    "check(s) lost to quarantined pool batch(es) on the "
+                    "server; the answer is sound but may be incomplete",
+                    file=sys.stderr,
+                )
+        return 0
 
     raise AssertionError("unreachable")
 

@@ -168,6 +168,7 @@ def approximation_frontier(
     *,
     tableau: Tableau | None = None,
     stats: PipelineStats | None = None,
+    faults: list | None = None,
 ) -> list[Tableau]:
     """The →-minimal candidate tableaux, maintained as an online frontier.
 
@@ -182,7 +183,11 @@ def approximation_frontier(
     guarantees).  ``tableau`` lets callers that already materialized
     ``query.tableau()`` avoid rebuilding it; ``stats`` is an optional
     :class:`~repro.core.pipeline.PipelineStats` sink the run's counters are
-    absorbed into (the CLI's ``--stats`` flag reads them there).
+    absorbed into (the CLI's ``--stats`` flag reads them there); ``faults``
+    is an optional list the run's structured
+    :class:`~repro.parallel.BatchFault` records are appended to (pooled
+    runs only — quarantined batches would otherwise be visible solely as
+    the ``stats.quarantined`` count).
     """
     if tableau is None:
         tableau = query.tableau()
@@ -201,6 +206,8 @@ def approximation_frontier(
     )
     if stats is not None:
         stats.absorb(result.stats)
+    if faults is not None:
+        faults.extend(result.faults)
     return result.frontier
 
 
@@ -211,6 +218,7 @@ def all_approximations(
     *,
     tableau: Tableau | None = None,
     stats: PipelineStats | None = None,
+    faults: list | None = None,
 ) -> list[ConjunctiveQuery]:
     """The set ``C-APPR_min(Q)``: minimized, pairwise non-equivalent.
 
@@ -240,7 +248,7 @@ def all_approximations(
 
     run_stats = stats if stats is not None else PipelineStats()
     frontier = approximation_frontier(
-        query, cls, config, tableau=tableau, stats=run_stats
+        query, cls, config, tableau=tableau, stats=run_stats, faults=faults
     )
     if not frontier and run_stats.exhausted and config.greedy_fallback:
         return [greedy_approximate(query, cls, config, tableau=tableau)]
@@ -353,6 +361,7 @@ def approximate(
     method: str = "auto",
     config: ApproximationConfig = DEFAULT_CONFIG,
     stats: PipelineStats | None = None,
+    faults: list | None = None,
 ) -> ConjunctiveQuery:
     """One C-approximation of ``Q`` (Corollaries 4.2/4.3, 6.3, 6.5).
 
@@ -371,7 +380,7 @@ def approximate(
         method = "exact" if small else "greedy"
     if method == "exact":
         results = all_approximations(
-            query, cls, config, tableau=tableau, stats=stats
+            query, cls, config, tableau=tableau, stats=stats, faults=faults
         )
         if not results:
             raise ValueError(f"query has no {cls.name}-approximation candidates")

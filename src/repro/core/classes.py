@@ -153,6 +153,30 @@ class GeneralizedHypertreeClass(QueryClass):
         return generalized_hypertree_width_at_most(hypergraph, self.k)
 
 
+def class_from_name(name: str) -> QueryClass:
+    """The class a compact spec string names: ``TW<k>``, ``AC``, ``HTW<k>``,
+    ``GHTW<k>`` (case-insensitive; the display forms ``TW(k)`` etc. are
+    accepted too).
+
+    This is the one parser behind every string-typed class surface — the
+    CLI's ``--cls`` flags and the serving protocol's ``"cls"`` field — so
+    they cannot drift apart.  Raises ``ValueError`` on an unknown spec.
+    """
+    spec = name.strip().upper().replace("(", "").replace(")", "")
+    if spec == "AC":
+        return AcyclicClass()
+    for prefix, factory in (
+        ("GHTW", GeneralizedHypertreeClass),
+        ("HTW", HypertreeClass),
+        ("TW", TreewidthClass),
+    ):
+        if spec.startswith(prefix) and spec[len(prefix):].isdigit():
+            return factory(int(spec[len(prefix):]))
+    raise ValueError(
+        f"unknown class {name!r} (use TW<k>, AC, HTW<k> or GHTW<k>)"
+    )
+
+
 #: Convenience singletons for the most used classes.
 TW1 = TreewidthClass(1)
 TW2 = TreewidthClass(2)

@@ -410,6 +410,11 @@ class PipelineStats:
     pool_respawns: int = 0
     #: Per-batch timeouts that expired while waiting on a pool batch.
     batch_timeouts: int = 0
+    #: Runs whose executor spent its respawn budget and degraded to inline
+    #: (serial) execution of the remaining tasks.  The run still completes
+    #: with the same results — this counter is how consumers (the CLI, the
+    #: serving layer) tell a recovered pool from a dead one.
+    serial_fallbacks: int = 0
     #: Candidates whose class check was lost to a quarantined (timed-out or
     #: raising) pool batch.  They are skipped — a sound omission: skipping
     #: forfeits completeness only, like a budget stop.
@@ -1865,6 +1870,8 @@ def _harvest_executor(executor, stats: PipelineStats) -> list[BatchFault]:
     """Fold the executor's fault bookkeeping into the run's stats."""
     stats.pool_respawns += getattr(executor, "respawns", 0)
     stats.batch_timeouts += getattr(executor, "timeouts", 0)
+    if getattr(executor, "serial_fallback", False):
+        stats.serial_fallbacks += 1
     return list(getattr(executor, "faults", ()))
 
 

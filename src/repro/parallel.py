@@ -214,6 +214,16 @@ class ProcessExecutor:
         self._initializer_ran_inline = False
         self._pool: ProcessPoolExecutor | None = self._spawn_pool()
 
+    @property
+    def serial_fallback(self) -> bool:
+        """Whether the respawn budget is spent and remaining work runs inline.
+
+        Consumers (the pipeline's fault harvest, the serving layer's
+        degradation reporting) read this to tell "the pool recovered" from
+        "the pool is gone and this run degraded to serial".
+        """
+        return self._serial_fallback
+
     # ------------------------------------------------------------ pool mgmt
 
     def _spawn_pool(self) -> ProcessPoolExecutor:

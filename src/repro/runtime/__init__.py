@@ -15,9 +15,27 @@ allowance.  This package supplies the two guard rails:
   atomic snapshots of the frontier, the partition-stream cursor, and the
   pipeline stats, so a run killed mid-enumeration resumes to a
   bit-identical final frontier.
+
+:mod:`repro.runtime.persist` holds the atomic write/fail-closed read
+primitives both the checkpoint store and the serving result cache
+(:mod:`repro.serve.cache`) build on.
 """
 
 from repro.runtime.budget import RunBudget
 from repro.runtime.checkpoint import CheckpointManager, CheckpointMismatch
+from repro.runtime.persist import (
+    PersistError,
+    atomic_pickle,
+    atomic_write_bytes,
+    load_pickle,
+)
 
-__all__ = ["RunBudget", "CheckpointManager", "CheckpointMismatch"]
+__all__ = [
+    "RunBudget",
+    "CheckpointManager",
+    "CheckpointMismatch",
+    "PersistError",
+    "atomic_pickle",
+    "atomic_write_bytes",
+    "load_pickle",
+]

@@ -31,9 +31,10 @@ cursor under the stateful ``"canonical"`` regime.
 from __future__ import annotations
 
 import os
-import pickle
 import time
 from typing import Any, Callable
+
+from repro.runtime.persist import PersistError, atomic_pickle, load_pickle
 
 __all__ = ["CheckpointManager", "CheckpointMismatch", "CHECKPOINT_VERSION"]
 
@@ -99,9 +100,8 @@ class CheckpointManager:
         if not os.path.exists(self.path):
             return None
         try:
-            with open(self.path, "rb") as handle:
-                payload = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+            payload = load_pickle(self.path)
+        except PersistError as exc:
             raise CheckpointMismatch(
                 f"checkpoint file {self.path!r} is unreadable: {exc}"
             ) from exc
@@ -144,12 +144,7 @@ class CheckpointManager:
         """Atomically write a snapshot (temp file + ``os.replace``)."""
         record = {"version": CHECKPOINT_VERSION, "run_key": run_key}
         record.update(payload)
-        tmp_path = f"{self.path}.tmp.{os.getpid()}"
-        with open(tmp_path, "wb") as handle:
-            pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, self.path)
+        atomic_pickle(self.path, record)
         self._since_save = 0
         self._last_save_at = self._clock()
         self.saves += 1

@@ -1,0 +1,95 @@
+"""Shared atomic-persistence helpers.
+
+Both durable stores in the system — the checkpoint snapshots of
+:mod:`repro.runtime.checkpoint` and the disk tier of the serving result
+cache (:mod:`repro.serve.cache`) — need the same two guarantees:
+
+* **Atomic replacement.**  A write lands completely or not at all: the
+  payload goes to a process-private temp file first (flushed and, by
+  default, fsynced), then ``os.replace`` swaps it in.  A crash mid-write
+  can never corrupt an existing file, and readers never observe a partial
+  one.
+* **Fail-closed reads.**  A file that cannot be read back — truncated,
+  garbled, wrong pickle stream — raises :class:`PersistError` instead of
+  returning garbage, so every caller decides explicitly what a corrupt
+  entry means (the checkpoint manager refuses to run; the result cache
+  quarantines the entry and treats it as a miss).
+
+Payloads are pickled, not JSON: both stores round-trip nested tuples of
+the pipeline's integer forms, which JSON would silently turn into lists.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any
+
+__all__ = [
+    "PersistError",
+    "atomic_write_bytes",
+    "atomic_pickle",
+    "load_pickle",
+]
+
+
+class PersistError(RuntimeError):
+    """A persisted payload is unreadable (missing, truncated, garbled)."""
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes, *, fsync: bool = True) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives next to the target (same filesystem, so the rename
+    is atomic) and carries the pid, so concurrent writers from different
+    processes never collide on it.  ``fsync=False`` skips the disk flush
+    for callers whose durability window tolerates the page cache (e.g.
+    warm-cache entries that can always be recomputed).
+    """
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        # A failed write must not leave temp droppings behind.
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+
+
+def atomic_pickle(path: str | os.PathLike, payload: Any, *, fsync: bool = True) -> None:
+    """Pickle ``payload`` and write it atomically to ``path``."""
+    atomic_write_bytes(
+        path,
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        fsync=fsync,
+    )
+
+
+def load_pickle(path: str | os.PathLike) -> Any:
+    """Unpickle ``path``, raising :class:`PersistError` on any failure.
+
+    ``AttributeError``/``ImportError`` are in the net because unpickling
+    resolves class references — a payload written by a different code
+    version may name classes that no longer exist, which is corruption
+    from the reader's point of view.
+    """
+    try:
+        with open(os.fspath(path), "rb") as handle:
+            return pickle.load(handle)
+    except (
+        OSError,
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ImportError,
+        IndexError,
+        ValueError,
+    ) as exc:
+        raise PersistError(f"cannot read {os.fspath(path)!r}: {exc}") from exc

@@ -1,0 +1,319 @@
+"""The canonical-form result cache behind the serving daemon.
+
+The cache exploits the same observation the engine's ``hom_le`` memo
+exploits per-pair: approximation results are isomorphism-invariant, and —
+because the frontier is defined up to homomorphic equivalence — invariant
+across *hom-equivalent* inputs.  :func:`canonical_result_key` therefore
+keys a request by the canonical form of the **core** of its tableau
+(plus the class and the result-shaping knobs): two clients sending
+syntactically different but equivalent queries resolve to one slot, and
+the second is served without running the pipeline at all.
+
+Two tiers:
+
+* an in-memory LRU (``capacity`` entries) serving the hot set, and
+* an optional disk tier (one file per entry, written with
+  :func:`repro.runtime.persist.atomic_pickle` — the checkpoint module's
+  tmp+rename discipline) so a restarted server comes up warm.
+
+Disk reads are **fail-closed but never fatal**: an entry that is
+unreadable, has the wrong version, or whose embedded key does not match
+the probe (torn write, hash collision, stale tool) is *quarantined* —
+renamed aside with a ``.quarantined`` suffix, logged, counted — and
+reported as a miss, so corruption costs one recomputation, never a crash.
+:data:`~repro.testing.faults.FaultPlan` ``kind="corrupt"`` plans hook the
+write path (the *n*-th disk-entry write is damaged right after landing)
+to drill exactly this recovery deterministically.
+
+Only *complete* results belong in the cache: the server declines to store
+budget-exhausted (partial) frontiers and fault-degraded runs, because a
+partial answer served warm would otherwise shadow the complete one
+forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.homomorphism.engine import default_engine
+from repro.runtime.persist import PersistError, atomic_pickle, atomic_write_bytes, load_pickle
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "canonical_representative",
+    "canonical_result_key",
+]
+
+logger = logging.getLogger("repro.serve.cache")
+
+CACHE_VERSION = 1
+
+_ENTRY_SUFFIX = ".entry"
+_QUARANTINE_SUFFIX = ".quarantined"
+INDEX_FILENAME = "index.json"
+
+
+def canonical_representative(tableau):
+    """A name-invariant representative of the tableau's equivalence class.
+
+    The *core* of the tableau (hom-equivalent queries have isomorphic
+    cores) with its elements renamed by the engine's color-refinement
+    canonizer: every member of the class — however its variables were
+    spelled — decodes to the **identical** tableau, so both the cache key
+    and the pipeline's output (the server computes on the representative)
+    are invariant across phrasings, which is what makes warm answers
+    bit-identical to cold ones class-wide.  Beyond the canonizer's effort
+    caps the core is returned with its original names — still correct,
+    the cache just stops unifying non-identical spellings of that class.
+    """
+    from repro.cq.structure import Structure
+    from repro.cq.tableau import Tableau
+    from repro.homomorphism.cores import core_tableau
+
+    core = core_tableau(tableau)
+    key = default_engine().canonical_key(core)
+    if key is None:
+        return core
+    n, free_count, relations, dist = key
+    if free_count:  # isolated elements have no canonical identity
+        return core
+    # The key's coloring is discrete but its values are arbitrary distinct
+    # ints (individualized elements keep an out-of-range color); ranking
+    # them is still a deterministic function of the canonical key, hence
+    # isomorphism-invariant.
+    colors = sorted(
+        {color for _, rows in relations for row in rows for color in row}
+        | set(dist)
+    )
+    if len(colors) != n:  # defensive: never trade correctness for unification
+        return core
+    names = {color: f"v{rank}" for rank, color in enumerate(colors)}
+    structure = Structure(
+        {
+            relation: [tuple(names[color] for color in row) for row in rows]
+            for relation, rows in relations
+        },
+        domain=list(names.values()),
+    )
+    return Tableau(structure, tuple(names[color] for color in dist))
+
+
+def canonical_result_key(tableau, cls, knobs: tuple) -> tuple:
+    """The cache key of one approximation request.
+
+    ``tableau`` is the request query's tableau; the key encodes its
+    :func:`canonical_representative`, so hom-equivalent requests resolve
+    to one slot.  ``cls`` contributes its name; ``knobs`` is the caller's
+    tuple of every result-shaping configuration value (method, all-vs-one,
+    extension caps, …) — anything that can change the answer must be in
+    it.
+    """
+    from repro.core.pipeline import encode_tableau
+
+    representative = canonical_representative(tableau)
+    return (CACHE_VERSION, encode_tableau(representative), cls.name, tuple(knobs))
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache instance's lifetime (process-local)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    store_declined: int = 0
+    evictions: int = 0
+    quarantined: int = 0
+    flushes: int = 0
+    created_at: float = field(default_factory=time.time)
+
+    def as_dict(self) -> dict:
+        lookups = self.memory_hits + self.disk_hits + self.misses
+        hits = self.memory_hits + self.disk_hits
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "store_declined": self.store_declined,
+            "evictions": self.evictions,
+            "quarantined": self.quarantined,
+            "flushes": self.flushes,
+            "hit_rate": round(hits / lookups, 6) if lookups else 0.0,
+        }
+
+
+class ResultCache:
+    """Two-tier (memory LRU + disk) result store keyed by canonical form.
+
+    Thread-safe: the serving executor may run several requests at once.
+    ``fault_plan`` accepts a :class:`~repro.testing.faults.FaultPlan` of
+    ``kind="corrupt"`` whose ``at_check`` counts disk-entry writes — the
+    deterministic corruption drill described in the module docstring.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        disk_dir: str | os.PathLike | None = None,
+        *,
+        fault_plan=None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if fault_plan is not None and fault_plan.kind != "corrupt":
+            raise ValueError(
+                "ResultCache only hosts corrupt fault plans "
+                f"(got kind={fault_plan.kind!r})"
+            )
+        self.capacity = capacity
+        self.disk_dir = os.fspath(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            os.makedirs(self.disk_dir, exist_ok=True)
+        self.stats = CacheStats()
+        self._fault_plan = fault_plan
+        self._memory: OrderedDict[tuple, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._disk_writes = 0
+
+    # ---------------------------------------------------------------- paths
+
+    def _entry_path(self, key: tuple) -> str:
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return os.path.join(self.disk_dir, digest + _ENTRY_SUFFIX)
+
+    def disk_entries(self) -> int:
+        """Number of (non-quarantined) entries in the disk tier."""
+        if self.disk_dir is None:
+            return 0
+        return sum(
+            1
+            for name in os.listdir(self.disk_dir)
+            if name.endswith(_ENTRY_SUFFIX)
+        )
+
+    # --------------------------------------------------------------- lookup
+
+    def get(self, key: tuple) -> Any | None:
+        """The cached value, promoting disk hits into memory; ``None`` = miss."""
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return self._memory[key]
+            value = self._disk_probe(key)
+            if value is not None:
+                self.stats.disk_hits += 1
+                self._admit(key, value)
+                return value
+            self.stats.misses += 1
+            return None
+
+    def _disk_probe(self, key: tuple) -> Any | None:
+        if self.disk_dir is None:
+            return None
+        path = self._entry_path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            payload = load_pickle(path)
+        except PersistError as exc:
+            self._quarantine(path, f"unreadable ({exc})")
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != CACHE_VERSION
+            or "key" not in payload
+            or "value" not in payload
+        ):
+            self._quarantine(path, "malformed payload")
+            return None
+        if payload["key"] != key:
+            # sha256 collisions do not happen; a mismatched key means the
+            # bytes on disk are not what this store wrote.
+            self._quarantine(path, "embedded key mismatch")
+            return None
+        return payload["value"]
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a bad entry aside (miss, never a crash) and log it."""
+        self.stats.quarantined += 1
+        aside = path + _QUARANTINE_SUFFIX
+        try:
+            os.replace(path, aside)
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                aside = "<unremovable>"
+        logger.warning(
+            "quarantined cache entry %s: %s (kept at %s)", path, reason, aside
+        )
+
+    # ---------------------------------------------------------------- store
+
+    def put(self, key: tuple, value: Any) -> None:
+        """Store a result in memory and (write-through) on disk."""
+        with self._lock:
+            self._admit(key, value)
+            self.stats.stores += 1
+            if self.disk_dir is None:
+                return
+            path = self._entry_path(key)
+            atomic_pickle(
+                path, {"version": CACHE_VERSION, "key": key, "value": value}
+            )
+            self._disk_writes += 1
+            plan = self._fault_plan
+            if (
+                plan is not None
+                and self._disk_writes == plan.at_check
+                and plan.claim()
+            ):
+                plan.fire(path)
+
+    def _admit(self, key: tuple, value: Any) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ---------------------------------------------------------------- flush
+
+    def flush(self) -> str | None:
+        """Write the cache index (entry count + stats) next to the entries.
+
+        Entries themselves are write-through — each ``put`` already landed
+        atomically — so the index is pure observability: the drain path
+        writes it so an operator (and the lifecycle tests) can see the
+        shutdown-time state of the tier.  Returns the index path, or
+        ``None`` without a disk tier.
+        """
+        with self._lock:
+            self.stats.flushes += 1
+            if self.disk_dir is None:
+                return None
+            index_path = os.path.join(self.disk_dir, INDEX_FILENAME)
+            payload = {
+                "version": CACHE_VERSION,
+                "flushed_at": time.time(),
+                "memory_entries": len(self._memory),
+                "disk_entries": self.disk_entries(),
+                "stats": self.stats.as_dict(),
+            }
+            atomic_write_bytes(
+                index_path, json.dumps(payload, indent=2).encode("utf-8")
+            )
+            return index_path

@@ -1,0 +1,171 @@
+"""A small synchronous client for the serving daemon.
+
+The protocol is JSON lines over a stream socket, so the client is just a
+socket, a buffered reader, and :mod:`repro.serve.protocol`'s codec — no
+async machinery.  One :class:`ServeClient` holds one connection and may
+issue any number of requests on it; tests, the ``repro client`` CLI
+subcommand, and the serving benchmark's replay loop all go through it.
+
+:class:`ServeError` carries the structured error object of a failed
+request (``kind`` of ``"overloaded"``, ``"shutting-down"``,
+``"bad-request"``, or ``"internal"``), so callers can distinguish a
+load-shed rejection — resubmit later — from a request that can never
+succeed.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any
+
+from repro.serve.protocol import MAX_LINE_BYTES, decode_message, encode_message
+
+__all__ = ["ServeClient", "ServeError", "connect", "wait_for_server"]
+
+
+class ServeError(RuntimeError):
+    """A structured failure response from the server."""
+
+    def __init__(self, error: dict, response: dict) -> None:
+        kind = error.get("kind", "internal")
+        message = error.get("message", "unknown error")
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.response = response
+
+
+class ServeClient:
+    """One connection to a serving daemon.
+
+    Construct with either ``socket_path`` (unix socket) or ``host``/
+    ``port``.  Usable as a context manager.  Not thread-safe — requests on
+    one connection are strictly in-order; give each thread its own client.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        *,
+        timeout: float | None = 60.0,
+    ) -> None:
+        if (socket_path is None) == (host is None):
+            raise ValueError("set exactly one of socket_path or host/port")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            if port is None:
+                raise ValueError("host needs a port")
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------- transport
+
+    def request(self, payload: dict[str, Any], *, check: bool = True) -> dict:
+        """Send one request, block for its response line.
+
+        With ``check`` (the default) a failure response raises
+        :class:`ServeError`; without it, the raw response dict is returned
+        either way (the benchmark's load-shed drill wants to *count*
+        rejections, not catch them).
+        """
+        self._sock.sendall(encode_message(payload))
+        line = self._reader.readline(MAX_LINE_BYTES + 1024)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_message(line)
+        if check and not response.get("ok"):
+            raise ServeError(response.get("error", {}), response)
+        return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- convenience
+
+    def approximate(
+        self,
+        query: str,
+        cls: str = "TW1",
+        *,
+        all_: bool = False,
+        method: str = "auto",
+        deadline: float | None = None,
+        request_id: Any = None,
+        check: bool = True,
+    ) -> dict:
+        payload: dict[str, Any] = {
+            "op": "approximate",
+            "query": query,
+            "cls": cls,
+            "all": all_,
+            "method": method,
+        }
+        if deadline is not None:
+            payload["deadline"] = deadline
+        if request_id is not None:
+            payload["id"] = request_id
+        return self.request(payload, check=check)
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain (the in-band alternative to SIGTERM)."""
+        return self.request({"op": "shutdown"})
+
+    def sleep(self, seconds: float, *, check: bool = True) -> dict:
+        """Occupy one executor slot for ``seconds`` (test servers only)."""
+        return self.request(
+            {"op": "sleep", "seconds": seconds}, check=check
+        )
+
+
+def connect(
+    socket_path: str | None = None,
+    host: str | None = None,
+    port: int | None = None,
+    *,
+    timeout: float | None = 60.0,
+) -> ServeClient:
+    """Alias for the :class:`ServeClient` constructor."""
+    return ServeClient(socket_path, host, port, timeout=timeout)
+
+
+def wait_for_server(
+    socket_path: str | None = None,
+    host: str | None = None,
+    port: int | None = None,
+    *,
+    deadline: float = 10.0,
+) -> None:
+    """Block until a daemon accepts connections (tests/benchmarks starting
+    one in a subprocess or thread race its listener coming up)."""
+    last: Exception | None = None
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        try:
+            client = ServeClient(socket_path, host, port, timeout=deadline)
+        except (OSError, ConnectionError) as exc:
+            last = exc
+            time.sleep(0.02)
+            continue
+        client.close()
+        return
+    raise TimeoutError(f"no server at {socket_path or (host, port)}: {last}")

@@ -1,0 +1,136 @@
+"""The serving wire protocol: JSON lines over a stream socket.
+
+One connection carries any number of requests; each request is a single
+JSON object on its own ``\\n``-terminated line, and each gets exactly one
+JSON-object response line, in request order.  Fields:
+
+Request
+    ``op`` (required) — ``"approximate"``, ``"stats"`` (alias
+    ``"health"``), ``"shutdown"``, or (test builds only) ``"sleep"``.
+    ``id`` (optional, any JSON scalar) — echoed verbatim on the response
+    so clients can correlate pipelined requests.
+    ``approximate`` ops add ``query`` (rule-notation CQ string, required),
+    ``cls`` (class spec like ``"TW1"``, default ``"TW1"``), ``all``
+    (bool: the full ``C-APPR_min`` set vs. one member), ``method``
+    (``"auto"``/``"exact"``/``"greedy"``), and ``deadline`` (seconds; the
+    server clamps it to its own policy).
+
+Response
+    ``ok`` (bool) and the echoed ``id``.  Success payloads carry
+    op-specific fields (``approximations``, ``cached``, ``exhausted``,
+    …); failures carry ``error = {"kind", "message"}`` where ``kind`` is
+    one of ``"bad-request"`` (unparseable line or query), ``"overloaded"``
+    (admission control shed the request — resubmit later),
+    ``"shutting-down"`` (drain in progress), or ``"internal"``.
+
+A malformed line still gets a structured ``bad-request`` response — the
+server never answers garbage with a closed connection — but a line longer
+than :data:`MAX_LINE_BYTES` terminates the connection after the error
+response, since framing can no longer be trusted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "encode_message",
+    "decode_message",
+    "parse_request",
+    "ok_response",
+    "error_response",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one request line.  Queries are strings over a small
+#: vocabulary; a megabyte of JSON is not a query, it is a framing error.
+MAX_LINE_BYTES = 1 << 20
+
+#: The operations a server understands.  ``sleep`` only exists when the
+#: server was started with test ops enabled (fault drills and lifecycle
+#: tests need a request with a controllable duration).
+KNOWN_OPS = ("approximate", "stats", "health", "shutdown", "sleep")
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be accepted.
+
+    ``kind`` feeds the structured error response; ``fatal`` marks
+    violations after which the byte stream itself is unusable (oversized
+    line) and the connection should close once the error is sent.
+    """
+
+    def __init__(self, message: str, *, kind: str = "bad-request", fatal: bool = False):
+        super().__init__(message)
+        self.kind = kind
+        self.fatal = fatal
+
+
+def encode_message(payload: dict[str, Any]) -> bytes:
+    """One wire frame: compact JSON plus the line terminator."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes | str) -> dict[str, Any]:
+    """Parse one frame; raises :class:`ProtocolError` on junk."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"line exceeds {MAX_LINE_BYTES} bytes", fatal=True
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"line is not UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"line is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    return payload
+
+
+def parse_request(line: bytes | str) -> dict[str, Any]:
+    """Decode and shape-check one request frame.
+
+    Returns the request dict with ``op`` guaranteed present and known.
+    Op-specific field validation stays with the handler (the server knows
+    which ops it enabled); this layer only enforces the envelope.
+    """
+    payload = decode_message(line)
+    op = payload.get("op")
+    if not isinstance(op, str) or op not in KNOWN_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (expected one of {', '.join(KNOWN_OPS)})"
+        )
+    return payload
+
+
+def ok_response(request_id: Any = None, **fields: Any) -> dict[str, Any]:
+    """A success frame: ``ok`` true, the echoed id, op-specific fields."""
+    response: dict[str, Any] = {"ok": True, "id": request_id}
+    response.update(fields)
+    return response
+
+
+def error_response(
+    request_id: Any = None, *, kind: str, message: str, **fields: Any
+) -> dict[str, Any]:
+    """A failure frame with a structured ``error`` object.
+
+    Load-shed and drain rejections go through here too: admission control
+    answers with data, never by dropping the connection.
+    """
+    response: dict[str, Any] = {
+        "ok": False,
+        "id": request_id,
+        "error": {"kind": kind, "message": message},
+    }
+    response.update(fields)
+    return response

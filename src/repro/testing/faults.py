@@ -16,6 +16,13 @@ time they run:
   the per-batch timeout path.
 * ``kind="raise"`` — raise :class:`FaultInjected`, the poisoned-candidate
   path.
+* ``kind="corrupt"`` — damage a file on disk (truncate to half, or garble
+  a byte span, per ``corrupt_mode``).  This one is *not* fired through
+  :class:`FaultyClass`: the serving result cache
+  (:mod:`repro.serve.cache`) counts its disk-entry writes and corrupts
+  the *n*-th entry just after writing it, so the cache-recovery path
+  (quarantine + recompute, never a crash) is exercised deterministically
+  — exactly once across processes, like every other kind.
 
 Faults fire **exactly once across processes**: the plan claims a *token
 file* with ``O_CREAT | O_EXCL`` — an atomic filesystem test-and-set every
@@ -46,23 +53,28 @@ class FaultInjected(RuntimeError):
 class FaultPlan:
     """A scripted fault: fire ``kind`` on the ``at_check``-th check.
 
-    ``at_check`` counts membership-test invocations (1-based) *in the
-    process where the count is reached* — each pool worker counts its own
-    checks, so under a pool the fault fires in whichever worker reaches
-    the count first (the token file keeps it to one firing overall).
-    ``token_path`` must point into a fresh per-test directory.
+    ``at_check`` counts seam invocations (1-based) *in the process where
+    the count is reached* — membership tests for :class:`FaultyClass`
+    (each pool worker counts its own checks, so under a pool the fault
+    fires in whichever worker reaches the count first), disk-entry writes
+    for the result cache's ``kind="corrupt"`` seam.  The token file keeps
+    any plan to one firing overall; ``token_path`` must point into a
+    fresh per-test directory.
     """
 
-    kind: str  # "kill" | "delay" | "raise"
+    kind: str  # "kill" | "delay" | "raise" | "corrupt"
     at_check: int
     token_path: str
     delay: float = 0.0
+    corrupt_mode: str = "truncate"  # "truncate" | "garble"
 
     def __post_init__(self) -> None:
-        if self.kind not in ("kill", "delay", "raise"):
+        if self.kind not in ("kill", "delay", "raise", "corrupt"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.at_check < 1:
             raise ValueError("at_check is 1-based and must be >= 1")
+        if self.corrupt_mode not in ("truncate", "garble"):
+            raise ValueError(f"unknown corrupt mode {self.corrupt_mode!r}")
 
     def claim(self) -> bool:
         """Atomically claim the single firing (False: already fired)."""
@@ -73,16 +85,42 @@ class FaultPlan:
         os.close(fd)
         return True
 
-    def fire(self) -> None:
+    def fire(self, path: str | None = None) -> None:
         if self.kind == "kill":
             os.kill(os.getpid(), signal.SIGKILL)
         elif self.kind == "delay":
             time.sleep(self.delay)
+        elif self.kind == "corrupt":
+            if path is None:
+                raise ValueError("corrupt faults need the target file path")
+            self.corrupt_file(path)
         else:
             raise FaultInjected(
                 f"scripted fault at check #{self.at_check} "
                 f"(pid {os.getpid()})"
             )
+
+    def corrupt_file(self, path: str) -> None:
+        """Damage ``path`` in place, simulating torn/garbled disk state.
+
+        ``"truncate"`` cuts the file to half its size (a torn write that
+        an atomic-rename store should have made impossible — which is
+        exactly why the *reader* must still survive it: the file may come
+        from an older tool, a different filesystem, or a byte-flipping
+        disk).  ``"garble"`` overwrites a span in the middle with a
+        repeating marker, leaving the length intact so only content
+        validation can catch it.
+        """
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            if self.corrupt_mode == "truncate":
+                handle.truncate(size // 2)
+            else:
+                span = max(1, min(64, size // 2))
+                handle.seek(max(0, size // 2 - span // 2))
+                handle.write(b"\xde\xad" * ((span + 1) // 2))
+            handle.flush()
+            os.fsync(handle.fileno())
 
 
 class FaultyClass:
