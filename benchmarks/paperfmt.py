@@ -28,6 +28,7 @@ BENCH_FILES = (
     "BENCH_robustness.json",
     "BENCH_data_eval.json",
     "BENCH_serving.json",
+    "BENCH_distributed.json",
 )
 
 

@@ -11,7 +11,9 @@
 # mode (data-eval asserts the columnar engine beats the tuple oracle and
 # the approximation stays sound; serving replays a scaled-down Zipfian
 # log through a live daemon and runs the worker-kill / cache-corruption /
-# SIGTERM-drain fault drills — all without rewriting the committed
+# SIGTERM-drain fault drills; distributed spins up 2 local TCP shard
+# workers, kills one mid-run, and asserts recovery plus the per-worker
+# stream-scaling row — all without rewriting the committed
 # JSON), then checks every committed BENCH_*.json headline
 # against its predecessor (benchmarks/check_regressions.py: >20% loss
 # exits 1; an unusable committed baseline exits 2).
@@ -24,4 +26,5 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q -m "not slow"
 (cd benchmarks && PYTHONPATH=../src${PYTHONPATH:+:$PYTHONPATH} python bench_robustness.py)
 (cd benchmarks && PYTHONPATH=../src${PYTHONPATH:+:$PYTHONPATH} python bench_data_eval.py --smoke)
 (cd benchmarks && PYTHONPATH=../src${PYTHONPATH:+:$PYTHONPATH} python bench_serving.py --smoke)
+(cd benchmarks && PYTHONPATH=../src${PYTHONPATH:+:$PYTHONPATH} python bench_distributed.py --smoke)
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/check_regressions.py

@@ -30,6 +30,7 @@ from repro.core import (
     class_from_name,
     classify_boolean_graph_query,
 )
+from repro.testing.faults import NETWORK_KINDS
 
 
 def _parse_memory_limit(text: str) -> int:
@@ -143,6 +144,45 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="process-pool size for the exact pipeline (-1 = all CPUs, 1 = serial)",
+    )
+    approx.add_argument(
+        "--fabric-worker",
+        action="append",
+        default=None,
+        metavar="ADDR",
+        help=(
+            "address of a 'repro worker' process (host:port or unix socket "
+            "path; repeatable) — shard the exact pipeline over network "
+            "workers with retry/speculation/blacklist fault tolerance "
+            "instead of a local pool"
+        ),
+    )
+    approx.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "spill cold frontier memo state (class-status map, refinement "
+            "subtries) to an LRU disk tier under DIR, so --memory-limit "
+            "tracks only resident entries"
+        ),
+    )
+    approx.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="fabric liveness-probe interval (with --fabric-worker)",
+    )
+    approx.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-shard deadline for fabric dispatches; a shard over it is "
+            "abandoned and re-dispatched (with --fabric-worker)"
+        ),
     )
     approx.add_argument(
         "--admission-order",
@@ -412,6 +452,61 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the raw JSON response frame",
     )
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a fabric shard worker",
+        description=(
+            "Serve fabric shard requests (repro.fabric) on a unix socket "
+            "or TCP address until a shutdown op arrives. Workers are "
+            "stateless: the coordinator ships the full run context with "
+            "every shard, so any number of workers can be pointed at by "
+            "repro approximate --fabric-worker. Prints 'fabric worker "
+            "listening on <address>' once bound (parse it when using "
+            "--port 0)."
+        ),
+    )
+    worker.add_argument(
+        "--socket", default=None, metavar="PATH", help="unix socket to bind"
+    )
+    worker.add_argument(
+        "--host", default="127.0.0.1", help="TCP host to bind (default loopback)"
+    )
+    worker.add_argument(
+        "--port", type=int, default=None, help="TCP port to bind (0 = ephemeral)"
+    )
+    worker.add_argument(
+        "--fault-kind",
+        choices=sorted(NETWORK_KINDS),
+        default=None,
+        help=(
+            "arm a deterministic network-fault drill on the shard-response "
+            "seam (testing only)"
+        ),
+    )
+    worker.add_argument(
+        "--fault-at",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fire the drill on the N-th shard response (default 1)",
+    )
+    worker.add_argument(
+        "--fault-token",
+        default=None,
+        metavar="PATH",
+        help=(
+            "token file claimed exactly once across all workers, so a "
+            "re-dispatched shard cannot re-fire the drill"
+        ),
+    )
+    worker.add_argument(
+        "--fault-delay",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="sleep length for the delay-response drill",
+    )
     return parser
 
 
@@ -432,6 +527,10 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_path=args.checkpoint,
             batch_timeout=args.batch_timeout,
             greedy_fallback=args.greedy_fallback,
+            fabric_workers=tuple(args.fabric_worker or ()),
+            spill_dir=args.spill_dir,
+            heartbeat_interval=args.heartbeat_interval,
+            shard_timeout=args.shard_timeout,
         )
         # Stats are always collected: exhaustion and quarantined-batch
         # surfacing must reach the output even when --stats was not
@@ -729,6 +828,38 @@ def main(argv: list[str] | None = None) -> int:
                     "server; the answer is sound but may be incomplete",
                     file=sys.stderr,
                 )
+        return 0
+
+    if args.command == "worker":
+        from repro.fabric import serve as serve_worker
+        from repro.testing.faults import FaultPlan
+
+        if (args.socket is None) == (args.port is None):
+            print(
+                "repro worker: set exactly one of --socket or --port",
+                file=sys.stderr,
+            )
+            return 2
+        fault_plan = None
+        if args.fault_kind is not None:
+            if args.fault_token is None:
+                print(
+                    "repro worker: --fault-kind requires --fault-token",
+                    file=sys.stderr,
+                )
+                return 2
+            fault_plan = FaultPlan(
+                kind=args.fault_kind,
+                at_check=args.fault_at,
+                token_path=args.fault_token,
+                delay=args.fault_delay,
+            )
+        address = (
+            args.socket
+            if args.socket is not None
+            else f"{args.host}:{args.port}"
+        )
+        serve_worker(address, fault_plan=fault_plan)
         return 0
 
     raise AssertionError("unreachable")

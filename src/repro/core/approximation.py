@@ -87,6 +87,14 @@ class ApproximationConfig:
     ``checkpoint_path`` enables periodic snapshot/resume of serial
     plain-quotient-stream runs; ``batch_timeout`` (seconds) quarantines
     hung/poisoned pool batches instead of killing pooled runs.
+
+    ``fabric_workers`` lifts the shard strategy onto network workers
+    (:mod:`repro.fabric`): each entry is a ``"host:port"`` or unix-socket
+    address of a ``repro worker`` process; ``heartbeat_interval`` and
+    ``shard_timeout`` tune the coordinator's liveness probes and
+    per-shard deadline.  ``spill_dir`` points frontier memo state
+    (class-status map, cold refinement subtries) at an on-disk LRU spill
+    tier so ``memory_limit``-bounded runs track only resident entries.
     """
 
     exact_limit: int = 9
@@ -106,6 +114,10 @@ class ApproximationConfig:
     checkpoint_path: str | None = None
     batch_timeout: float | None = None
     greedy_fallback: bool = False
+    fabric_workers: tuple[str, ...] = ()
+    spill_dir: str | None = None
+    heartbeat_interval: float = 2.0
+    shard_timeout: float | None = None
 
     def budget(self) -> "RunBudget | None":
         """The run budget these knobs describe (``None`` when unbudgeted)."""
@@ -203,6 +215,10 @@ def approximation_frontier(
         budget=config.budget(),
         checkpoint=config.checkpoint_path,
         batch_timeout=config.batch_timeout,
+        fabric=config.fabric_workers or None,
+        spill_dir=config.spill_dir,
+        heartbeat_interval=config.heartbeat_interval,
+        shard_timeout=config.shard_timeout,
     )
     if stats is not None:
         stats.absorb(result.stats)

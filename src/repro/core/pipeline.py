@@ -98,7 +98,7 @@ import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from itertools import chain, islice
+from itertools import chain, count, islice
 from typing import Iterable, Iterator
 
 import networkx as nx
@@ -128,6 +128,7 @@ from repro.parallel import (
 )
 from repro.runtime.budget import RunBudget
 from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.spill import SpillConfig, SpillableRefinementTrie, SpilledMap
 from repro.util.partitions import RefinementTrie, code_coarsens
 
 #: Candidates funneled into one pool task (strategy ``"checks"``).
@@ -424,6 +425,51 @@ class PipelineStats:
     #: Candidates skipped on resume because a checkpoint already covered
     #: them (the restored ``generated`` count still includes them).
     resumed_candidates: int = 0
+    #: Candidate classes resolved at merge time by a shard-shipped kernel
+    #: trie (satellite of the fabric work): the incoming member's own
+    #: trie answered the dominance direction exactly, so the merge ran no
+    #: reverse hom search for it.
+    kernel_trie_merge_hits: int = 0
+    #: Pooled-check verdicts absorbed by the driver-side class-status /
+    #: refinement-index gate *before* dispatch (the worker-side absorption
+    #: channel for raw/orbit streams under ``parallel="checks"``).
+    pooled_absorptions: int = 0
+    # --- fabric counters (zero on non-fabric runs) -----------------------
+    #: Shards re-dispatched after a network fault, timeout, or worker loss
+    #: (the at-least-once path; duplicates are absorbed by merge).
+    shard_retries: int = 0
+    #: Speculative duplicate dispatches launched against straggler shards.
+    speculative_dispatches: int = 0
+    #: Shard results that arrived after another copy of the same shard had
+    #: already been merged (speculation or re-dispatch races; absorbing
+    #: them is the idempotence the fabric's at-least-once delivery needs).
+    duplicate_results: int = 0
+    #: Remote workers blacklisted after consecutive failures.
+    workers_blacklisted: int = 0
+    #: Shards that ultimately ran on the local fallback executor because
+    #: the remote worker set was empty or emptied mid-run.
+    fabric_local_shards: int = 0
+    #: Heartbeat probes that went unanswered past the deadline (each one
+    #: costs the affected shard a re-dispatch).
+    heartbeat_misses: int = 0
+    # --- spill counters (zero when no spill directory is configured) ----
+    #: Segment/bucket writes by the frontier's spill tiers.
+    spill_writes: int = 0
+    #: Segment/bucket reloads (cold state pulled back for a query).
+    spill_loads: int = 0
+    #: Spilled payloads that failed to read back and were dropped as
+    #: misses (fail-open; the pipeline re-derives the lost memo entries).
+    spill_load_failures: int = 0
+    #: Peak resident frontier state (tracked entries, see
+    #: :meth:`Frontier.tracked_entries`) observed in any single process of
+    #: the run.  Absorbed with *max*, not sum: across shard workers it
+    #: reports the largest per-process footprint — the quantity a
+    #: per-worker memory ceiling actually binds on.
+    peak_tracked_entries: int = 0
+
+    #: Fields absorbed with ``max`` instead of ``+``: per-process peaks,
+    #: where summing across shards would misstate the footprint.
+    _PEAK_FIELDS = ("peak_tracked_entries",)
 
     def absorb(self, other: "PipelineStats") -> None:
         for name in self.__dataclass_fields__:
@@ -433,6 +479,8 @@ class PipelineStats:
             elif isinstance(mine, str):
                 if not mine:
                     setattr(self, name, theirs)
+            elif name in self._PEAK_FIELDS:
+                setattr(self, name, max(mine, theirs))
             else:
                 setattr(self, name, mine + theirs)
 
@@ -567,6 +615,14 @@ def _candidate_payload(candidate, key: tuple | None) -> tuple:
     return ("tableau", encode_tableau(candidate.materialize()))
 
 
+#: Verdict sentinel for candidates the pooled batcher never dispatched
+#: because the driver's absorption gate (class-status memo / refinement
+#: index) already knew their resolution.  Consumers resolve such
+#: candidates through the frontier's absorption machinery instead of a
+#: membership verdict.
+ABSORBED = object()
+
+
 def _iter_membership_candidates(
     candidates: Iterable,
     cls: QueryClass,
@@ -575,13 +631,15 @@ def _iter_membership_candidates(
     batch_size: int = DEFAULT_BATCH_SIZE,
     stats: PipelineStats,
     cost_model: DedupCostModel | None = None,
+    absorb=None,
 ) -> Iterator[tuple[object, bool | None]]:
     """Stage 2 over stage-1 candidates: ``(candidate, is_member)`` in order.
 
     With a :class:`~repro.parallel.SerialExecutor` (or ``None``) checks run
     inline; with a :class:`~repro.parallel.ProcessExecutor` they go through
     :func:`_check_pooled`.  Verdicts are memoized under
-    :func:`candidate_check_key` either way.
+    :func:`candidate_check_key` either way.  ``absorb`` (pooled runs only)
+    is the dispatch-time absorption gate — see :func:`_check_pooled`.
     """
     if executor is None or isinstance(executor, SerialExecutor):
         tester = MembershipTester(cls, stats, cost_model)
@@ -596,6 +654,7 @@ def _iter_membership_candidates(
         batch_size=batch_size,
         stats=stats,
         cost_model=cost_model,
+        absorb=absorb,
     )
 
 
@@ -607,8 +666,16 @@ def _check_pooled(
     batch_size: int = DEFAULT_BATCH_SIZE,
     stats: PipelineStats,
     cost_model: DedupCostModel | None = None,
+    absorb=None,
 ) -> Iterator[tuple[object, bool | None]]:
     """The pooled ``"checks"`` batcher, with verdict feedback.
+
+    ``absorb``, when given, is a dispatch-time gate: a parentless
+    candidate for which ``absorb(candidate)`` is true is never sent to
+    the pool — it is emitted (in order) with the :data:`ABSORBED`
+    sentinel as its verdict, and the caller resolves it against the
+    frontier's memo structures instead.  The gate sees candidates at
+    intake, before batching, so absorbed work costs no pool round-trip.
 
     Candidates are batched across the pool with bounded lookahead, results
     streamed back in generation order, and in-flight keys are never
@@ -714,6 +781,10 @@ def _check_pooled(
                 if parent is not None and parent not in emitted_parents:
                     entry[1], entry[2] = "gated", parent
                     continue
+                if parent is None and absorb is not None and absorb(candidate):
+                    stats.pooled_absorptions += 1
+                    entry[1], entry[2] = "verdict", ABSORBED
+                    continue
                 yield entry
 
         for entry in intake():
@@ -793,7 +864,9 @@ def _check_pooled(
             if verdict is _UNRESOLVED:
                 return
             entries.popleft()
-            if verdict:
+            if verdict is ABSORBED:
+                pass  # resolved by the caller against the frontier memos
+            elif verdict:
                 stats.members += 1
             if getattr(candidate, "parent", None) is None:
                 emitted_parents.add(candidate)
@@ -952,6 +1025,7 @@ class Frontier:
         engine: HomEngine | None = None,
         stats: PipelineStats | None = None,
         ordered: bool = False,
+        spill: SpillConfig | None = None,
     ) -> None:
         self.members: list[Tableau] = list(members)
         self._scan: list[Tableau] = list(self.members)
@@ -964,7 +1038,20 @@ class Frontier:
         #: sublinear (compatible-prefix walk instead of the historical
         #: linear antichain scan), so the index runs uncapped — the
         #: ``_INDEX_CAP`` backstop that silently truncated it is retired.
-        self._refinement_index: RefinementTrie = RefinementTrie()
+        #: With ``spill`` set, both this index and the class-status memo
+        #: below become their memory-bounded spill variants (see
+        #: :mod:`repro.runtime.spill`): identical protocol, bounded
+        #: residency, fail-open reads — the only structures here that grow
+        #: with classes *seen* rather than frontier size.
+        if spill is None:
+            self._refinement_index: RefinementTrie = RefinementTrie()
+        else:
+            directory = spill.ensure_directory()
+            self._refinement_index = SpillableRefinementTrie(
+                directory,
+                spill_depth=spill.trie_depth,
+                max_resident=spill.trie_resident,
+            )
         #: Repair swaps, old representative id → its replacement — index
         #: witnesses are resolved through this map at hit time.
         self._repair_forward: dict[int, Tableau] = {}
@@ -974,7 +1061,14 @@ class Frontier:
         #: unabsorbed isomorphic repeats skip their searches; outcomes
         #: transfer because the frontier only descends (a member mapping
         #: into the first copy maps into every repeat).
-        self._class_status: dict[tuple, str] = {}
+        if spill is None:
+            self._class_status: dict[tuple, str] = {}
+        else:
+            self._class_status = SpilledMap(
+                spill.directory,
+                max_resident=spill.map_resident,
+                name="class-status",
+            )
         #: Per-member kernel index for the repair reverse query, keyed by
         #: ``id(member)`` — the value pins the member tableau alive so ids
         #: cannot be reused.  ``(member, trie)`` with a
@@ -1027,6 +1121,35 @@ class Frontier:
             self._stats.dominance_memo_hits += 1
             return False
         return None
+
+    def absorbable(self, candidate) -> bool:
+        """Whether zero-cost evidence already settles this candidate.
+
+        The pooled batcher's dispatch gate (see :func:`_check_pooled`):
+        a true return means the dominance memo, the refinement index, or
+        the class-status memo will resolve the candidate "dominated"
+        without its class check, so dispatching the check to the pool
+        would be pure waste.  Side-effect-free — the candidate still goes
+        through :meth:`resolve`, which re-derives the evidence with the
+        normal hit counting — and monotone: every structure consulted
+        only grows (and "dominated" never expires), so a gate-time hit
+        still holds at resolve time regardless of what the pool returns
+        in between.  Only *pre-computed* class keys are consulted;
+        canonizing here would spend exactly the cost the gate exists to
+        avoid.
+        """
+        key = dominance_key(candidate)
+        if key is not None and key in self._dominated_keys:
+            return True
+        codes = candidate.codes
+        if self._ordered and codes is not None:
+            hit, _ = self._refinement_index.find_refinement(codes)
+            if hit:
+                return True
+        class_key = getattr(candidate, "key", None)
+        if class_key is not None and self._class_status.get(class_key) is not None:
+            return True
+        return False
 
     def _scan_dominance(
         self,
@@ -1391,6 +1514,7 @@ class Frontier:
         codes: tuple[int, ...] | None = None,
         *,
         generation: int | None = None,
+        use_kernel_tries: bool = False,
     ) -> None:
         """Admit a known-undominated class member, evicting what it beats.
 
@@ -1398,6 +1522,14 @@ class Frontier:
         :meth:`~repro.homomorphism.engine.HomEngine.hom_le_many` (the
         candidate-side signature and search plan are shared across the
         member scan) after coarsening-witnessed pairs are decided inline.
+
+        ``use_kernel_tries`` additionally decides eviction queries through
+        the scanned member's kernel index when one is seeded (``candidate →
+        member`` holds iff the candidate's partition refines some hom
+        kernel of the member — exact in both directions for same-base
+        quotients).  Only :meth:`merge` sets it: the serial path's members
+        never carry seeded tries, and keeping the flag off there leaves
+        its engine-call counters untouched.
         """
         member_codes = self._codes
         beaten: dict[int, bool] = {}
@@ -1405,8 +1537,15 @@ class Frontier:
         for member in self.members:
             if self._coarsens(codes, member_codes.get(id(member))):
                 beaten[id(member)] = True
-            else:
-                searched.append(member)
+                continue
+            if use_kernel_tries and codes is not None:
+                cached = self._kernel_tries.get(id(member))
+                if cached is not None and cached[1] is not None:
+                    hit, _ = cached[1].find_coarsening(codes)
+                    beaten[id(member)] = hit
+                    self._stats.kernel_trie_merge_hits += 1
+                    continue
+            searched.append(member)
         if searched:
             self._stats.hom_le_calls += len(searched)
             for member, verdict in zip(
@@ -1463,14 +1602,39 @@ class Frontier:
 
     def tracked_entries(self) -> int:
         """Entry count of the frontier's growable structures — the memory
-        budget's tracked-size probe (see :meth:`RunBudget.register_probe`)."""
+        budget's tracked-size probe (see :meth:`RunBudget.register_probe`).
+
+        Spill-backed structures report their *resident* entries only:
+        spilled segments cost disk, not memory, and counting them would
+        make the tracked-size estimate trip ceilings the process never
+        approaches — the whole point of spilling.
+        """
+        class_status = self._class_status
+        index = self._refinement_index
+        resident = getattr(class_status, "resident_len", None)
+        class_entries = resident() if resident is not None else len(class_status)
+        resident = getattr(index, "resident_len", None)
+        index_entries = resident() if resident is not None else len(index)
         return (
             len(self.members)
             + len(self._dominated_keys)
             + len(self._undominated_keys)
-            + len(self._class_status)
-            + len(self._refinement_index)
+            + class_entries
+            + index_entries
         )
+
+    def spill_counters(self) -> tuple[int, int, int]:
+        """``(writes, loads, load_failures)`` across both spill tiers.
+
+        All zeros when the frontier runs unspilled — the driver harvests
+        these into ``PipelineStats`` unconditionally.
+        """
+        writes = loads = failures = 0
+        for tier in (self._class_status, self._refinement_index):
+            writes += getattr(tier, "spills", 0)
+            loads += getattr(tier, "loads", 0)
+            failures += getattr(tier, "load_failures", 0)
+        return writes, loads, failures
 
     def snapshot(self) -> list[tuple]:
         """The frontier's resumable state, picklable.
@@ -1512,10 +1676,35 @@ class Frontier:
                 self._generation[id(member)] = generation
             self._record_refinement(codes, member)
 
+    def kernel_exports(self) -> list[tuple[tuple[int, ...], ...] | None]:
+        """Per-member kernel indexes as plain code tuples, members order.
+
+        The shard-result counterpart of :meth:`snapshot`: each entry is
+        the member's built kernel trie flattened to a tuple of partition
+        codes (``None`` when no trie was built or the hom scan capped
+        out).  Plain nested tuples of ints are cheaply picklable, so shard
+        workers ship them with their frontiers and :meth:`merge` rebuilds
+        the tries coordinator-side — the reverse queries the worker
+        already paid to index are never re-answered by the driver's
+        engine.  Only *already-built* tries are exported; exporting never
+        forces the hom enumeration.
+        """
+        exports: list[tuple[tuple[int, ...], ...] | None] = []
+        for member in self.members:
+            cached = self._kernel_tries.get(id(member))
+            if cached is None or cached[1] is None:
+                exports.append(None)
+            else:
+                exports.append(
+                    tuple(prefix for prefix, _ in cached[1].codes())
+                )
+        return exports
+
     def merge(
         self,
         members: Iterable[Tableau],
         codes: Iterable[tuple[int, ...] | None] | None = None,
+        kernel_tries: Iterable | None = None,
     ) -> "Frontier":
         """Fold another frontier (or member list) into this one.
 
@@ -1528,7 +1717,9 @@ class Frontier:
         and a memoized "dominated" verdict now answers them with no scan.
         Canonical keys for the batch are requested together through
         :meth:`~repro.homomorphism.engine.HomEngine.canonical_key_many`.
-        Merging an empty frontier is a no-op.
+        Merging an empty frontier is a no-op, and re-merging a shard's
+        members is absorbed by the same memo — the idempotence the
+        fabric's at-least-once re-dispatch relies on.
 
         ``codes`` optionally carries each member's partition codes over the
         *shared base element order* (shard workers return them with their
@@ -1541,13 +1732,32 @@ class Frontier:
         ones are not — ``add`` surfaces no repair witness, and merged
         members carry no generation, so only admissions have a sound
         witness to store).
+
+        ``kernel_tries`` optionally carries each member's
+        :meth:`kernel_exports` entry.  A member arriving with one has its
+        trie rebuilt and used to *decide the dominance scan outright*
+        whenever every current member has codes: ``existing → incoming``
+        holds iff the existing member's partition refines some hom kernel
+        of the incoming one, so one trie walk per current member replaces
+        the engine scan, exactly (the trie is only shipped when the hom
+        enumeration completed).  Undominated members insert directly with
+        ``use_kernel_tries=True`` so their eviction queries go through the
+        tries seeded by earlier merges; admitted members' tries are seeded
+        for the merges after them.
         """
         members = list(members)
         code_list: list = list(codes) if codes is not None else [None] * len(
             members
         )
+        trie_list: list = (
+            list(kernel_tries)
+            if kernel_tries is not None
+            else [None] * len(members)
+        )
         keys = self._engine.canonical_key_many(members)
-        for member, member_codes, canonical in zip(members, code_list, keys):
+        for member, member_codes, kernel_codes, canonical in zip(
+            members, code_list, trie_list, keys
+        ):
             key = ("iso", canonical) if canonical is not None else None
             if member_codes is not None:
                 hit, _ = self._refinement_index.find_refinement(member_codes)
@@ -1557,10 +1767,45 @@ class Frontier:
                     if key is not None:
                         self._dominated_keys.add(key)
                     continue
-            if self.add(member, member_codes, key=key) and (
-                member_codes is not None
-            ):
-                self._refinement_index.add(member_codes, member)
+            trie: RefinementTrie | None = None
+            if kernel_codes is not None:
+                trie = RefinementTrie()
+                for entry in kernel_codes:
+                    trie.add(tuple(entry))
+            admitted = False
+            if trie is None:
+                admitted = self.add(member, member_codes, key=key)
+            else:
+                cached = self.cached_dominance(key)
+                decided: bool | None = None
+                if cached is None:
+                    member_code_map = self._codes
+                    if all(
+                        id(existing) in member_code_map
+                        for existing in self.members
+                    ):
+                        decided = any(
+                            trie.find_coarsening(
+                                member_code_map[id(existing)]
+                            )[0]
+                            for existing in self.members
+                        )
+                        self._stats.kernel_trie_merge_hits += 1
+                if cached is True or decided is True:
+                    if decided is True:
+                        self._stats.dominated_without_search += 1
+                        if key is not None:
+                            self._dominated_keys.add(key)
+                elif cached is False or decided is False:
+                    self.insert(member, member_codes, use_kernel_tries=True)
+                    admitted = True
+                else:
+                    admitted = self.add(member, member_codes, key=key)
+            if admitted:
+                if member_codes is not None:
+                    self._refinement_index.add(member_codes, member)
+                if trie is not None:
+                    self._kernel_tries[id(member)] = (member, trie)
         return self
 
 
@@ -1840,6 +2085,63 @@ def _probe_generation_regime(
     return deduped
 
 
+#: Distinguishes spill scratch directories across the Frontiers of one
+#: process (the resident server reuses a process for many runs, and one
+#: shard worker runs several shards) — pid alone is not unique enough.
+_SPILL_SEQUENCE = count()
+
+
+def _spill_config(
+    spill_dir: str | os.PathLike | None,
+    budget: RunBudget | None = None,
+) -> SpillConfig | None:
+    """A run-private :class:`SpillConfig` under ``spill_dir``.
+
+    Every spilling frontier gets its own scratch subdirectory
+    (pid + a process-wide sequence number), so concurrent shard workers
+    sharing one ``spill_dir`` — and sequential runs reusing one process —
+    never read each other's stale segments.  ``None`` passes through:
+    spilling stays off.
+
+    When a ``budget`` with a memory ceiling is armed, the resident
+    allowances are sized from it: the class-status hot tier gets one
+    eighth of the ceiling at the budget's per-entry estimate, the trie a
+    1/64 slice of that — so a tighter ``--memory-limit`` directly tightens
+    how much frontier state may stay resident before spilling to disk.
+    """
+    if spill_dir is None:
+        return None
+    kwargs: dict = {}
+    if budget is not None and budget.memory_limit is not None:
+        from repro.runtime.budget import TRACKED_ENTRY_BYTES
+
+        map_resident = max(
+            1024, int(budget.memory_limit) // TRACKED_ENTRY_BYTES // 8
+        )
+        kwargs = {
+            "map_resident": map_resident,
+            "trie_resident": max(16, map_resident // 64),
+        }
+    return SpillConfig(
+        os.path.join(
+            os.fspath(spill_dir),
+            f"run-{os.getpid()}-{next(_SPILL_SEQUENCE)}",
+        ),
+        **kwargs,
+    )
+
+
+def _harvest_spill(frontier: Frontier, stats: PipelineStats) -> None:
+    """Fold the frontier's spill-tier counters into the run's stats."""
+    writes, loads, failures = frontier.spill_counters()
+    stats.spill_writes += writes
+    stats.spill_loads += loads
+    stats.spill_load_failures += failures
+    stats.peak_tracked_entries = max(
+        stats.peak_tracked_entries, frontier.tracked_entries()
+    )
+
+
 def _budget_gate(candidates, budget: RunBudget, stats: PipelineStats):
     """Stop drawing stage-1 candidates once the budget trips.
 
@@ -1964,6 +2266,7 @@ def _reduce_inline(
     budget: RunBudget | None = None,
     checkpoint: _CheckpointSession | None = None,
     resume: dict | None = None,
+    spill: SpillConfig | None = None,
 ) -> Frontier:
     """Stages 2+3 in one process, with cost-modeled stage ordering.
 
@@ -1988,7 +2291,7 @@ def _reduce_inline(
     """
     tester = MembershipTester(cls, stats, cost_model)
     reorder = order == "fine_to_coarse"
-    frontier = Frontier(engine=engine, stats=stats, ordered=reorder)
+    frontier = Frontier(engine=engine, stats=stats, ordered=reorder, spill=spill)
     controller = _OrderController(stats)
     if budget is not None:
         budget.start()
@@ -2058,6 +2361,16 @@ def _reduce_inline(
         if checkpoint is not None:
             checkpoint.after_candidate(frontier)
     _note_exhaustion(budget, stats)
+    _harvest_spill(frontier, stats)
+    # The same quantity the budget's tracked-size probe watches: frontier
+    # state plus the membership memo.  Recorded as a per-process peak
+    # (max-absorbed across shards), it is the footprint a per-worker
+    # memory ceiling binds on — the number that must *shrink* as workers
+    # are added for a fixed ceiling to admit larger instances.
+    stats.peak_tracked_entries = max(
+        stats.peak_tracked_entries,
+        frontier.tracked_entries() + len(tester._memo),
+    )
     if checkpoint is not None:
         if stats.exhausted:
             # A budget stop keeps the snapshot (and refreshes it): rerun
@@ -2071,11 +2384,12 @@ def _reduce_inline(
 
 
 #: Per-worker shard context: ``(base_data, cls, max_extra_atoms,
-#: allow_fresh, automorphisms, order, generation)``, installed once per
-#: worker process by the executor initializer (and inline for a serial
-#: executor).  Shipping the base tableau and its orbit data with the
-#: *context* instead of every task payload serializes them once per worker
-#: and spares each worker the startup endomorphism scan.
+#: allow_fresh, automorphisms, order, generation, budget_spec,
+#: spill_dir)``, installed once per worker process by the executor
+#: initializer (and inline for a serial executor).  Shipping the base
+#: tableau and its orbit data with the *context* instead of every task
+#: payload serializes them once per worker and spares each worker the
+#: startup endomorphism scan.
 _SHARD_CONTEXT: tuple | None = None
 
 
@@ -2084,17 +2398,27 @@ def _install_shard_context(context: tuple) -> None:
     _SHARD_CONTEXT = context
 
 
-def _shard_task(shard: tuple[int, int]) -> tuple[tuple[tuple, ...], dict]:
-    """Pool task (strategy ``"shards"``): the full loop on one slice.
+def run_shard(
+    context: tuple, shard: tuple[int, int]
+) -> tuple[tuple[tuple, ...], dict]:
+    """The full pipeline loop on one shard slice, reentrant.
 
-    Shard workers share the driver's admission order and generation regime
-    (each worker's cost model controls its own slice under ``"model"``):
-    plain quotient slices are reduced fine-to-coarse (coarseness-ordered
-    shard iteration — the buffered slice is one shard, not the whole
-    stream), extension slices in generation order.  Each returned member
-    ships with its partition codes (over the shared base element order,
-    ``None`` off the integer path) so the driver's merge can route
-    cross-shard admissions through the refinement index.
+    The shared body behind the pool task (strategy ``"shards"``) and the
+    fabric worker's ``shard`` op (:mod:`repro.fabric.worker`) — the pool
+    path installs ``context`` once per process, the fabric path threads it
+    per call, both run the same code.  Shard workers share the driver's
+    admission order and generation regime (each worker's cost model
+    controls its own slice under ``"model"``): plain quotient slices are
+    reduced fine-to-coarse (coarseness-ordered shard iteration — the
+    buffered slice is one shard, not the whole stream), extension slices
+    in generation order.  Each returned member ships as ``(encoded
+    tableau, partition codes, kernel codes)`` — codes over the shared
+    base element order (``None`` off the integer path), kernel codes the
+    member's built kernel index flattened by
+    :meth:`Frontier.kernel_exports` (``None`` when never built) — so the
+    driver's merge can route cross-shard admissions through the
+    refinement index and decide dominance through the shipped kernels
+    instead of re-answering reverse queries per shard.
     """
     (
         base_data,
@@ -2105,7 +2429,8 @@ def _shard_task(shard: tuple[int, int]) -> tuple[tuple[tuple, ...], dict]:
         order,
         generation,
         budget_spec,
-    ) = _SHARD_CONTEXT
+        spill_dir,
+    ) = context
     base = decode_tableau(base_data)
     stats = PipelineStats()
     cost_model = DedupCostModel()
@@ -2125,19 +2450,33 @@ def _shard_task(shard: tuple[int, int]) -> tuple[tuple[tuple, ...], dict]:
         generation=generation,
     )
     frontier = _reduce_inline(
-        candidates, cls, stats, cost_model, order=order, budget=budget
+        candidates,
+        cls,
+        stats,
+        cost_model,
+        order=order,
+        budget=budget,
+        spill=_spill_config(spill_dir, budget),
     )
     stats.generation_switches += cost_model.mode_switches
+    kernels = frontier.kernel_exports()
     return (
         tuple(
             (
                 encode_tableau(member),
                 frontier._codes.get(id(member)),
+                kernel,
             )
-            for member in frontier.members
+            for member, kernel in zip(frontier.members, kernels)
         ),
         stats.as_dict(),
     )
+
+
+def _shard_task(shard: tuple[int, int]) -> tuple[tuple[tuple, ...], dict]:
+    """Pool task (strategy ``"shards"``): :func:`run_shard` on the
+    process-installed context."""
+    return run_shard(_SHARD_CONTEXT, shard)
 
 
 #: CLI/config spellings of the admission orders (the CLI exposes
@@ -2203,10 +2542,16 @@ def _resolve_generation_mode(
       generation and reduction interleave, so the cost model's windowed
       three-way controller can steer on live canonization cost, duplicate
       rate, and absorption feedback — and flip mid-run.
-    * The pooled ``"checks"`` strategy on plain streams keeps the legacy
-      ``"adaptive"`` cutoff: it dispatches every candidate's class check
-      to the pool before the (buffered) reduction, so an undeduplicated
-      stream would multiply pool work rather than be absorbed.
+    * The pooled ``"checks"`` strategy follows the same order split:
+      fine-to-coarse pooled runs go ``"orbit"`` too, because the pooled
+      reducer now interleaves with the batcher and its dispatch gate
+      (:meth:`Frontier.absorbable`) absorbs raw repeats *before* they
+      reach the pool — the historical reason for forcing ``"adaptive"``
+      here (every undeduplicated candidate became a pool check) no
+      longer holds.  Insertion-order pooled runs keep the legacy
+      ``"adaptive"`` cutoff: their reducer consumes verdicts eagerly
+      with no dispatch gate, so an undeduplicated stream would still
+      multiply pool work.
     * Extension-space runs keep ``"adaptive"``: their dedup keyspace is
       shared between quotients and extensions, and the extension side
       canonizes regardless.
@@ -2221,10 +2566,10 @@ def _resolve_generation_mode(
     plain_stream = getattr(cls, "kind", None) == "graph" or max_extra_atoms <= 0
     if not plain_stream:
         return "adaptive"
-    if effective_workers(workers) > 1 and parallel == "checks":
-        return "adaptive"
     if order == "fine_to_coarse":
         return "orbit"
+    if effective_workers(workers) > 1 and parallel == "checks":
+        return "adaptive"
     return "model"
 
 
@@ -2242,6 +2587,10 @@ def run_pipeline(
     budget: RunBudget | None = None,
     checkpoint: CheckpointManager | str | None = None,
     batch_timeout: float | None = None,
+    fabric: Iterable[str] | None = None,
+    spill_dir: str | os.PathLike | None = None,
+    heartbeat_interval: float = 2.0,
+    shard_timeout: float | None = None,
 ) -> PipelineResult:
     """Run the three-stage pipeline and return the →-minimal frontier.
 
@@ -2279,6 +2628,31 @@ def run_pipeline(
     the wait on any one pooled check batch; an expired batch is quarantined
     into ``result.faults`` (its candidates skipped, counted in
     ``stats.quarantined``) instead of killing the run.
+
+    ``fabric`` — a list of worker addresses (``"host:port"`` or a unix
+    socket path) — dispatches the shard strategy's slices to *network*
+    shard workers (``repro worker``) through the
+    :class:`~repro.fabric.coordinator.FabricCoordinator` instead of a
+    local process pool: heartbeats and per-shard deadlines
+    (``heartbeat_interval``, ``shard_timeout``) detect lost and hung
+    workers, lost shards are re-dispatched with capped exponential
+    backoff (at-least-once — safe because :meth:`Frontier.merge` is
+    idempotent), stragglers are speculatively re-executed on idle
+    workers (first result wins, duplicates absorbed), repeatedly-failing
+    workers are blacklisted, and when every worker is blacklisted the
+    remaining shards run locally — the run completes with a degraded
+    fabric rather than failing.  Shard-level faults are threaded into
+    ``result.faults`` as :class:`~repro.fabric.coordinator.ShardFault`
+    records.  ``fabric`` overrides ``parallel``/``workers``.
+
+    ``spill_dir`` enables the memory-bounded spill policy
+    (:mod:`repro.runtime.spill`) on every frontier this run constructs —
+    driver, shard workers, and fabric merge alike: the class-status memo
+    and the refinement index (the two structures that grow with classes
+    *seen*, not frontier size) keep bounded residency with cold entries
+    on disk, and the budget's tracked-size probe counts resident entries
+    only, so ``exact_limit`` sizes that used to trip a fixed
+    ``memory_limit`` on memo growth complete inside it.
     """
     if parallel not in {"checks", "shards"}:
         raise ValueError(f"unknown parallel strategy {parallel!r}")
@@ -2314,8 +2688,14 @@ def run_pipeline(
         budget.start()
     automorphisms = _base_orbit_data(tableau, stats)
 
-    if effective_workers(workers) > 1 and parallel == "shards":
-        shard_count = effective_workers(workers) * _SHARDS_PER_WORKER
+    fabric_addresses = tuple(fabric) if fabric is not None else ()
+    if fabric_addresses or (
+        effective_workers(workers) > 1 and parallel == "shards"
+    ):
+        if fabric_addresses:
+            shard_count = len(fabric_addresses) * _SHARDS_PER_WORKER
+        else:
+            shard_count = effective_workers(workers) * _SHARDS_PER_WORKER
         stats.shards = shard_count
         budget_spec = None
         if budget is not None:
@@ -2337,21 +2717,67 @@ def run_pipeline(
             order,
             generation,
             budget_spec,
+            os.fspath(spill_dir) if spill_dir is not None else None,
         )
+        shards = [(index, shard_count) for index in range(shard_count)]
+
+        if fabric_addresses:
+            from repro.fabric.coordinator import FabricCoordinator
+
+            frontier = Frontier(stats=stats, spill=_spill_config(spill_dir, budget))
+            if budget is not None:
+                budget.register_probe(frontier.tracked_entries)
+            coordinator = FabricCoordinator(
+                fabric_addresses,
+                context,
+                heartbeat_interval=heartbeat_interval,
+                shard_timeout=shard_timeout,
+                local_runner=run_shard,
+            )
+            merged: set = set()
+            for shard_index, encoded_members, shard_stats in coordinator.run(
+                shards
+            ):
+                if shard_index in merged:
+                    # A speculative or re-dispatched duplicate: its stats
+                    # would double-count, but its members merge
+                    # idempotently — absorbing them is what makes
+                    # at-least-once delivery safe.
+                    stats.duplicate_results += 1
+                else:
+                    merged.add(shard_index)
+                    stats.absorb(PipelineStats(**shard_stats))
+                frontier.merge(
+                    [decode_tableau(data) for data, _, _ in encoded_members],
+                    [codes for _, codes, _ in encoded_members],
+                    [kernel for _, _, kernel in encoded_members],
+                )
+            stats.shard_retries += coordinator.retries
+            stats.speculative_dispatches += coordinator.speculations
+            stats.workers_blacklisted += coordinator.blacklisted
+            stats.heartbeat_misses += coordinator.heartbeat_misses
+            stats.fabric_local_shards += coordinator.local_shards
+            _note_exhaustion(budget, stats)
+            _harvest_spill(frontier, stats)
+            return PipelineResult(
+                frontier.members, stats, list(coordinator.faults)
+            )
+
         with make_executor(
             workers, initializer=_install_shard_context, initargs=(context,)
         ) as executor:
-            frontier = Frontier(stats=stats)
+            frontier = Frontier(stats=stats, spill=_spill_config(spill_dir, budget))
             for encoded_members, shard_stats in executor.imap(
-                _shard_task,
-                [(index, shard_count) for index in range(shard_count)],
+                _shard_task, shards
             ):
                 stats.absorb(PipelineStats(**shard_stats))
                 frontier.merge(
-                    [decode_tableau(data) for data, _ in encoded_members],
-                    [codes for _, codes in encoded_members],
+                    [decode_tableau(data) for data, _, _ in encoded_members],
+                    [codes for _, codes, _ in encoded_members],
+                    [kernel for _, _, kernel in encoded_members],
                 )
             faults = _harvest_executor(executor, stats)
+            _harvest_spill(frontier, stats)
             return PipelineResult(frontier.members, stats, faults)
 
     session = None
@@ -2393,6 +2819,7 @@ def run_pipeline(
                 budget=budget,
                 checkpoint=session,
                 resume=resume,
+                spill=_spill_config(spill_dir, budget),
             )
             stats.generation_switches += cost_model.mode_switches
             return PipelineResult(frontier.members, stats)
@@ -2403,7 +2830,11 @@ def run_pipeline(
         # cost-modeled check-vs-dominance ordering applies to the inline
         # stages (serial runs and shard workers), where both orders execute
         # in the same process.
-        frontier = Frontier(stats=stats, ordered=order == "fine_to_coarse")
+        frontier = Frontier(
+            stats=stats,
+            ordered=order == "fine_to_coarse",
+            spill=_spill_config(spill_dir, budget),
+        )
         if budget is not None:
             budget.register_probe(frontier.tracked_entries)
             # A tripped budget simply ends the batcher's intake; the
@@ -2411,6 +2842,63 @@ def run_pipeline(
             # bounded window — at most ``inflight`` batch waits, so the
             # drain is bounded by the in-flight work, not the stream.
             candidates = _budget_gate(candidates, budget, stats)
+        if order == "fine_to_coarse":
+            # Plain quotient streams: buffer the *raw* stream, replay it
+            # fine-to-coarse through the batcher, and reduce as verdicts
+            # stream back.  Checking in reduction order is what arms the
+            # batcher's absorption gate (:meth:`Frontier.absorbable`):
+            # the reducer's memo structures grow while later candidates
+            # are still queuing for dispatch, so raw/orbit repeats and
+            # coarsenings the frontier already settles are emitted with
+            # the :data:`ABSORBED` sentinel and never cost a pool
+            # round-trip — which is why pooled fine-to-coarse runs can
+            # afford the raw orbit regime (see
+            # :func:`_resolve_generation_mode`).  Gate decisions are
+            # monotone, so the frontier stays exactly the serial
+            # fine-to-coarse one (repair plus the final generation-order
+            # sort keep it bit-identical to insertion order) for any
+            # worker count and any gate timing; absorbed candidates
+            # resolve with a driver-side membership fallback, consulted
+            # only if a repair needs it.  On a budget stop the batcher's
+            # intake ends and the in-flight window drains — every paid
+            # check still reaches the frontier.
+            buffered = list(candidates)
+            ordered_stream: Iterable = coarseness_ordered(buffered)
+            if budget is not None:
+                ordered_stream = _budget_gate(ordered_stream, budget, stats)
+            tester = MembershipTester(cls, stats, cost_model)
+            checked = _iter_membership_candidates(
+                ordered_stream,
+                cls,
+                executor,
+                batch_size=batch_size,
+                stats=stats,
+                cost_model=cost_model,
+                absorb=frontier.absorbable,
+            )
+            for candidate, is_member in checked:
+                if is_member is ABSORBED:
+                    membership = lambda c=candidate: tester(c)  # noqa: E731
+                elif not is_member:
+                    continue
+                else:
+                    membership = None
+                calls_before = stats.hom_le_calls
+                frontier.resolve(
+                    candidate,
+                    key=dominance_key(candidate),
+                    generation=candidate.generation,
+                    membership=membership,
+                    late_key=_deferred_class_key(candidate, stats),
+                )
+                if stats.hom_le_calls == calls_before:
+                    stats.admissions_resolved_by_order += 1
+            frontier.restore_generation_order()
+            stats.generation_switches += cost_model.mode_switches
+            _note_exhaustion(budget, stats)
+            _harvest_spill(frontier, stats)
+            faults = _harvest_executor(executor, stats)
+            return PipelineResult(frontier.members, stats, faults)
         checked = _iter_membership_candidates(
             candidates,
             cls,
@@ -2419,37 +2907,6 @@ def run_pipeline(
             stats=stats,
             cost_model=cost_model,
         )
-        if order == "fine_to_coarse":
-            # Plain quotient streams: buffer the generation-ordered verdict
-            # stream, then reduce fine-to-coarse exactly like the serial
-            # path — repair plus the final generation-order sort keep the
-            # result bit-identical to it for any worker count.  (Plain
-            # streams have no families, so nothing here races feedback.)
-            # On a budget stop the buffer holds exactly the candidates
-            # whose checks were paid; reducing them all returns the
-            # best-so-far frontier rather than throwing the work away.
-            verdicts: dict[int, bool] = {}
-            buffered: list = []
-            for candidate, is_member in checked:
-                buffered.append(candidate)
-                verdicts[id(candidate)] = bool(is_member)
-            for candidate in coarseness_ordered(buffered):
-                if not verdicts[id(candidate)]:
-                    continue
-                calls_before = stats.hom_le_calls
-                frontier.resolve(
-                    candidate,
-                    key=dominance_key(candidate),
-                    generation=candidate.generation,
-                    late_key=_deferred_class_key(candidate, stats),
-                )
-                if stats.hom_le_calls == calls_before:
-                    stats.admissions_resolved_by_order += 1
-            frontier.restore_generation_order()
-            stats.generation_switches += cost_model.mode_switches
-            _note_exhaustion(budget, stats)
-            faults = _harvest_executor(executor, stats)
-            return PipelineResult(frontier.members, stats, faults)
 
         for candidate, is_member in checked:
             parent = getattr(candidate, "parent", None)

@@ -83,6 +83,23 @@ RESPAWN_BACKOFF_BASE = 0.1
 RESPAWN_BACKOFF_CAP = 2.0
 
 
+def backoff_delay(
+    attempt: int,
+    *,
+    base: float = RESPAWN_BACKOFF_BASE,
+    cap: float = RESPAWN_BACKOFF_CAP,
+) -> float:
+    """Capped exponential backoff: ``min(cap, base * 2**attempt)``.
+
+    Shared by the pool-respawn path here and the fabric coordinator's
+    shard-retry path, so both layers recover on the same schedule.
+    ``attempt`` is 0-based (the first retry waits ``base`` seconds).
+    """
+    if attempt < 0:
+        raise ValueError("attempt is 0-based and must be >= 0")
+    return min(cap, base * (2.0 ** attempt))
+
+
 def effective_workers(workers: int | None) -> int:
     """Normalize a worker-count knob: ``None``/``0`` → serial, ``-1`` → all
     CPUs, anything else is taken literally (also on machines with fewer
@@ -264,7 +281,7 @@ class ProcessExecutor:
         if self.respawns >= self.max_respawns:
             self._serial_fallback = True
             return False
-        delay = min(RESPAWN_BACKOFF_CAP, RESPAWN_BACKOFF_BASE * (2**self.respawns))
+        delay = backoff_delay(self.respawns)
         self.respawns += 1
         time.sleep(delay)
         self._pool = self._spawn_pool()

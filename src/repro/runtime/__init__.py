@@ -18,7 +18,10 @@ allowance.  This package supplies the two guard rails:
 
 :mod:`repro.runtime.persist` holds the atomic write/fail-closed read
 primitives both the checkpoint store and the serving result cache
-(:mod:`repro.serve.cache`) build on.
+(:mod:`repro.serve.cache`) build on.  :mod:`repro.runtime.spill` adds
+the third guard rail: LRU spill tiers (fail-*open* — their entries are
+recomputable memos) that keep the frontier's class-status memo and
+refinement index memory-bounded under a fixed ceiling.
 """
 
 from repro.runtime.budget import RunBudget
@@ -29,12 +32,20 @@ from repro.runtime.persist import (
     atomic_write_bytes,
     load_pickle,
 )
+from repro.runtime.spill import (
+    SpillableRefinementTrie,
+    SpillConfig,
+    SpilledMap,
+)
 
 __all__ = [
     "RunBudget",
     "CheckpointManager",
     "CheckpointMismatch",
     "PersistError",
+    "SpillConfig",
+    "SpillableRefinementTrie",
+    "SpilledMap",
     "atomic_pickle",
     "atomic_write_bytes",
     "load_pickle",

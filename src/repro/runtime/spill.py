@@ -1,0 +1,336 @@
+"""Memory-bounded spill tiers for the frontier's unbounded driver state.
+
+The reduction driver keeps two structures that grow with the number of
+*distinct candidate classes seen*, not with the frontier size: the
+canonical class-status memo (``Frontier._class_status``) and the
+refinement index of dominated-or-admitted partition codes
+(``Frontier._refinement_index``).  On a Bell-number-sized enumeration
+both outgrow any fixed memory ceiling long before the frontier itself
+does, which is what pinned ``exact_limit`` at 9.  This module gives each
+an LRU spill policy over :mod:`repro.runtime.persist`:
+
+* :class:`SpilledMap` — a mapping whose hot tier is a bounded
+  ``OrderedDict``; overflow is evicted in groups to hash-bucket pickle
+  files.  Cold keys are remembered only by their 64-bit hash, so a true
+  miss (the common case: a genuinely novel candidate class) never
+  touches disk, and resident memory stays bounded by the hot tier plus
+  one small int per cold entry.
+* :class:`SpillableRefinementTrie` — a :class:`~repro.util.partitions.
+  RefinementTrie` that spills whole subtrees rooted at a fixed code
+  depth ("segments"), replacing the child dict with an opaque marker
+  that every trie walk transparently resolves back through
+  :meth:`~repro.util.partitions.RefinementTrie._resolve_child`.
+  Restricted growth strings cluster lexicographically, so the candidate
+  stream touches segments in runs and the LRU set stays small.
+
+Both tiers are **fail-open**: a segment or bucket that cannot be read
+back (torn write, vanished spill dir) is treated as a miss and counted
+in ``load_failures``.  That is sound here and only here — both
+structures are memos whose misses send the pipeline down the full
+dominance-check path with identical verdicts, at worst repeating work —
+which is why this policy lives with them and not in
+:mod:`repro.runtime.persist` (whose other callers must fail closed).
+Spilled refinement payloads are repair witnesses whose *object
+identity* feeds ``Frontier._refinement_lookup``; a pickle round-trip
+would break identity anyway, so witnesses are stripped to ``None`` at
+spill time — the lookup's documented "no witness ⇒ no repair shortcut"
+path, sound by the same argument.
+
+Spill files are process-private scratch (named with the pid, fsync
+skipped): they never outlive the run and are recomputable, so the
+durability machinery of checkpoints would be pure overhead here.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Any, Iterator, Sequence
+
+from repro.runtime.persist import PersistError, atomic_pickle, load_pickle
+from repro.util.partitions import RefinementTrie
+
+__all__ = ["SpillConfig", "SpilledMap", "SpillableRefinementTrie"]
+
+
+class SpillConfig:
+    """Shared knobs for one run's spill tiers.
+
+    ``directory`` is created on first use.  ``map_resident`` bounds the
+    class-status hot tier (entries); ``trie_resident`` bounds the
+    refinement index's resident segments; ``trie_depth`` is the code
+    depth at which subtrees become spillable segments.
+    """
+
+    __slots__ = ("directory", "map_resident", "trie_resident", "trie_depth")
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        map_resident: int = 4096,
+        trie_resident: int = 64,
+        trie_depth: int = 5,
+    ) -> None:
+        if map_resident < 1 or trie_resident < 1 or trie_depth < 1:
+            raise ValueError("spill bounds must be >= 1")
+        self.directory = os.fspath(directory)
+        self.map_resident = map_resident
+        self.trie_resident = trie_resident
+        self.trie_depth = trie_depth
+
+    def ensure_directory(self) -> str:
+        os.makedirs(self.directory, exist_ok=True)
+        return self.directory
+
+
+class SpilledMap:
+    """A dict with a bounded hot tier and hash-bucket cold files.
+
+    Supports the subset of the mapping protocol the frontier uses
+    (``get``/``in``/``[]``/``len``) plus :meth:`resident_len` for the
+    memory probe.  Group eviction (the oldest quarter of the hot tier at
+    once) amortizes bucket rewrites; a tiny LRU bucket cache absorbs the
+    lexicographic clustering of lookups.
+    """
+
+    _EVICT_FRACTION = 4  # evict 1/4 of the hot tier per overflow
+    _BUCKETS = 64
+    _BUCKET_CACHE = 8
+
+    def __init__(
+        self, directory: str | os.PathLike, *, max_resident: int = 4096, name: str = "map"
+    ) -> None:
+        if max_resident < 1:
+            raise ValueError("max_resident must be >= 1")
+        self._directory = os.fspath(directory)
+        self._name = name
+        self._max_resident = max_resident
+        self._hot: OrderedDict = OrderedDict()
+        self._cold_hashes: set[int] = set()
+        self._cold_len = 0
+        self._bucket_cache: OrderedDict[int, dict] = OrderedDict()
+        self.spills = 0
+        self.loads = 0
+        self.load_failures = 0
+
+    # ------------------------------------------------------------- internals
+
+    def _bucket_path(self, bucket: int) -> str:
+        return os.path.join(
+            self._directory, f"{self._name}-{bucket:02d}.{os.getpid()}.pkl"
+        )
+
+    def _load_bucket(self, bucket: int) -> dict:
+        cached = self._bucket_cache.get(bucket)
+        if cached is not None:
+            self._bucket_cache.move_to_end(bucket)
+            return cached
+        path = self._bucket_path(bucket)
+        if os.path.exists(path):
+            self.loads += 1
+            try:
+                data = load_pickle(path)
+            except PersistError:
+                # Fail open: the entries memoized here are recomputable,
+                # so a torn bucket is a (counted) miss, never a crash.
+                self.load_failures = self.load_failures + 1
+                data = {}
+        else:
+            data = {}
+        self._bucket_cache[bucket] = data
+        while len(self._bucket_cache) > self._BUCKET_CACHE:
+            self._bucket_cache.popitem(last=False)
+        return data
+
+    def _evict(self) -> None:
+        count = max(1, self._max_resident // self._EVICT_FRACTION)
+        by_bucket: dict[int, dict] = {}
+        for _ in range(min(count, len(self._hot))):
+            key, value = self._hot.popitem(last=False)
+            by_bucket.setdefault(hash(key) % self._BUCKETS, {})[key] = value
+        os.makedirs(self._directory, exist_ok=True)
+        for bucket, entries in by_bucket.items():
+            data = self._load_bucket(bucket)
+            before = len(data)
+            data.update(entries)
+            self._cold_len += len(data) - before
+            for key in entries:
+                self._cold_hashes.add(hash(key))
+            atomic_pickle(self._bucket_path(bucket), data, fsync=False)
+            self.spills += 1
+
+    # -------------------------------------------------------------- mapping
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if key in self._hot:
+            self._hot[key] = value
+            self._hot.move_to_end(key)
+            return
+        self._hot[key] = value
+        if len(self._hot) > self._max_resident:
+            self._evict()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        if key in self._hot:
+            self._hot.move_to_end(key)
+            return self._hot[key]
+        if hash(key) in self._cold_hashes:
+            data = self._load_bucket(hash(key) % self._BUCKETS)
+            if key in data:
+                return data[key]
+        return default
+
+    def __getitem__(self, key: Any) -> Any:
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            raise KeyError(key)
+        return value
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def __len__(self) -> int:
+        # A key can live in both tiers only transiently (a re-set between
+        # its eviction and the next overwrite merge), and the frontier
+        # never re-sets an existing class key, so hot + cold is exact.
+        return len(self._hot) + self._cold_len
+
+    def resident_len(self) -> int:
+        """Entries actually held in memory (the budget-probe figure)."""
+        return len(self._hot)
+
+
+class SpillableRefinementTrie(RefinementTrie):
+    """A refinement trie that spills cold fixed-depth subtrees to disk.
+
+    Segments are the subtrees rooted at code depth ``spill_depth``; their
+    identifying prefix doubles as the on-disk slot name.  Walks resolve
+    spilled markers lazily through :meth:`_resolve_child` — only the
+    segments a query's compatible branches actually touch are reloaded.
+    Payloads (repair witnesses) are stripped at spill time; see the
+    module docstring for the soundness argument.
+    """
+
+    __slots__ = (
+        "_directory",
+        "_spill_depth",
+        "_max_resident",
+        "_segments",
+        "_spilled_counts",
+        "_spilled_total",
+        "spills",
+        "loads",
+        "load_failures",
+    )
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        spill_depth: int = 5,
+        max_resident: int = 64,
+    ) -> None:
+        super().__init__()
+        if spill_depth < 1:
+            raise ValueError("spill_depth must be >= 1")
+        if max_resident < 1:
+            raise ValueError("max_resident must be >= 1")
+        self._directory = os.fspath(directory)
+        self._spill_depth = spill_depth
+        self._max_resident = max_resident
+        #: Resident segment prefixes in LRU order (oldest first).
+        self._segments: OrderedDict[tuple[int, ...], bool] = OrderedDict()
+        #: Code count inside each currently-spilled segment, so
+        #: :meth:`resident_len` needs no disk reads.
+        self._spilled_counts: dict[tuple[int, ...], int] = {}
+        self._spilled_total = 0
+        self.spills = 0
+        self.loads = 0
+        self.load_failures = 0
+
+    # ------------------------------------------------------------- segments
+
+    def _segment_path(self, prefix: tuple[int, ...]) -> str:
+        slot = "-".join(str(value) for value in prefix)
+        return os.path.join(self._directory, f"trie-{slot}.{os.getpid()}.pkl")
+
+    def _touch(self, prefix: tuple[int, ...]) -> None:
+        self._segments[prefix] = True
+        self._segments.move_to_end(prefix)
+        while len(self._segments) > self._max_resident:
+            self._spill_oldest()
+
+    def _parent_of(self, prefix: tuple[int, ...]) -> dict | None:
+        """The node holding the segment's edge (ancestors never spill)."""
+        node = self._root
+        for value in prefix[:-1]:
+            child = node.get(value)
+            if type(child) is not dict:
+                return None
+            node = child
+        return node
+
+    @classmethod
+    def _strip_and_count(cls, node: dict) -> int:
+        """Replace leaf payloads with ``None``; return the code count."""
+        count = 0
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for value, child in current.items():
+                if value == cls._LEAF:
+                    current[value] = None
+                    count += 1
+                else:
+                    stack.append(child)
+        return count
+
+    def _spill_oldest(self) -> None:
+        prefix, _ = self._segments.popitem(last=False)
+        parent = self._parent_of(prefix)
+        if parent is None:
+            return
+        child = parent.get(prefix[-1])
+        if type(child) is not dict:
+            return
+        count = self._strip_and_count(child)
+        os.makedirs(self._directory, exist_ok=True)
+        atomic_pickle(self._segment_path(prefix), child, fsync=False)
+        parent[prefix[-1]] = prefix  # the non-dict spill marker
+        self._spilled_counts[prefix] = count
+        self._spilled_total += count
+        self.spills += 1
+
+    def _resolve_child(self, parent: dict, edge: int, marker: object) -> dict:
+        prefix = marker  # markers are the segment's own prefix tuple
+        self.loads += 1
+        try:
+            child = load_pickle(self._segment_path(prefix))
+        except PersistError:
+            # Fail open: the lost codes were dominance memos; dropping
+            # them re-runs full checks with identical verdicts.
+            self.load_failures += 1
+            lost = self._spilled_counts.pop(prefix, 0)
+            self._spilled_total -= lost
+            self._size -= lost
+            child = {}
+        else:
+            count = self._spilled_counts.pop(prefix, 0)
+            self._spilled_total -= count
+        parent[edge] = child
+        self._touch(prefix)
+        return child
+
+    # ------------------------------------------------------------ overrides
+
+    def add(self, codes: Sequence[int], payload: object = None) -> None:
+        super().add(codes, payload)
+        if len(codes) > self._spill_depth:
+            self._touch(tuple(codes[: self._spill_depth]))
+
+    def resident_len(self) -> int:
+        """Codes held in memory (total minus spilled segments)."""
+        return self._size - self._spilled_total

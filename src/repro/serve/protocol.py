@@ -76,12 +76,19 @@ def encode_message(payload: dict[str, Any]) -> bytes:
     return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
 
 
-def decode_message(line: bytes | str) -> dict[str, Any]:
-    """Parse one frame; raises :class:`ProtocolError` on junk."""
+def decode_message(
+    line: bytes | str, *, max_bytes: int = MAX_LINE_BYTES
+) -> dict[str, Any]:
+    """Parse one frame; raises :class:`ProtocolError` on junk.
+
+    ``max_bytes`` lets other users of this framing (the shard fabric
+    ships pickled tableaux, which dwarf query strings) raise the line
+    cap without loosening it for the serving front door.
+    """
     if isinstance(line, bytes):
-        if len(line) > MAX_LINE_BYTES:
+        if len(line) > max_bytes:
             raise ProtocolError(
-                f"line exceeds {MAX_LINE_BYTES} bytes", fatal=True
+                f"line exceeds {max_bytes} bytes", fatal=True
             )
         try:
             line = line.decode("utf-8")
@@ -96,18 +103,25 @@ def decode_message(line: bytes | str) -> dict[str, Any]:
     return payload
 
 
-def parse_request(line: bytes | str) -> dict[str, Any]:
+def parse_request(
+    line: bytes | str,
+    *,
+    known_ops: tuple[str, ...] = KNOWN_OPS,
+    max_bytes: int = MAX_LINE_BYTES,
+) -> dict[str, Any]:
     """Decode and shape-check one request frame.
 
     Returns the request dict with ``op`` guaranteed present and known.
     Op-specific field validation stays with the handler (the server knows
     which ops it enabled); this layer only enforces the envelope.
+    ``known_ops``/``max_bytes`` let protocol dialects (the shard fabric)
+    reuse the envelope with their own op vocabulary and line cap.
     """
-    payload = decode_message(line)
+    payload = decode_message(line, max_bytes=max_bytes)
     op = payload.get("op")
-    if not isinstance(op, str) or op not in KNOWN_OPS:
+    if not isinstance(op, str) or op not in known_ops:
         raise ProtocolError(
-            f"unknown op {op!r} (expected one of {', '.join(KNOWN_OPS)})"
+            f"unknown op {op!r} (expected one of {', '.join(known_ops)})"
         )
     return payload
 

@@ -24,12 +24,26 @@ time they run:
   (quarantine + recompute, never a crash) is exercised deterministically
   — exactly once across processes, like every other kind.
 
+The shard fabric (:mod:`repro.fabric`) adds three *network* kinds fired
+at the worker's response seam rather than through :class:`FaultyClass`:
+
+* ``kind="drop-connection"`` — the worker closes the connection instead
+  of answering, simulating a crash/partition mid-shard (the
+  coordinator's re-dispatch path).
+* ``kind="delay-response"`` — the worker sleeps ``delay`` seconds before
+  answering, simulating a straggler (heartbeat/speculation paths).
+* ``kind="garble-frame"`` — the worker answers with bytes that are not a
+  protocol frame, simulating a corrupted stream (the coordinator must
+  treat it like a lost shard, never crash).
+
 Faults fire **exactly once across processes**: the plan claims a *token
 file* with ``O_CREAT | O_EXCL`` — an atomic filesystem test-and-set every
 fork shares — before firing, so a respawned pool (which re-runs the lost
 batch, reaching the same n-th check again) does not re-fire and the run
-can complete.  Everything is picklable, so a ``FaultyClass`` travels to
-pool workers exactly like a real class.
+can complete.  The same discipline covers fabric workers: a re-dispatched
+shard reaching the same seam in another worker process finds the token
+taken.  Everything is picklable, so a ``FaultyClass`` travels to pool
+workers exactly like a real class.
 
 Simulated OOM needs no wrapper: inject an ``rss_probe`` returning an
 over-limit figure into :class:`~repro.runtime.budget.RunBudget`.
@@ -42,7 +56,13 @@ import signal
 import time
 from dataclasses import dataclass
 
-__all__ = ["FaultInjected", "FaultPlan", "FaultyClass"]
+__all__ = ["FaultInjected", "FaultPlan", "FaultyClass", "NETWORK_KINDS"]
+
+#: Fault kinds fired at a fabric worker's response seam (not through
+#: :class:`FaultyClass`): the worker consults its plan just before
+#: writing a shard response and, on a successful claim, drops the
+#: connection, delays the response, or garbles the frame.
+NETWORK_KINDS = ("drop-connection", "delay-response", "garble-frame")
 
 
 class FaultInjected(RuntimeError):
@@ -62,14 +82,14 @@ class FaultPlan:
     fresh per-test directory.
     """
 
-    kind: str  # "kill" | "delay" | "raise" | "corrupt"
+    kind: str  # "kill" | "delay" | "raise" | "corrupt" | a NETWORK_KINDS
     at_check: int
     token_path: str
     delay: float = 0.0
     corrupt_mode: str = "truncate"  # "truncate" | "garble"
 
     def __post_init__(self) -> None:
-        if self.kind not in ("kill", "delay", "raise", "corrupt"):
+        if self.kind not in ("kill", "delay", "raise", "corrupt") + NETWORK_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.at_check < 1:
             raise ValueError("at_check is 1-based and must be >= 1")
@@ -94,6 +114,12 @@ class FaultPlan:
             if path is None:
                 raise ValueError("corrupt faults need the target file path")
             self.corrupt_file(path)
+        elif self.kind in NETWORK_KINDS:
+            # Network kinds need connection context; the fabric worker's
+            # response seam interprets them itself after claim().
+            raise ValueError(
+                f"{self.kind!r} fires at the fabric worker's response seam"
+            )
         else:
             raise FaultInjected(
                 f"scripted fault at check #{self.at_check} "

@@ -1,0 +1,183 @@
+"""Tests for the memory-bounded spill tiers (:mod:`repro.runtime.spill`).
+
+Unit coverage for :class:`SpilledMap` (bounded hot tier, hash-bucket cold
+files, fail-open reads) and :class:`SpillableRefinementTrie` (fixed-depth
+segment spilling with transparent reload), plus the pipeline-level
+integration: a ``spill_dir`` run must produce the same frontier as an
+unspilled run, because everything spilled is a recomputable memo.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import TW1, encode_tableau, run_pipeline
+from repro.runtime.spill import SpillableRefinementTrie, SpillConfig, SpilledMap
+from repro.util.partitions import RefinementTrie
+from repro.workloads import cycle_with_chords
+
+
+def rgs_codes(n: int) -> list[tuple[int, ...]]:
+    """All restricted growth strings of length ``n``."""
+    out: list[tuple[int, ...]] = []
+
+    def grow(prefix: tuple[int, ...], high: int) -> None:
+        if len(prefix) == n:
+            out.append(prefix)
+            return
+        for value in range(high + 2):
+            grow(prefix + (value,), max(high, value))
+
+    grow((0,), 0)
+    return out
+
+
+class TestSpilledMap:
+    def test_round_trip_across_eviction(self, tmp_path):
+        spilled = SpilledMap(tmp_path, max_resident=8)
+        for i in range(100):
+            spilled[("key", i)] = i * i
+        assert len(spilled) == 100
+        assert spilled.resident_len() <= 8
+        assert spilled.spills > 0
+        for i in range(100):
+            assert spilled[("key", i)] == i * i
+            assert ("key", i) in spilled
+
+    def test_true_misses_never_touch_disk(self, tmp_path):
+        spilled = SpilledMap(tmp_path, max_resident=4)
+        for i in range(40):
+            spilled[i] = i
+        loads_before = spilled.loads
+        for i in range(1000, 1100):
+            assert spilled.get(i) is None
+            assert i not in spilled
+        # Novel keys miss on the cold-hash set without a bucket read.
+        assert spilled.loads == loads_before
+
+    def test_get_default_and_keyerror(self, tmp_path):
+        spilled = SpilledMap(tmp_path, max_resident=4)
+        spilled["present"] = 1
+        assert spilled.get("absent", "fallback") == "fallback"
+        with pytest.raises(KeyError):
+            spilled["absent"]
+
+    def test_fail_open_on_corrupt_bucket(self, tmp_path):
+        spilled = SpilledMap(tmp_path, max_resident=4)
+        for i in range(40):
+            spilled[i] = i
+        spilled._bucket_cache.clear()
+        for bucket_file in tmp_path.iterdir():
+            bucket_file.write_bytes(b"not a pickle")
+        survivors = sum(1 for i in range(40) if spilled.get(i) is not None)
+        # The hot tier survives; every cold read fails open to a miss.
+        assert survivors == spilled.resident_len()
+        assert spilled.load_failures > 0
+
+
+class TestSpillableRefinementTrie:
+    CODES = rgs_codes(7)
+
+    def build(self, tmp_path, codes) -> SpillableRefinementTrie:
+        trie = SpillableRefinementTrie(tmp_path, spill_depth=3, max_resident=2)
+        for code in codes:
+            trie.add(code, payload=("witness", code))
+        return trie
+
+    def test_spills_and_reloads_transparently(self, tmp_path):
+        stored = self.CODES[::3]
+        spilled = self.build(tmp_path, stored)
+        plain = RefinementTrie()
+        for code in stored:
+            plain.add(code, payload=("witness", code))
+        assert len(spilled) == len(plain) == len(stored)
+        assert spilled.spills > 0
+        assert spilled.resident_len() < len(spilled)
+        for probe in self.CODES:
+            assert (
+                spilled.find_refinement(probe)[0]
+                == plain.find_refinement(probe)[0]
+            )
+            assert (
+                spilled.find_coarsening(probe)[0]
+                == plain.find_coarsening(probe)[0]
+            )
+
+    def test_witnesses_stripped_at_spill(self, tmp_path):
+        stored = self.CODES[::5]
+        spilled = self.build(tmp_path, stored)
+        payloads = {code: payload for code, payload in spilled.codes()}
+        assert set(payloads) == set(stored)
+        # Some payloads crossed a spill/reload cycle and came back None —
+        # the documented "no witness => no repair shortcut" degradation.
+        assert None in payloads.values()
+
+    def test_fail_open_on_lost_segment(self, tmp_path):
+        stored = self.CODES[::3]
+        spilled = self.build(tmp_path, stored)
+        for segment_file in tmp_path.iterdir():
+            segment_file.unlink()
+        for probe in self.CODES:
+            spilled.find_refinement(probe)  # must not raise
+        assert spilled.load_failures > 0
+        # The structure stays usable: new codes insert and hit.
+        fresh = (0, 1, 2, 3, 4, 5, 6)
+        spilled.add(fresh, payload="recovered")
+        assert spilled.find_refinement(fresh)[0]
+
+    def test_export_rebuild_round_trip(self, tmp_path):
+        stored = self.CODES[::4]
+        spilled = self.build(tmp_path, stored)
+        rebuilt = RefinementTrie()
+        for code, payload in spilled.codes():
+            rebuilt.add(code, payload)
+        assert len(rebuilt) == len(stored)
+        for probe in self.CODES[:50]:
+            assert (
+                rebuilt.find_refinement(probe)[0]
+                == spilled.find_refinement(probe)[0]
+            )
+
+
+class TestSpillConfig:
+    def test_bounds_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            SpillConfig(tmp_path, map_resident=0)
+        with pytest.raises(ValueError):
+            SpillConfig(tmp_path, trie_resident=0)
+        with pytest.raises(ValueError):
+            SpillConfig(tmp_path, trie_depth=0)
+
+    def test_ensure_directory_creates(self, tmp_path):
+        config = SpillConfig(tmp_path / "nested" / "scratch")
+        created = config.ensure_directory()
+        assert (tmp_path / "nested" / "scratch").is_dir()
+        assert created == config.directory
+
+
+class TestPipelineSpillIntegration:
+    def test_spilled_run_matches_unspilled(self, tmp_path):
+        tableau = cycle_with_chords(7).tableau()
+        plain = run_pipeline(tableau, TW1, max_extra_atoms=0)
+        spilled = run_pipeline(
+            tableau, TW1, max_extra_atoms=0, spill_dir=tmp_path
+        )
+        assert [encode_tableau(m) for m in spilled.frontier] == [
+            encode_tableau(m) for m in plain.frontier
+        ]
+
+    def test_spill_counters_flow_into_stats(self, tmp_path):
+        from repro.core.pipeline import Frontier, PipelineStats, _harvest_spill
+
+        stats = PipelineStats()
+        frontier = Frontier(
+            stats=stats,
+            spill=SpillConfig(tmp_path, map_resident=2, trie_resident=1),
+        )
+        for i, key in enumerate(itertools.product(range(4), repeat=2)):
+            frontier._class_status[("class", key)] = ("checking", i)
+        _harvest_spill(frontier, stats)
+        assert stats.spill_writes > 0
+        assert frontier.tracked_entries() < len(frontier._class_status)
