@@ -29,6 +29,7 @@ BENCH_FILES = (
     "BENCH_data_eval.json",
     "BENCH_serving.json",
     "BENCH_distributed.json",
+    "BENCH_fleet.json",
 )
 
 

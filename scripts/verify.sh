@@ -7,16 +7,21 @@
 # tests (the `slow` marker — run `PYTHONPATH=src python -m pytest -x -q`
 # for the full tier), re-runs the robustness benchmark (cheap, and its
 # internal assertions gate budget overhead and fault-recovery
-# bit-identity), runs the data-eval and serving benchmarks in --smoke
-# mode (data-eval asserts the columnar engine beats the tuple oracle and
-# the approximation stays sound; serving replays a scaled-down Zipfian
-# log through a live daemon and runs the worker-kill / cache-corruption /
-# SIGTERM-drain fault drills; distributed spins up 2 local TCP shard
-# workers, kills one mid-run, and asserts recovery plus the per-worker
-# stream-scaling row — all without rewriting the committed
-# JSON), then checks every committed BENCH_*.json headline
-# against its predecessor (benchmarks/check_regressions.py: >20% loss
-# exits 1; an unusable committed baseline exits 2).
+# bit-identity), runs the data-eval, serving, distributed, and fleet
+# benchmarks in --smoke mode (data-eval asserts the columnar engine
+# beats the tuple oracle and the approximation stays sound; serving
+# replays a scaled-down Zipfian log through a live daemon and runs the
+# worker-kill / cache-corruption / SIGTERM-drain fault drills;
+# distributed spins up 2 local TCP shard workers, kills one mid-run, and
+# asserts recovery plus the per-worker stream-scaling row; fleet
+# SIGKILLs a supervised worker mid-replay and asserts zero failed client
+# requests, healed capacity, and post-restart warm ≡ cold — all without
+# rewriting the committed JSON), runs the 20-scenario deterministic
+# chaos sweep (every scenario reproducible from the seed it prints,
+# upholding the four serving invariants), then checks every committed
+# BENCH_*.json headline against its predecessor
+# (benchmarks/check_regressions.py: >20% loss exits 1; an unusable
+# committed baseline exits 2).
 
 set -euo pipefail
 
@@ -27,4 +32,6 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q -m "not slow"
 (cd benchmarks && PYTHONPATH=../src${PYTHONPATH:+:$PYTHONPATH} python bench_data_eval.py --smoke)
 (cd benchmarks && PYTHONPATH=../src${PYTHONPATH:+:$PYTHONPATH} python bench_serving.py --smoke)
 (cd benchmarks && PYTHONPATH=../src${PYTHONPATH:+:$PYTHONPATH} python bench_distributed.py --smoke)
+(cd benchmarks && PYTHONPATH=../src${PYTHONPATH:+:$PYTHONPATH} python bench_fleet.py --smoke)
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.testing.chaos --count 20
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python benchmarks/check_regressions.py

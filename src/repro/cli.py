@@ -375,6 +375,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--exact-limit", type=int, default=DEFAULT_CONFIG.exact_limit
     )
     serve.add_argument(
+        "--max-extra-atoms",
+        type=int,
+        default=DEFAULT_CONFIG.max_extra_atoms,
+        metavar="N",
+        help="extension-stream cap of each request's pipeline",
+    )
+    serve.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -403,9 +410,190 @@ def _build_parser() -> argparse.ArgumentParser:
         help="in-memory LRU capacity (entries)",
     )
     serve.add_argument(
+        "--cache-max-bytes",
+        type=_parse_memory_limit,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "byte budget of the in-memory cache tier (serialized entry "
+            "sizes; k/m/g suffixes accepted) — evicts by bytes alongside "
+            "--cache-capacity's entry count"
+        ),
+    )
+    serve.add_argument(
         "--enable-test-ops",
         action="store_true",
         help="enable the 'sleep' op (lifecycle tests and fault drills)",
+    )
+    serve.add_argument(
+        "--fault-kind",
+        choices=sorted(("kill", "delay", "raise", "corrupt") + NETWORK_KINDS),
+        default=None,
+        help=(
+            "arm a deterministic fault drill (testing only): corrupt hits "
+            "the disk cache's write seam, network kinds hit the response "
+            "seam, the rest wrap each request's query class"
+        ),
+    )
+    serve.add_argument(
+        "--fault-at",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fire the drill on the N-th seam invocation (default 1)",
+    )
+    serve.add_argument(
+        "--fault-token",
+        default=None,
+        metavar="PATH",
+        help=(
+            "token file claimed exactly once across processes, so a "
+            "retried/hedged request cannot re-fire the drill"
+        ),
+    )
+    serve.add_argument(
+        "--fault-delay",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="sleep length for the delay/delay-response drills",
+    )
+    serve.add_argument(
+        "--fault-corrupt-mode",
+        choices=["truncate", "garble"],
+        default="truncate",
+        help="damage mode for the corrupt drill",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a supervised fleet of approximation daemons",
+        description=(
+            "Supervise N 'repro serve' worker processes over one shared "
+            "disk cache tier behind an asyncio router speaking the same "
+            "JSON-lines protocol. Crashed workers are detected (waitpid "
+            "plus a health probe where only a pong counts as alive) and "
+            "restarted with capped-exponential backoff behind a "
+            "restart-storm circuit breaker; the router balances by least "
+            "outstanding requests, retries connection faults on a "
+            "different worker, and optionally hedges stragglers. SIGTERM "
+            "drains rolling-style: in-flight requests finish, then each "
+            "worker is drained one at a time."
+        ),
+    )
+    fleet.add_argument(
+        "--socket", default=None, metavar="PATH", help="router's unix socket"
+    )
+    fleet.add_argument(
+        "--host", default=None, help="router's TCP host (alternative to --socket)"
+    )
+    fleet.add_argument(
+        "--port", type=int, default=0, help="router's TCP port (0 = ephemeral)"
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="serving worker processes to supervise",
+    )
+    fleet.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for the per-worker unix sockets (default: the "
+            "router socket's directory; required with --host)"
+        ),
+    )
+    fleet.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared disk cache tier for every worker",
+    )
+    fleet.add_argument(
+        "--queue-limit", type=int, default=32, help="per-worker admission bound"
+    )
+    fleet.add_argument(
+        "--concurrency", type=int, default=2, help="per-worker executor threads"
+    )
+    fleet.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request wall-clock policy applied by every worker",
+    )
+    fleet.add_argument(
+        "--memory-limit",
+        type=_parse_memory_limit,
+        default=None,
+        metavar="BYTES",
+        help="per-request memory ceiling applied by every worker",
+    )
+    fleet.add_argument(
+        "--exact-limit", type=int, default=DEFAULT_CONFIG.exact_limit
+    )
+    fleet.add_argument(
+        "--max-extra-atoms",
+        type=int,
+        default=DEFAULT_CONFIG.max_extra_atoms,
+        metavar="N",
+        help="extension-stream cap of each request's pipeline",
+    )
+    fleet.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=1024,
+        help="per-worker in-memory LRU capacity (entries)",
+    )
+    fleet.add_argument(
+        "--cache-max-bytes",
+        type=_parse_memory_limit,
+        default=None,
+        metavar="BYTES",
+        help="per-worker in-memory cache byte budget",
+    )
+    fleet.add_argument(
+        "--health-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="supervisor liveness-probe period",
+    )
+    fleet.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        metavar="N",
+        help=(
+            "restart-storm circuit breaker: more deaths than this inside "
+            "--restart-window puts the slot in degraded mode"
+        ),
+    )
+    fleet.add_argument(
+        "--restart-window",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="sliding window of the restart-storm breaker",
+    )
+    fleet.add_argument(
+        "--hedge-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "duplicate a request still outstanding after this long on "
+            "another worker; first response wins (results are idempotent "
+            "under the canonical key, so the loser is safely dropped)"
+        ),
+    )
+    fleet.add_argument(
+        "--enable-test-ops",
+        action="store_true",
+        help="start every worker with test ops enabled",
     )
 
     client = sub.add_parser(
@@ -446,6 +634,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shutdown",
         action="store_true",
         help="ask the daemon to drain and exit instead of approximating",
+    )
+    client.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "total attempts under a jittered-backoff retry policy: "
+            "connection faults reconnect and resend; overloaded/"
+            "shutting-down rejections retry after a delay (default 1 = "
+            "no retries)"
+        ),
     )
     client.add_argument(
         "--json",
@@ -749,6 +949,23 @@ def main(argv: list[str] | None = None) -> int:
         if (args.socket is None) == (args.host is None):
             print("repro serve: set exactly one of --socket or --host", file=sys.stderr)
             return 2
+        fault_plan = None
+        if args.fault_kind is not None:
+            from repro.testing.faults import FaultPlan
+
+            if args.fault_token is None:
+                print(
+                    "repro serve: --fault-kind requires --fault-token",
+                    file=sys.stderr,
+                )
+                return 2
+            fault_plan = FaultPlan(
+                kind=args.fault_kind,
+                at_check=args.fault_at,
+                token_path=args.fault_token,
+                delay=args.fault_delay,
+                corrupt_mode=args.fault_corrupt_mode,
+            )
         server = ApproximationServer(
             ServerConfig(
                 socket_path=args.socket,
@@ -760,18 +977,64 @@ def main(argv: list[str] | None = None) -> int:
                 memory_limit=args.memory_limit,
                 max_candidates=args.max_candidates,
                 exact_limit=args.exact_limit,
+                max_extra_atoms=args.max_extra_atoms,
                 workers=args.workers,
                 batch_timeout=args.batch_timeout,
                 cache_capacity=args.cache_capacity,
+                cache_max_bytes=args.cache_max_bytes,
                 cache_dir=args.cache_dir,
                 enable_test_ops=args.enable_test_ops,
+                fault_plan=fault_plan,
             )
         )
         asyncio.run(server.run())
         return 0
 
+    if args.command == "fleet":
+        import asyncio
+
+        from repro.serve import Fleet, FleetConfig
+
+        if (args.socket is None) == (args.host is None):
+            print(
+                "repro fleet: set exactly one of --socket or --host",
+                file=sys.stderr,
+            )
+            return 2
+        if args.socket is None and args.run_dir is None:
+            print(
+                "repro fleet: --host needs --run-dir for the worker sockets",
+                file=sys.stderr,
+            )
+            return 2
+        fleet = Fleet(
+            FleetConfig(
+                workers=args.workers,
+                socket_path=args.socket,
+                host=args.host,
+                port=args.port,
+                run_dir=args.run_dir,
+                cache_dir=args.cache_dir,
+                queue_limit=args.queue_limit,
+                concurrency=args.concurrency,
+                request_deadline=args.deadline,
+                memory_limit=args.memory_limit,
+                exact_limit=args.exact_limit,
+                max_extra_atoms=args.max_extra_atoms,
+                cache_capacity=args.cache_capacity,
+                cache_max_bytes=args.cache_max_bytes,
+                health_interval=args.health_interval,
+                max_restarts=args.max_restarts,
+                restart_window=args.restart_window,
+                hedge_after=args.hedge_after,
+                enable_test_ops=args.enable_test_ops,
+            )
+        )
+        asyncio.run(fleet.run())
+        return 0
+
     if args.command == "client":
-        from repro.serve import ServeClient, ServeError
+        from repro.serve import RetryPolicy, ServeClient, ServeError
 
         ops = sum([args.query is not None, args.server_stats, args.shutdown])
         if ops != 1:
@@ -787,8 +1050,11 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        retry = (
+            RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
+        )
         try:
-            with ServeClient(args.socket, args.host, args.port) as conn:
+            with ServeClient(args.socket, args.host, args.port, retry=retry) as conn:
                 if args.server_stats:
                     response = conn.stats()
                 elif args.shutdown:
@@ -801,6 +1067,28 @@ def main(argv: list[str] | None = None) -> int:
                         method=args.method,
                         deadline=args.deadline,
                     )
+        except (ConnectionError, OSError) as exc:
+            # No daemon (or it vanished): a clean structured error on a
+            # distinct exit code, never a traceback.
+            target = args.socket if args.socket is not None else f"{args.host}:{args.port}"
+            if args.json:
+                print(
+                    json.dumps(
+                        {
+                            "ok": False,
+                            "error": {
+                                "kind": "connection",
+                                "message": f"cannot reach a daemon at {target}: {exc}",
+                            },
+                        }
+                    )
+                )
+            else:
+                print(
+                    f"repro client: cannot reach a daemon at {target}: {exc}",
+                    file=sys.stderr,
+                )
+            return 3
         except ServeError as exc:
             # Structured rejection (overloaded / shutting-down / bad-request):
             # surface the frame, exit nonzero.

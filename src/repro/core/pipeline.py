@@ -444,6 +444,11 @@ class PipelineStats:
     #: already been merged (speculation or re-dispatch races; absorbing
     #: them is the idempotence the fabric's at-least-once delivery needs).
     duplicate_results: int = 0
+    #: Shard responses re-served from a worker's memoized result cache
+    #: (keyed by context digest + shard slice) instead of recomputed — a
+    #: retried or speculated shard that already ran on that worker costs
+    #: a lookup, not a pipeline pass.
+    shard_cache_hits: int = 0
     #: Remote workers blacklisted after consecutive failures.
     workers_blacklisted: int = 0
     #: Shards that ultimately ran on the local fallback executor because

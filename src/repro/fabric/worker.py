@@ -76,6 +76,9 @@ class WorkerServer:
         self._respond_lock = threading.Lock()
         self._contexts: dict[str, tuple] = {}
         self._context_lock = threading.Lock()
+        self._results: dict[tuple, tuple] = {}
+        self._result_lock = threading.Lock()
+        self.shard_cache_hits = 0
         self._shutdown = threading.Event()
         family, target = parse_address(address)
         if family == "tcp":
@@ -168,9 +171,34 @@ class WorkerServer:
             return False
         # op == "shard" — compute inline on this connection's thread.
         try:
-            context = self._context_for(request["context"])
+            blob = request["context"]
+            context = self._context_for(blob)
             shard = tuple(request["shard"])
-            result = run_shard(context, shard)
+            # Memoize by (context digest, shard slice): a retried or
+            # speculated shard landing on a worker that already ran it is
+            # re-served, not recomputed.  Statelessness is preserved — the
+            # memo is a pure function of the request, and losing it only
+            # costs a recompute.  The re-served copy's stats carry the
+            # hit counter so the driver's absorb surfaces it.
+            key = (blob_digest(blob), shard)
+            with self._result_lock:
+                cached = self._results.get(key)
+            if cached is not None:
+                members, stats = cached
+                stats = dict(stats)
+                stats["shard_cache_hits"] = (
+                    stats.get("shard_cache_hits", 0) + 1
+                )
+                self.shard_cache_hits += 1
+                result = (members, stats)
+            else:
+                result = run_shard(context, shard)
+                with self._result_lock:
+                    # One run's shards in practice; bound it like the
+                    # context cache so a long-lived worker cannot hoard.
+                    if len(self._results) >= 64:
+                        self._results.clear()
+                    self._results[key] = result
         except Exception as error:  # a failed shard is an answer, not a death
             connection.sendall(
                 encode_message(

@@ -21,14 +21,21 @@ the pipeline's integer forms, which JSON would silently turn into lists.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
-from typing import Any
+from typing import Any, Iterator
+
+try:  # POSIX only; the fleet's shared cache tier needs it, the rest degrades
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
     "PersistError",
     "atomic_write_bytes",
     "atomic_pickle",
+    "file_lock",
     "load_pickle",
 ]
 
@@ -61,6 +68,33 @@ def atomic_write_bytes(path: str | os.PathLike, data: bytes, *, fsync: bool = Tr
             os.unlink(tmp_path)
         except OSError:
             pass
+
+
+@contextlib.contextmanager
+def file_lock(path: str | os.PathLike) -> Iterator[None]:
+    """An advisory cross-process mutex around a read-modify-write section.
+
+    ``os.replace`` makes single-file writes atomic, but a *merge* — read
+    the current file, fold in this process's contribution, write it back
+    — is a critical section: two fleet workers flushing the shared cache
+    index concurrently would otherwise lose one side's counters.  The
+    lock file lives beside the protected file and is never deleted
+    (deleting a lock file races its next locker).  Blocks until acquired;
+    on platforms without :mod:`fcntl` it degrades to a no-op, which only
+    costs merge fidelity, never correctness of the entries themselves.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platform
+        yield
+        return
+    fd = os.open(os.fspath(path), os.O_CREAT | os.O_RDWR)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
 
 
 def atomic_pickle(path: str | os.PathLike, payload: Any, *, fsync: bool = True) -> None:

@@ -26,7 +26,15 @@ Layout:
 * :mod:`repro.serve.server` — :class:`ApproximationServer`: admission
   control, per-request budgets, fault isolation, graceful drain;
 * :mod:`repro.serve.client` — the synchronous client used by the CLI,
-  the tests, and the serving benchmark.
+  the tests, and the serving benchmark, with an opt-in
+  :class:`RetryPolicy` (reconnect + capped jittered backoff on
+  connection faults; ``overloaded``/``shutting-down`` retried after a
+  delay);
+* :mod:`repro.serve.fleet` — ``repro fleet``: a supervisor running N
+  server worker processes over one shared disk cache tier (crash
+  detection, capped-backoff restarts behind a restart-storm breaker)
+  and an asyncio router (least-outstanding balancing, retry-elsewhere
+  on connection faults, straggler hedging, rolling SIGTERM drain).
 """
 
 from repro.serve.cache import (
@@ -36,7 +44,14 @@ from repro.serve.cache import (
     canonical_representative,
     canonical_result_key,
 )
-from repro.serve.client import ServeClient, ServeError, connect, wait_for_server
+from repro.serve.client import (
+    RetryPolicy,
+    ServeClient,
+    ServeError,
+    connect,
+    wait_for_server,
+)
+from repro.serve.fleet import Fleet, FleetConfig
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -53,10 +68,13 @@ __all__ = [
     "ApproximationServer",
     "CACHE_VERSION",
     "CacheStats",
+    "Fleet",
+    "FleetConfig",
     "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ResultCache",
+    "RetryPolicy",
     "ServeClient",
     "ServeError",
     "ServerConfig",

@@ -11,10 +11,15 @@ the second is served without running the pipeline at all.
 
 Two tiers:
 
-* an in-memory LRU (``capacity`` entries) serving the hot set, and
+* an in-memory LRU (``capacity`` entries, and optionally ``max_bytes``
+  of serialized payload — whichever bound is hit first evicts) serving
+  the hot set, and
 * an optional disk tier (one file per entry, written with
   :func:`repro.runtime.persist.atomic_pickle` — the checkpoint module's
-  tmp+rename discipline) so a restarted server comes up warm.
+  tmp+rename discipline) so a restarted server comes up warm.  Several
+  processes (a serving fleet) may share one disk tier: entry writes are
+  atomic per file, and the observability index is merged under a file
+  lock so concurrent flushes never lose a writer's section.
 
 Disk reads are **fail-closed but never fatal**: an entry that is
 unreadable, has the wrong version, or whose embedded key does not match
@@ -37,6 +42,7 @@ import hashlib
 import json
 import logging
 import os
+import pickle
 import threading
 import time
 from collections import OrderedDict
@@ -44,7 +50,13 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.homomorphism.engine import default_engine
-from repro.runtime.persist import PersistError, atomic_pickle, atomic_write_bytes, load_pickle
+from repro.runtime.persist import (
+    PersistError,
+    atomic_pickle,
+    atomic_write_bytes,
+    file_lock,
+    load_pickle,
+)
 
 __all__ = [
     "CACHE_VERSION",
@@ -61,6 +73,7 @@ CACHE_VERSION = 1
 _ENTRY_SUFFIX = ".entry"
 _QUARANTINE_SUFFIX = ".quarantined"
 INDEX_FILENAME = "index.json"
+INDEX_LOCK_FILENAME = "index.lock"
 
 
 def canonical_representative(tableau):
@@ -168,22 +181,28 @@ class ResultCache:
         capacity: int = 1024,
         disk_dir: str | os.PathLike | None = None,
         *,
+        max_bytes: int | None = None,
         fault_plan=None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
         if fault_plan is not None and fault_plan.kind != "corrupt":
             raise ValueError(
                 "ResultCache only hosts corrupt fault plans "
                 f"(got kind={fault_plan.kind!r})"
             )
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self.disk_dir = os.fspath(disk_dir) if disk_dir is not None else None
         if self.disk_dir is not None:
             os.makedirs(self.disk_dir, exist_ok=True)
         self.stats = CacheStats()
         self._fault_plan = fault_plan
         self._memory: OrderedDict[tuple, Any] = OrderedDict()
+        self._sizes: dict[tuple, int] = {}
+        self._resident_bytes = 0
         self._lock = threading.Lock()
         self._disk_writes = 0
 
@@ -202,6 +221,11 @@ class ResultCache:
             for name in os.listdir(self.disk_dir)
             if name.endswith(_ENTRY_SUFFIX)
         )
+
+    def resident_bytes(self) -> int:
+        """Serialized size of the in-memory tier (the ``max_bytes`` gauge)."""
+        with self._lock:
+            return self._resident_bytes
 
     # --------------------------------------------------------------- lookup
 
@@ -284,10 +308,24 @@ class ResultCache:
                 plan.fire(path)
 
     def _admit(self, key: tuple, value: Any) -> None:
+        size = len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        if key in self._memory:
+            self._resident_bytes -= self._sizes.get(key, 0)
         self._memory[key] = value
         self._memory.move_to_end(key)
-        while len(self._memory) > self.capacity:
-            self._memory.popitem(last=False)
+        self._sizes[key] = size
+        self._resident_bytes += size
+        # Two budgets, one LRU order: evict until both hold.  A single
+        # entry larger than the whole byte budget stays resident (evicting
+        # the thing just admitted would make every oversized result a
+        # permanent miss) — the budget then recovers on the next admit.
+        while len(self._memory) > self.capacity or (
+            self.max_bytes is not None
+            and self._resident_bytes > self.max_bytes
+            and len(self._memory) > 1
+        ):
+            evicted, _ = self._memory.popitem(last=False)
+            self._resident_bytes -= self._sizes.pop(evicted, 0)
             self.stats.evictions += 1
 
     # ---------------------------------------------------------------- flush
@@ -300,20 +338,80 @@ class ResultCache:
         writes it so an operator (and the lifecycle tests) can see the
         shutdown-time state of the tier.  Returns the index path, or
         ``None`` without a disk tier.
+
+        Multi-process safe: a fleet of workers shares one disk tier, and
+        each drains on its own schedule.  The flush is a locked
+        read-modify-write — this writer's section replaces its slot under
+        ``writers`` (keyed by pid), the top-level ``stats`` are the merge
+        over every section, and ``disk_entries`` is recounted from the
+        shared directory — so the last flusher's index reflects the whole
+        fleet, not just itself.
         """
         with self._lock:
             self.stats.flushes += 1
             if self.disk_dir is None:
                 return None
             index_path = os.path.join(self.disk_dir, INDEX_FILENAME)
-            payload = {
-                "version": CACHE_VERSION,
+            lock_path = os.path.join(self.disk_dir, INDEX_LOCK_FILENAME)
+            mine = {
                 "flushed_at": time.time(),
                 "memory_entries": len(self._memory),
-                "disk_entries": self.disk_entries(),
+                "resident_bytes": self._resident_bytes,
                 "stats": self.stats.as_dict(),
             }
-            atomic_write_bytes(
-                index_path, json.dumps(payload, indent=2).encode("utf-8")
-            )
+            with file_lock(lock_path):
+                writers: dict[str, Any] = {}
+                try:
+                    with open(index_path, "r", encoding="utf-8") as handle:
+                        existing = json.load(handle)
+                    if isinstance(existing, dict) and isinstance(
+                        existing.get("writers"), dict
+                    ):
+                        writers = existing["writers"]
+                except (OSError, json.JSONDecodeError, ValueError):
+                    pass  # first flush, or an unreadable index: start fresh
+                writers[str(os.getpid())] = mine
+                sections = [
+                    writer.get("stats", {})
+                    for writer in writers.values()
+                    if isinstance(writer, dict)
+                ]
+                payload = {
+                    "version": CACHE_VERSION,
+                    "flushed_at": mine["flushed_at"],
+                    "memory_entries": sum(
+                        writer.get("memory_entries", 0)
+                        for writer in writers.values()
+                        if isinstance(writer, dict)
+                    ),
+                    "disk_entries": self.disk_entries(),
+                    "stats": _merge_stat_sections(sections),
+                    "writers": writers,
+                }
+                atomic_write_bytes(
+                    index_path, json.dumps(payload, indent=2).encode("utf-8")
+                )
             return index_path
+
+
+def _merge_stat_sections(sections: list[dict]) -> dict:
+    """Fold per-writer :meth:`CacheStats.as_dict` payloads into one.
+
+    Counters sum; the derived ``hit_rate`` is recomputed from the summed
+    counters rather than averaged (a writer that served one request must
+    not weigh as much as one that served a thousand).
+    """
+    merged: dict[str, Any] = {}
+    for section in sections:
+        for name, value in section.items():
+            if name == "hit_rate" or not isinstance(value, (int, float)):
+                continue
+            merged[name] = merged.get(name, 0) + value
+    lookups = (
+        merged.get("memory_hits", 0)
+        + merged.get("disk_hits", 0)
+        + merged.get("misses", 0)
+    )
+    hits = merged.get("memory_hits", 0) + merged.get("disk_hits", 0)
+    merged["hit_rate"] = round(hits / lookups, 6) if lookups else 0.0
+    return merged

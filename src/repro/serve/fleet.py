@@ -1,0 +1,838 @@
+"""The supervised serving fleet: crash-healing multi-process serving.
+
+One ``repro fleet`` process runs N :class:`~repro.serve.server.
+ApproximationServer` *worker* subprocesses over a single shared disk
+cache tier, and fronts them with an asyncio router speaking the same
+JSON-lines protocol the workers speak — a client cannot tell a fleet
+from a single server, except that the fleet survives what kills a
+server.
+
+**Supervision** reuses the fabric coordinator's liveness discipline:
+
+* *death* is detected two ways — ``waitpid`` (a worker whose process
+  exited is dead immediately) and the periodic health probe, where only
+  a *pong* counts as alive: a ``SIGSTOP``'d worker still accepts
+  connects, so the probe sends ``{"op": "health"}`` on a fresh
+  connection and demands a response within the timeout.  Two consecutive
+  probe misses convict the worker (it is ``SIGKILL``'d and treated as
+  dead);
+* *restart* follows :func:`repro.parallel.backoff_delay` —
+  capped-exponential, so a worker that keeps dying backs off instead of
+  spinning — behind a restart-storm circuit breaker: more than
+  ``max_restarts`` deaths inside ``restart_window`` seconds flips the
+  slot to a structured **degraded** mode (it is reported in ``stats``
+  and never restarted again) rather than a silent crash loop.
+
+**Routing** balances by least outstanding requests (deterministic
+slot-order tie-break), retries connection-kind faults — refused connect,
+dropped connection, garbled frame — on a *different* worker with
+backoff, and *hedges* stragglers: a request outstanding longer than
+``hedge_after`` is duplicated on another worker and the first response
+wins.  Hedging is safe because results are idempotent under the
+canonical result key — the loser's answer is dropped with its
+connection, and both computations would have been bit-identical anyway.
+Rejections are always data: a fleet with no live workers answers
+``overloaded`` (retryable, flagged ``degraded``), never a dropped
+connection.
+
+**Drain** on ``SIGTERM`` (or the ``shutdown`` op) is rolling: the
+listener closes, new work is refused ``shutting-down``, in-flight
+requests complete, then each worker is ``SIGTERM``'d and awaited *one at
+a time* — each flushes its own section of the shared cache index
+(merged under the index lock, see :meth:`repro.serve.cache.ResultCache.
+flush`) on its way out.
+
+Chaos arming: ``worker_fault_args`` maps a slot index to extra ``repro
+serve`` CLI arguments (``--fault-kind`` …) for that slot's *first*
+incarnation only — a restarted worker always comes back clean, which is
+exactly the repair the drills assert.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+import signal
+import subprocess
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core import DEFAULT_CONFIG
+from repro.parallel import backoff_delay
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+__all__ = ["FleetConfig", "Fleet"]
+
+logger = logging.getLogger("repro.serve.fleet")
+
+
+@dataclass
+class FleetConfig:
+    """Knobs of one serving fleet (supervisor + router + N workers).
+
+    Exactly one of ``socket_path`` (the router's unix socket) or ``host``
+    must be set.  ``run_dir`` holds the per-worker unix sockets; it
+    defaults to the router socket's directory.  ``cache_dir`` is the
+    *shared* disk tier — every worker reads and writes the same entries,
+    so a request recomputed after a crash usually lands warm.
+
+    The worker policy block mirrors :class:`~repro.serve.server.
+    ServerConfig` (``pipeline_workers`` is that config's ``workers`` —
+    the pool *inside* each request's pipeline, not the fleet size).
+    """
+
+    workers: int = 2
+    socket_path: str | None = None
+    host: str | None = None
+    port: int = 0
+    run_dir: str | None = None
+    cache_dir: str | None = None
+    # ---- worker policy passthrough (per ApproximationServer) ----
+    queue_limit: int = 32
+    concurrency: int = 2
+    request_deadline: float | None = None
+    memory_limit: int | None = None
+    max_candidates: int | None = None
+    exact_limit: int = DEFAULT_CONFIG.exact_limit
+    max_extra_atoms: int = DEFAULT_CONFIG.max_extra_atoms
+    pipeline_workers: int = 1
+    cache_capacity: int = 1024
+    cache_max_bytes: int | None = None
+    enable_test_ops: bool = False
+    # ---- supervision ----
+    health_interval: float = 0.5
+    health_timeout: float = 2.0
+    health_misses: int = 2
+    restart_backoff_base: float = 0.2
+    restart_backoff_cap: float = 5.0
+    max_restarts: int = 5
+    restart_window: float = 30.0
+    worker_start_deadline: float = 60.0
+    # ---- routing ----
+    retry_attempts: int = 3
+    retry_backoff_base: float = 0.05
+    retry_backoff_cap: float = 1.0
+    hedge_after: float | None = None
+    # ---- chaos arming: slot index -> extra `repro serve` args, first
+    # incarnation only (restarts always spawn clean) ----
+    worker_fault_args: dict[int, tuple[str, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if (self.socket_path is None) == (self.host is None):
+            raise ValueError("set exactly one of socket_path or host")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.run_dir is None:
+            if self.socket_path is None:
+                raise ValueError("a TCP-fronted fleet needs an explicit run_dir")
+            self.run_dir = os.path.dirname(os.path.abspath(self.socket_path))
+        if self.max_restarts < 1:
+            raise ValueError("max_restarts must be >= 1")
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
+
+
+class _Slot:
+    """One supervised worker position: process, socket, restart history."""
+
+    def __init__(self, index: int, socket_path: str) -> None:
+        self.index = index
+        self.socket_path = socket_path
+        self.proc: subprocess.Popen | None = None
+        self.generation = 0  # incarnations spawned (0 = never)
+        self.ready = False
+        self.restarting = False
+        self.degraded = False
+        self.degraded_reason: str | None = None
+        self.outstanding = 0
+        self.probe_misses = 0
+        self.restart_times: deque[float] = deque()
+
+    def alive(self) -> bool:
+        return (
+            self.ready
+            and not self.degraded
+            and not self.restarting
+            and self.proc is not None
+            and self.proc.poll() is None
+        )
+
+    def summary(self) -> dict:
+        proc = self.proc
+        return {
+            "index": self.index,
+            "socket": self.socket_path,
+            "pid": proc.pid if proc is not None else None,
+            "exited": proc.returncode if proc is not None else None,
+            "generation": self.generation,
+            "ready": self.ready,
+            "restarting": self.restarting,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "outstanding": self.outstanding,
+            "restarts_in_window": len(self.restart_times),
+        }
+
+
+class _ForwardFault(Exception):
+    """A connection-kind failure of one forwarded request."""
+
+
+class Fleet:
+    """Supervisor + router over N serving worker processes."""
+
+    def __init__(self, config: FleetConfig) -> None:
+        self.config = config
+        assert config.run_dir is not None
+        self.slots = [
+            _Slot(i, os.path.join(config.run_dir, f"worker-{i}.sock"))
+            for i in range(config.workers)
+        ]
+        self.started_at = time.time()
+        self.address: Any = None
+        self._draining = False
+        self._shutdown_event: asyncio.Event | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._connections: set[asyncio.Task] = set()
+        self._restart_tasks: set[asyncio.Task] = set()
+        self._active = 0
+        # Router/supervisor counters for the fleet stats endpoint.
+        self.requests = 0
+        self.routed = 0
+        self.router_retries = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.unrouteable = 0
+        self.refused_draining = 0
+        self.bad_requests = 0
+        self.worker_deaths = 0
+        self.worker_restarts = 0
+
+    # -------------------------------------------------------------- lifecycle
+
+    def request_shutdown(self) -> None:
+        """Begin the rolling drain (idempotent; signal-handler safe)."""
+        self._draining = True
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    async def run(self) -> None:
+        """Spawn the fleet, route until a shutdown is requested, drain."""
+        loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        if self._draining:
+            self._shutdown_event.set()
+        os.makedirs(self.config.run_dir, exist_ok=True)
+        for slot in self.slots:
+            self._spawn(slot)
+        ready = await asyncio.gather(
+            *(
+                self._await_ready(slot, self.config.worker_start_deadline)
+                for slot in self.slots
+            )
+        )
+        if not any(ready):
+            self._kill_all()
+            raise RuntimeError("no fleet worker became ready")
+        for slot, ok in zip(self.slots, ready):
+            if not ok:
+                self._schedule_restart(slot, "never became ready")
+
+        limit = MAX_LINE_BYTES + 1024
+        if self.config.socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=self.config.socket_path, limit=limit
+            )
+            self.address = self.config.socket_path
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection,
+                host=self.config.host,
+                port=self.config.port,
+                limit=limit,
+            )
+            self.address = self._server.sockets[0].getsockname()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # hosted off the main thread; shutdown op still works
+        print(
+            f"repro fleet: router listening on {self.address} "
+            f"({sum(1 for s in self.slots if s.alive())}/"
+            f"{self.config.workers} workers ready)",
+            file=sys.stderr,
+        )
+        monitor = asyncio.create_task(self._monitor())
+        try:
+            await self._shutdown_event.wait()
+            await self._drain_router()
+        finally:
+            monitor.cancel()
+            for task in list(self._restart_tasks):
+                task.cancel()
+            await self._shutdown_workers()
+            if self.config.socket_path is not None:
+                try:
+                    os.unlink(self.config.socket_path)
+                except OSError:
+                    pass
+        print(
+            f"repro fleet: drained (routed {self.routed}, retried "
+            f"{self.router_retries}, hedged {self.hedges}, healed "
+            f"{self.worker_restarts} worker death(s)); workers stopped",
+            file=sys.stderr,
+        )
+
+    # ------------------------------------------------------------- supervisor
+
+    def _worker_command(self, slot: _Slot) -> list[str]:
+        cfg = self.config
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--socket",
+            slot.socket_path,
+            "--queue-limit",
+            str(cfg.queue_limit),
+            "--concurrency",
+            str(cfg.concurrency),
+            "--exact-limit",
+            str(cfg.exact_limit),
+            "--max-extra-atoms",
+            str(cfg.max_extra_atoms),
+            "--workers",
+            str(cfg.pipeline_workers),
+            "--cache-capacity",
+            str(cfg.cache_capacity),
+        ]
+        if cfg.request_deadline is not None:
+            command += ["--deadline", str(cfg.request_deadline)]
+        if cfg.memory_limit is not None:
+            command += ["--memory-limit", str(cfg.memory_limit)]
+        if cfg.max_candidates is not None:
+            command += ["--max-candidates", str(cfg.max_candidates)]
+        if cfg.cache_max_bytes is not None:
+            command += ["--cache-max-bytes", str(cfg.cache_max_bytes)]
+        if cfg.cache_dir is not None:
+            command += ["--cache-dir", cfg.cache_dir]
+        if cfg.enable_test_ops:
+            command += ["--enable-test-ops"]
+        if slot.generation == 0:  # chaos arming: first incarnation only
+            command += list(cfg.worker_fault_args.get(slot.index, ()))
+        return command
+
+    def _spawn(self, slot: _Slot) -> None:
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        try:
+            os.unlink(slot.socket_path)
+        except OSError:
+            pass
+        slot.proc = subprocess.Popen(
+            self._worker_command(slot),
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        slot.generation += 1
+        slot.ready = False
+        slot.probe_misses = 0
+
+    async def _probe(self, slot: _Slot, op: str = "health") -> dict | None:
+        """One liveness/stats probe on a fresh connection.
+
+        Only a response counts as alive — a ``SIGSTOP``'d worker still
+        *accepts* (the listener backlog is kernel state), so a connect is
+        not a pong.  Returns the response payload, or ``None``.
+        """
+        timeout = self.config.health_timeout
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_unix_connection(
+                    slot.socket_path, limit=MAX_LINE_BYTES + 1024
+                ),
+                timeout,
+            )
+        except (OSError, asyncio.TimeoutError):
+            return None
+        try:
+            writer.write(encode_message({"op": op}))
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if not line:
+                return None
+            response = decode_message(line)
+            return response if response.get("ok") else None
+        except (OSError, asyncio.TimeoutError, ProtocolError):
+            return None
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _await_ready(self, slot: _Slot, deadline: float) -> bool:
+        end = time.monotonic() + deadline
+        delay = 0.02
+        while time.monotonic() < end:
+            if slot.proc is None or slot.proc.poll() is not None:
+                return False  # died while starting
+            if await self._probe(slot) is not None:
+                slot.ready = True
+                slot.probe_misses = 0
+                return True
+            await asyncio.sleep(delay)
+            delay = min(0.3, delay * 1.5)
+        return False
+
+    async def _monitor(self) -> None:
+        """Detect deaths (waitpid + probe) and schedule restarts."""
+        while not self._draining:
+            await asyncio.sleep(self.config.health_interval)
+            for slot in self.slots:
+                if self._draining:
+                    return
+                if slot.degraded or slot.restarting or slot.proc is None:
+                    continue
+                code = slot.proc.poll()
+                if code is not None:
+                    self._schedule_restart(slot, f"exited with code {code}")
+                    continue
+                if await self._probe(slot) is not None:
+                    slot.probe_misses = 0
+                    continue
+                slot.probe_misses += 1
+                if slot.probe_misses >= self.config.health_misses:
+                    # Hung, not dead (SIGSTOP, wedged loop): convict it.
+                    slot.ready = False
+                    try:
+                        slot.proc.kill()
+                    except OSError:
+                        pass
+                    self._schedule_restart(
+                        slot,
+                        f"unresponsive ({slot.probe_misses} probe misses; "
+                        "no pong within the timeout)",
+                    )
+
+    def _schedule_restart(self, slot: _Slot, reason: str) -> None:
+        if slot.restarting or slot.degraded:
+            return
+        slot.restarting = True
+        slot.ready = False
+        task = asyncio.get_running_loop().create_task(
+            self._restart(slot, reason)
+        )
+        self._restart_tasks.add(task)
+        task.add_done_callback(self._restart_tasks.discard)
+
+    async def _restart(self, slot: _Slot, reason: str) -> None:
+        """Heal one dead/hung slot: reap, backoff, respawn, re-probe.
+
+        Loops until the worker is back (counted in ``worker_restarts``),
+        the restart-storm breaker trips (structured degraded mode), or
+        the fleet drains.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            while not self._draining:
+                self.worker_deaths += 1
+                logger.warning(
+                    "fleet worker %d (gen %d) down: %s",
+                    slot.index,
+                    slot.generation,
+                    reason,
+                )
+                proc = slot.proc
+                if proc is not None:
+                    if proc.poll() is None:
+                        try:
+                            proc.kill()
+                        except OSError:
+                            pass
+                    await loop.run_in_executor(None, proc.wait)
+                now = time.monotonic()
+                window = slot.restart_times
+                while window and now - window[0] > self.config.restart_window:
+                    window.popleft()
+                if len(window) >= self.config.max_restarts:
+                    # The circuit breaker: a crash-looping worker is
+                    # retired loudly, never silently respun forever.
+                    slot.degraded = True
+                    slot.degraded_reason = (
+                        f"{len(window)} restarts within "
+                        f"{self.config.restart_window}s (last: {reason})"
+                    )
+                    logger.error(
+                        "fleet worker %d degraded: %s",
+                        slot.index,
+                        slot.degraded_reason,
+                    )
+                    return
+                window.append(now)
+                await asyncio.sleep(
+                    backoff_delay(
+                        len(window) - 1,
+                        base=self.config.restart_backoff_base,
+                        cap=self.config.restart_backoff_cap,
+                    )
+                )
+                if self._draining:
+                    return
+                self._spawn(slot)
+                if await self._await_ready(
+                    slot, self.config.worker_start_deadline
+                ):
+                    self.worker_restarts += 1
+                    logger.info(
+                        "fleet worker %d healed (gen %d, pid %s)",
+                        slot.index,
+                        slot.generation,
+                        slot.proc.pid if slot.proc else None,
+                    )
+                    return
+                reason = "respawned worker never became ready"
+        finally:
+            slot.restarting = False
+
+    def _kill_all(self) -> None:
+        for slot in self.slots:
+            if slot.proc is not None and slot.proc.poll() is None:
+                try:
+                    slot.proc.kill()
+                except OSError:
+                    pass
+
+    async def _shutdown_workers(self) -> None:
+        """Rolling drain: SIGTERM + await each worker one at a time."""
+        loop = asyncio.get_running_loop()
+        for slot in self.slots:
+            proc = slot.proc
+            slot.ready = False
+            if proc is None or proc.poll() is not None:
+                continue
+            try:
+                proc.send_signal(signal.SIGTERM)
+            except OSError:
+                continue
+            try:
+                await asyncio.wait_for(
+                    loop.run_in_executor(None, proc.wait), timeout=60.0
+                )
+            except asyncio.TimeoutError:
+                logger.error(
+                    "fleet worker %d did not drain; killing it", slot.index
+                )
+                proc.kill()
+                await loop.run_in_executor(None, proc.wait)
+
+    # ----------------------------------------------------------------- router
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    await self._send(
+                        writer,
+                        error_response(
+                            None,
+                            kind="bad-request",
+                            message=f"line exceeds {MAX_LINE_BYTES} bytes",
+                        ),
+                    )
+                    break
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                if await self._handle_line(writer, line):
+                    break
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(encode_message(payload))
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _handle_line(
+        self, writer: asyncio.StreamWriter, line: bytes
+    ) -> bool:
+        self.requests += 1
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self.bad_requests += 1
+            await self._send(
+                writer, error_response(None, kind=exc.kind, message=str(exc))
+            )
+            return exc.fatal
+        request_id = request.get("id")
+        op = request["op"]
+        if op in ("stats", "health"):
+            payload = await self.stats_payload(probe_workers=op == "stats")
+            await self._send(writer, ok_response(request_id, **payload))
+            return False
+        if op == "shutdown":
+            await self._send(writer, ok_response(request_id, draining=True))
+            self.request_shutdown()
+            return False
+        if self._draining:
+            self.refused_draining += 1
+            await self._send(
+                writer,
+                error_response(
+                    request_id,
+                    kind="shutting-down",
+                    message="fleet is draining; no new work is admitted",
+                ),
+            )
+            return False
+        self._active += 1
+        try:
+            response = await self._dispatch(request)
+            await self._send(writer, response)
+        finally:
+            self._active -= 1
+        return False
+
+    def _pick_slot(self, avoid: frozenset[int] | set[int]) -> _Slot | None:
+        """Least-outstanding live worker, lowest index breaking ties."""
+        candidates = [
+            slot
+            for slot in self.slots
+            if slot.alive() and slot.index not in avoid
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda slot: (slot.outstanding, slot.index))
+
+    async def _forward_once(self, slot: _Slot, request: dict) -> dict:
+        """One forwarded request on one fresh backend connection."""
+        slot.outstanding += 1
+        self.routed += 1
+        try:
+            reader, writer = await asyncio.open_unix_connection(
+                slot.socket_path, limit=MAX_LINE_BYTES + 1024
+            )
+            try:
+                writer.write(encode_message(request))
+                await writer.drain()
+                line = await reader.readline()
+                if not line:
+                    raise ConnectionError("worker closed the connection")
+                return decode_message(line)  # ProtocolError on a garbled frame
+            finally:
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+        finally:
+            slot.outstanding -= 1
+
+    async def _forward_hedged(self, primary_slot: _Slot, request: dict) -> dict:
+        """Forward with straggler hedging; first response wins.
+
+        Safe under the canonical result key: primary and hedge compute
+        (or warm-hit) bit-identical answers, so dropping the loser loses
+        nothing.  One hedge per attempt — fan-out is bounded at 2.
+        """
+        primary = asyncio.ensure_future(self._forward_once(primary_slot, request))
+        tasks: dict[asyncio.Task, _Slot] = {primary: primary_slot}
+        hedged = False
+        last_error: Exception | None = None
+        try:
+            while tasks:
+                timeout = (
+                    self.config.hedge_after
+                    if self.config.hedge_after is not None and not hedged
+                    else None
+                )
+                done, _ = await asyncio.wait(
+                    set(tasks),
+                    timeout=timeout,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not done:
+                    # The primary is a straggler: duplicate it elsewhere.
+                    hedged = True
+                    other = self._pick_slot(
+                        {slot.index for slot in tasks.values()}
+                    )
+                    if other is not None:
+                        self.hedges += 1
+                        tasks[
+                            asyncio.ensure_future(
+                                self._forward_once(other, request)
+                            )
+                        ] = other
+                    continue
+                for task in done:
+                    tasks.pop(task)
+                    try:
+                        response = task.result()
+                    except (ConnectionError, OSError, ProtocolError) as exc:
+                        last_error = exc
+                        continue
+                    if hedged and task is not primary:
+                        self.hedge_wins += 1
+                    return response
+            raise _ForwardFault(repr(last_error))
+        finally:
+            for task in tasks:
+                task.cancel()
+                task.add_done_callback(
+                    lambda t: t.cancelled() or t.exception()
+                )
+
+    async def _dispatch(self, request: dict) -> dict:
+        """Route one work op: balance, retry elsewhere, hedge stragglers."""
+        request_id = request.get("id")
+        avoid: set[int] = set()
+        last_fault: _ForwardFault | None = None
+        for attempt in range(self.config.retry_attempts):
+            if attempt:
+                self.router_retries += 1
+                await asyncio.sleep(
+                    backoff_delay(
+                        attempt - 1,
+                        base=self.config.retry_backoff_base,
+                        cap=self.config.retry_backoff_cap,
+                    )
+                )
+            # Prefer a worker this request has not failed on; a one-worker
+            # fleet (or one mid-heal) may legitimately retry in place.
+            slot = self._pick_slot(avoid) or self._pick_slot(frozenset())
+            if slot is None:
+                self.unrouteable += 1
+                return error_response(
+                    request_id,
+                    kind="overloaded",
+                    message=(
+                        "no live fleet workers (supervisor healing or "
+                        "degraded); retry later"
+                    ),
+                    degraded=all(
+                        slot.degraded or not slot.alive()
+                        for slot in self.slots
+                    ),
+                    retryable=True,
+                )
+            try:
+                return await self._forward_hedged(slot, request)
+            except _ForwardFault as fault:
+                avoid.add(slot.index)
+                last_fault = fault
+        self.unrouteable += 1
+        return error_response(
+            request_id,
+            kind="overloaded",
+            message=(
+                f"request failed on {self.config.retry_attempts} worker "
+                f"attempt(s); last fault: {last_fault}"
+            ),
+            retryable=True,
+        )
+
+    # ------------------------------------------------------------------ drain
+
+    async def _drain_router(self) -> None:
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        while self._active:
+            await asyncio.sleep(0.02)
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        if self._connections:
+            await asyncio.wait(list(self._connections), timeout=2.0)
+
+    # ------------------------------------------------------------------ stats
+
+    async def stats_payload(self, probe_workers: bool = False) -> dict:
+        live = sum(1 for slot in self.slots if slot.alive())
+        payload = {
+            "protocol": PROTOCOL_VERSION,
+            "role": "fleet",
+            "pid": os.getpid(),
+            "uptime": round(time.time() - self.started_at, 3),
+            "draining": self._draining,
+            "workers_configured": self.config.workers,
+            "live_workers": live,
+            "degraded_workers": sum(1 for slot in self.slots if slot.degraded),
+            "requests": self.requests,
+            "routed": self.routed,
+            "router_retries": self.router_retries,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "unrouteable": self.unrouteable,
+            "refused_draining": self.refused_draining,
+            "bad_requests": self.bad_requests,
+            "worker_deaths": self.worker_deaths,
+            "worker_restarts": self.worker_restarts,
+            "slots": [slot.summary() for slot in self.slots],
+        }
+        if probe_workers:
+            worker_stats: dict[str, dict] = {}
+            for slot in self.slots:
+                if not slot.alive():
+                    continue
+                stats = await self._probe(slot, op="stats")
+                if stats is not None:
+                    worker_stats[str(slot.index)] = {
+                        name: stats.get(name)
+                        for name in (
+                            "pid",
+                            "requests",
+                            "served",
+                            "queue_depth",
+                            "cache",
+                            "cache_disk_entries",
+                            "cache_resident_bytes",
+                            "cache_max_bytes",
+                        )
+                    }
+            payload["worker_stats"] = worker_stats
+        return payload

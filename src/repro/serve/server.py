@@ -66,6 +66,7 @@ from repro.serve.protocol import (
     ok_response,
     parse_request,
 )
+from repro.testing.faults import NETWORK_KINDS
 
 __all__ = ["ServerConfig", "ApproximationServer"]
 
@@ -93,8 +94,11 @@ class ServerConfig:
     ``enable_test_ops`` adds the ``sleep`` op (a request of controllable
     duration, which the lifecycle tests and fault drills need);
     ``fault_plan`` injects a :class:`~repro.testing.faults.FaultPlan`:
-    ``kind="corrupt"`` plans go to the disk cache's write seam, every
-    other kind wraps each request's query class in a
+    ``kind="corrupt"`` plans go to the disk cache's write seam, the
+    :data:`~repro.testing.faults.NETWORK_KINDS` arm the *response seam*
+    (the ``at_check``-th work-op response is dropped, delayed, or garbled
+    — the fleet router's retry/hedge drills), and every other kind wraps
+    each request's query class in a
     :class:`~repro.testing.faults.FaultyClass` (the worker-kill drill).
     """
 
@@ -111,6 +115,7 @@ class ServerConfig:
     workers: int = 1
     batch_timeout: float | None = None
     cache_capacity: int = 1024
+    cache_max_bytes: int | None = None
     cache_dir: str | None = None
     enable_test_ops: bool = False
     fault_plan: Any = None
@@ -131,11 +136,22 @@ class ApproximationServer:
         self.config = config
         plan = config.fault_plan
         corrupt_plan = plan if plan is not None and plan.kind == "corrupt" else None
-        self._class_plan = (
-            plan if plan is not None and plan.kind != "corrupt" else None
+        self._network_plan = (
+            plan if plan is not None and plan.kind in NETWORK_KINDS else None
         )
+        self._class_plan = (
+            plan
+            if plan is not None
+            and plan.kind != "corrupt"
+            and plan.kind not in NETWORK_KINDS
+            else None
+        )
+        self._work_responses = 0
         self.cache = ResultCache(
-            config.cache_capacity, config.cache_dir, fault_plan=corrupt_plan
+            config.cache_capacity,
+            config.cache_dir,
+            max_bytes=config.cache_max_bytes,
+            fault_plan=corrupt_plan,
         )
         self._executor = ThreadPoolExecutor(
             max_workers=config.concurrency, thread_name_prefix="repro-serve"
@@ -382,11 +398,40 @@ class ApproximationServer:
                         kind="internal",
                         message=f"{type(exc).__name__}: {exc}",
                     )
-            await self._send(writer, response)
+            fatal = await self._respond_work(writer, response)
             if self._draining:
                 self.drained += 1
         finally:
             self._active -= 1
+        return fatal
+
+    async def _respond_work(
+        self, writer: asyncio.StreamWriter, response: dict
+    ) -> bool:
+        """Write one work-op response — the armed network faults' seam.
+
+        Mirrors the fabric worker's ``_respond_shard`` discipline: the
+        ``at_check``-th work-op response, token-claimed so it fires once
+        across the whole fleet, is dropped (connection closed instead of
+        answered), delayed, or garbled.  Returns whether the connection
+        must close.
+        """
+        plan = self._network_plan
+        if plan is not None:
+            self._work_responses += 1
+            if self._work_responses == plan.at_check and plan.claim():
+                if plan.kind == "drop-connection":
+                    return True  # close instead of answering
+                if plan.kind == "delay-response":
+                    await asyncio.sleep(plan.delay)
+                else:  # "garble-frame"
+                    writer.write(b"\xde\xad\xbe\xef not a frame\n")
+                    try:
+                        await writer.drain()
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass
+                    return True
+        await self._send(writer, response)
         return False
 
     # --------------------------------------------------------------- serving
@@ -524,5 +569,7 @@ class ApproximationServer:
             "concurrency": self.config.concurrency,
             "cache": self.cache.stats.as_dict(),
             "cache_disk_entries": self.cache.disk_entries(),
+            "cache_resident_bytes": self.cache.resident_bytes(),
+            "cache_max_bytes": self.config.cache_max_bytes,
             "faults": dict(self.fault_counters),
         }

@@ -25,7 +25,10 @@ time they run:
   — exactly once across processes, like every other kind.
 
 The shard fabric (:mod:`repro.fabric`) adds three *network* kinds fired
-at the worker's response seam rather than through :class:`FaultyClass`:
+at the worker's response seam rather than through :class:`FaultyClass`
+(the serving daemon reuses the same kinds at *its* response seam — the
+``at_check``-th work-op response — so the fleet router's retry and
+hedging paths are drilled with the same discipline):
 
 * ``kind="drop-connection"`` — the worker closes the connection instead
   of answering, simulating a crash/partition mid-shard (the
@@ -116,9 +119,10 @@ class FaultPlan:
             self.corrupt_file(path)
         elif self.kind in NETWORK_KINDS:
             # Network kinds need connection context; the fabric worker's
-            # response seam interprets them itself after claim().
+            # and serving daemon's response seams interpret them
+            # themselves after claim().
             raise ValueError(
-                f"{self.kind!r} fires at the fabric worker's response seam"
+                f"{self.kind!r} fires at a response seam, not through fire()"
             )
         else:
             raise FaultInjected(

@@ -342,6 +342,41 @@ class TestFabricPlumbing:
         finally:
             stop_worker(garbler)
 
+    def test_redispatched_shard_served_from_worker_cache(
+        self, tmp_path, serial_frontier
+    ):
+        """A lost response is re-dispatched to the same worker, which
+        re-serves its memoized shard result instead of recomputing —
+        the speculation-adjacent path the worker-side result cache exists
+        for (the shard was computed; only its *response* was lost)."""
+        tableau, serial = serial_frontier
+        token = str(tmp_path / "token")
+        worker, worker_sock = start_worker(
+            tmp_path,
+            "dropper",
+            "--fault-kind",
+            "drop-connection",
+            "--fault-token",
+            token,
+        )
+        try:
+            result = run_pipeline(
+                tableau,
+                TW1,
+                max_extra_atoms=0,
+                fabric=[worker_sock],
+                heartbeat_interval=0.5,
+            )
+            assert os.path.exists(token)
+            assert_hom_equivalent_frontiers(result.frontier, serial)
+            assert result.stats.shard_retries >= 1
+            # The absorbed shard stats carry the worker's memo hit: the
+            # re-dispatched shard was re-served, not recomputed.
+            assert result.stats.shard_cache_hits >= 1
+            assert result.stats.fabric_local_shards == 0
+        finally:
+            stop_worker(worker)
+
     def test_in_process_fabric_matches_serial(self, serial_frontier):
         """Threaded in-process workers: the no-subprocess happy path."""
         tableau, serial = serial_frontier

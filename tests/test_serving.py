@@ -218,6 +218,76 @@ class TestResultCache:
         assert payload["stats"]["stores"] == 1
         assert ResultCache(capacity=4).flush() is None
 
+    def test_flush_merges_sibling_writer_sections(self, tmp_path):
+        """Fleet workers share one disk tier: each flush folds the other
+        writers' sections in instead of clobbering the index."""
+        cache = ResultCache(capacity=4, disk_dir=tmp_path)
+        cache.put(("k",), 1)
+        cache.get(("k",))
+        # A sibling worker's section, as an earlier flush left it.
+        sibling = {
+            "flushed_at": 0.0,
+            "memory_entries": 3,
+            "resident_bytes": 64,
+            "stats": {
+                "memory_hits": 9,
+                "disk_hits": 1,
+                "misses": 10,
+                "stores": 5,
+                "store_declined": 0,
+                "evictions": 0,
+                "quarantined": 0,
+                "flushes": 2,
+                "hit_rate": 0.5,
+            },
+        }
+        index_path = Path(cache.flush())
+        payload = json.loads(index_path.read_text())
+        payload["writers"]["99999"] = sibling
+        index_path.write_text(json.dumps(payload))
+        merged = json.loads(Path(cache.flush()).read_text())
+        assert set(merged["writers"]) == {"99999", str(os.getpid())}
+        assert merged["memory_entries"] == 3 + 1
+        # Counters sum; hit_rate is recomputed from the sums, not averaged.
+        assert merged["stats"]["stores"] == 5 + 1
+        assert merged["stats"]["memory_hits"] == 9 + 1
+        lookups = merged["stats"]["memory_hits"] + merged["stats"][
+            "disk_hits"
+        ] + merged["stats"]["misses"]
+        hits = merged["stats"]["memory_hits"] + merged["stats"]["disk_hits"]
+        assert merged["stats"]["hit_rate"] == round(hits / lookups, 6)
+
+    def test_byte_budget_evicts_to_fit(self):
+        value = {"pad": "x" * 1000}  # ~1 KiB pickled
+        cache = ResultCache(capacity=100, max_bytes=2600)
+        for name in ("a", "b", "c", "d"):
+            cache.put((name,), dict(value))
+        assert cache.resident_bytes() <= 2600
+        assert cache.stats.evictions >= 2
+        # LRU order: the oldest entries paid for the budget.
+        assert cache.get(("a",)) is None and cache.get(("b",)) is None
+        assert cache.get(("d",)) is not None
+
+    def test_byte_budget_keeps_at_least_one_entry(self):
+        cache = ResultCache(capacity=100, max_bytes=64)
+        cache.put(("big",), {"pad": "x" * 1000})
+        # A single entry above the budget stays resident: an empty cache
+        # that can never admit anything would be a worse failure mode.
+        assert cache.get(("big",)) is not None
+        assert cache.resident_bytes() > 64
+
+    def test_byte_budget_overwrite_releases_old_size(self):
+        cache = ResultCache(capacity=100, max_bytes=10_000)
+        cache.put(("k",), {"pad": "x" * 4000})
+        first = cache.resident_bytes()
+        cache.put(("k",), {"pad": "y" * 10})
+        assert cache.resident_bytes() < first
+        assert cache.get(("k",)) == {"pad": "y" * 10}
+
+    def test_byte_budget_validation(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(max_bytes=0)
+
 
 # --------------------------------------------------------------------------
 # In-process server harness
